@@ -1,0 +1,45 @@
+"""E3 — the accuracy/interpretability tradeoff as alpha varies (§2, Fig. 4 step 6).
+
+``Score(S) = alpha * Accuracy(S) + (1 - alpha) * Interpretability(S)``: the
+demo lets users move alpha to trade accuracy against interpretability.  This
+benchmark sweeps alpha over [0, 1] on the 2 000-row employee workload and
+reports, for each alpha, the winning summary's accuracy, interpretability and
+size — the expected shape is monotone: larger alpha buys accuracy (and more
+rules), smaller alpha buys conciseness.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.evaluation import run_alpha_sweep
+
+ALPHAS = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+
+
+def test_alpha_sweep_tradeoff_curve(benchmark, employee_2k, employee_policy):
+    """Winning-summary accuracy rises (and size grows) as alpha increases."""
+    table = benchmark(
+        run_alpha_sweep,
+        employee_2k,
+        "bonus",
+        ALPHAS,
+        condition_attributes=["edu", "exp", "gen"],
+        transformation_attributes=["bonus"],
+        policy=employee_policy,
+    )
+    table.title = "E3: alpha sweep (employee workload, 2 000 rows)"
+    emit(table)
+
+    accuracies = table.column("accuracy")
+    interpretabilities = table.column("interpretability")
+    sizes = table.column("num_rules")
+    # accuracy-heavy scoring never loses accuracy relative to interpretability-heavy scoring
+    assert accuracies[-1] >= accuracies[0]
+    # interpretability-heavy scoring never loses interpretability
+    assert interpretabilities[0] >= interpretabilities[-1]
+    # summaries never get smaller as alpha grows
+    assert sizes[-1] >= sizes[0]
+    # the default alpha=0.5 recovers the full policy on this workload
+    default_row = table.rows[ALPHAS.index(0.5)]
+    assert default_row["rule_recall"] == 1.0

@@ -1,0 +1,46 @@
+"""E2 — the setup assistant's attribute shortlists (§2, Fig. 4 steps 4–5).
+
+The paper's setup assistant shortlists attributes whose correlation with the
+target exceeds 0.5 and the demo reports that for Example 1 the user accepts
+education / experience / gender as condition candidates and previous bonus /
+salary as transformation candidates.  This benchmark measures the assistant's
+runtime on the example and on the 10k-row Montgomery workload, and reports the
+ranked shortlists it produces.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core import SetupAssistant
+from repro.evaluation import ResultTable
+
+
+def test_attribute_selection_on_example(benchmark, fig1_pair):
+    """Fig. 4 steps 4-5: edu is a top condition candidate; bonus/salary lead transformations."""
+    assistant = SetupAssistant()
+    suggestions = benchmark(assistant.suggest, fig1_pair, "bonus")
+
+    table = ResultTable(["role", "attribute", "association", "selected"],
+                        title="E2: setup assistant shortlists (Example 1)")
+    for suggestion in suggestions.condition_candidates:
+        table.add(role="condition", attribute=suggestion.attribute,
+                  association=suggestion.association, selected=str(suggestion.selected))
+    for suggestion in suggestions.transformation_candidates:
+        table.add(role="transformation", attribute=suggestion.attribute,
+                  association=suggestion.association, selected=str(suggestion.selected))
+    emit(table)
+
+    condition_scores = {s.attribute: s.association for s in suggestions.condition_candidates}
+    assert condition_scores["edu"] > 0.5, "education must pass the paper's 0.5 threshold"
+    assert suggestions.selected_transformation_attributes[0] == "bonus"
+    assert "salary" in suggestions.selected_transformation_attributes
+    assert condition_scores["edu"] > condition_scores["gen"]
+
+
+def test_attribute_selection_scales_to_montgomery(benchmark, montgomery_10k):
+    """The correlation analysis stays interactive (well under a second) at 10k rows."""
+    assistant = SetupAssistant()
+    suggestions = benchmark(assistant.suggest, montgomery_10k, "base_salary")
+    assert "department" in [s.attribute for s in suggestions.condition_candidates]
+    assert suggestions.selected_condition_attributes

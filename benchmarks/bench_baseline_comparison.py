@@ -1,0 +1,55 @@
+"""E5 — ChARLES against the baselines the paper argues with (§1, related work).
+
+The paper positions semantic change summaries against (a) exhaustively listing
+changed cells (precise but uninterpretable), (b) a single coarse rule such as
+R4 "everyone receives about 6%" (interpretable but inaccurate), and —
+implicitly — classical model-tree induction.  This benchmark runs every method
+on the employee and billionaires workloads and reports score, accuracy,
+interpretability, rule recovery and runtime; the expected shape is that
+ChARLES dominates on the combined score and on rule recovery, the exhaustive
+baseline on raw accuracy only, and the single-rule baselines on neither.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.evaluation import run_method_comparison, standard_methods
+
+
+def test_method_comparison_on_employee_workload(benchmark, employee_2k, employee_policy):
+    """ChARLES wins on Score and rule recovery; exhaustive wins only on raw accuracy."""
+    methods = standard_methods("bonus", ["edu", "exp", "gen"], ["bonus"])
+    table = benchmark(
+        run_method_comparison, employee_2k, employee_policy, methods, workload="employee-2k"
+    )
+    table.title = "E5a: method comparison (employee workload, 2 000 rows)"
+    emit(table)
+
+    rows = {row["method"]: row for row in table.rows}
+    assert rows["charles"]["score"] == max(row["score"] for row in table.rows)
+    assert rows["charles"]["rule_recall"] == 1.0
+    assert rows["charles"]["num_rules"] <= 5
+    # the exhaustive listing is perfectly accurate but interpretably hopeless
+    assert rows["exhaustive-diff"]["accuracy"] >= rows["charles"]["accuracy"] - 1e-9
+    assert rows["exhaustive-diff"]["interpretability"] < rows["charles"]["interpretability"]
+    assert rows["exhaustive-diff"]["num_rules"] > 100
+    # the single-rule baselines cannot express the partition structure
+    assert rows["uniform-percentage"]["rule_recall"] == 0.0
+    assert rows["global-regression"]["accuracy"] < rows["charles"]["accuracy"]
+
+
+def test_method_comparison_on_billionaires_workload(benchmark, billionaires_2k, billionaires_policy):
+    """Same comparison on the second domain (wealth evolution)."""
+    methods = standard_methods("net_worth", ["industry", "country", "age"], ["net_worth"])
+    table = benchmark(
+        run_method_comparison, billionaires_2k, billionaires_policy, methods,
+        workload="billionaires-2k",
+    )
+    table.title = "E5b: method comparison (billionaires workload, 2 000 rows)"
+    emit(table)
+
+    rows = {row["method"]: row for row in table.rows}
+    assert rows["charles"]["score"] == max(row["score"] for row in table.rows)
+    assert rows["charles"]["rule_recall"] >= 2 / 3
+    assert rows["charles"]["accuracy"] > rows["uniform-percentage"]["accuracy"]

@@ -1,0 +1,70 @@
+"""E10 — the syntactic change representations ChARLES is contrasted with (§1).
+
+Related work describes change either as raw cell diffs / minimal update
+scripts (PostgresCompare, OrpheusDB, Müller et al.) or as distribution drift
+(Data-Diff).  This benchmark measures those substrates on the Fig. 1 example
+and the 10k-row Montgomery workload and reports the *size* of each
+representation next to the size of the ChARLES summary — the granularity
+spectrum the paper's introduction argues about (16 cell edits vs. 2 batch
+updates vs. 3 semantic rules for Example 1).
+"""
+
+from __future__ import annotations
+
+from conftest import EXAMPLE_CONDITION_ATTRIBUTES, EXAMPLE_TRANSFORMATION_ATTRIBUTES, emit
+
+from repro.diff import batch_update_distance, diff_snapshots, drift_report, update_distance
+from repro.evaluation import ResultTable
+
+
+def test_granularity_spectrum_on_example(benchmark, default_charles, fig1_pair):
+    """Cell diff (16) vs. attribute batches (2) vs. ChARLES rules (3) on Fig. 1."""
+    report = benchmark(diff_snapshots, fig1_pair)
+    distance = update_distance(fig1_pair.source, fig1_pair.target, key="name")
+    result = default_charles.summarize_pair(
+        fig1_pair, "bonus",
+        condition_attributes=EXAMPLE_CONDITION_ATTRIBUTES,
+        transformation_attributes=EXAMPLE_TRANSFORMATION_ATTRIBUTES,
+    )
+
+    table = ResultTable(["representation", "units", "size"],
+                        title="E10a: granularity spectrum (Example 1)")
+    table.add(representation="cell-level diff", units="changed cells", size=float(report.num_changes))
+    table.add(representation="update distance", units="edit operations", size=float(distance.total))
+    table.add(representation="batch updates", units="changed attributes",
+              size=float(batch_update_distance(fig1_pair)))
+    table.add(representation="ChARLES summary", units="conditional transformations",
+              size=float(result.best.summary.size))
+    emit(table)
+
+    assert report.num_changes == 16
+    assert distance.total == 16
+    assert batch_update_distance(fig1_pair) == 2
+    assert result.best.summary.size == 3
+    assert result.best.summary.size < report.num_changes
+
+
+def test_diff_and_drift_scale_to_montgomery(benchmark, montgomery_10k):
+    """The syntactic substrates stay cheap at 10k rows and flag the changed attribute."""
+    def run():
+        report = diff_snapshots(montgomery_10k, attributes=["base_salary", "overtime_pay"])
+        drift = drift_report(montgomery_10k)
+        return report, drift
+
+    report, drift = benchmark(run)
+
+    table = ResultTable(["attribute", "changed_cells", "drift_score"],
+                        title="E10b: syntactic view of the Montgomery workload (10 000 rows)")
+    for name in ("base_salary", "overtime_pay", "grade", "department"):
+        attribute_diff = report.attribute_diff(name)
+        attribute_drift = drift.for_attribute(name)
+        table.add(
+            attribute=name,
+            changed_cells=float(attribute_diff.changed_cells) if attribute_diff else 0.0,
+            drift_score=attribute_drift.drift_score if attribute_drift else 0.0,
+        )
+    emit(table)
+
+    assert report.attribute_diff("base_salary").changed_cells == montgomery_10k.num_rows
+    assert drift.for_attribute("base_salary").drift_score > 0.0
+    assert drift.for_attribute("gender").drift_score == 0.0

@@ -1,0 +1,47 @@
+"""E4 — partition structure and coverage of the top summary (Fig. 4 step 10).
+
+The demo's visualisation shows non-overlapping rectangles per partition whose
+size is the partition's data coverage, with "33.3% employees fall within the
+top partition" and a hatched no-change region for Example 1.  This benchmark
+regenerates those coverage numbers and the treemap rendering.
+"""
+
+from __future__ import annotations
+
+from conftest import EXAMPLE_CONDITION_ATTRIBUTES, EXAMPLE_TRANSFORMATION_ATTRIBUTES, emit
+
+from repro.evaluation import ResultTable
+from repro.viz import render_partition_treemap
+
+
+def test_partition_coverage_matches_demo(benchmark, default_charles, fig1_pair):
+    """Top partition covers 33.3% of employees; 22.2% fall in the no-change region."""
+    result = benchmark(
+        default_charles.summarize_pair,
+        fig1_pair,
+        "bonus",
+        condition_attributes=EXAMPLE_CONDITION_ATTRIBUTES,
+        transformation_attributes=EXAMPLE_TRANSFORMATION_ATTRIBUTES,
+    )
+    summary = result.best.summary
+    assignments = summary.partition_assignments(fig1_pair.source)
+    total = fig1_pair.num_rows
+
+    table = ResultTable(["partition", "coverage", "paper"], title="E4: partition coverage (Fig. 4 step 10)")
+    explicit = [a for a in assignments if not a.is_fallback]
+    for index, assignment in enumerate(explicit, start=1):
+        table.add(
+            partition=str(assignment.conditional_transformation.condition),
+            coverage=assignment.size / total,
+            paper="33.3% (top partition)" if index == 1 else "",
+        )
+    fallback = assignments[-1]
+    table.add(partition="(no change observed)", coverage=fallback.size / total, paper="hatched region")
+    emit(table)
+    print(render_partition_treemap(summary, fig1_pair))
+
+    coverages = sorted((a.size / total for a in explicit), reverse=True)
+    assert coverages[0] == 1 / 3, "top partition must cover 33.3% of employees"
+    assert fallback.size / total == 2 / 9, "no-change region must cover Cathy and James"
+    # partitions are non-overlapping and, together with the fallback, exhaustive
+    assert sum(a.size for a in assignments) == total

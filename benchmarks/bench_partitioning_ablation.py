@@ -1,0 +1,81 @@
+"""E8 — ablation of the partition-discovery design choices (DESIGN.md §5).
+
+ChARLES's distinctive step is clustering the changed rows over the condition
+attributes *augmented with the residual from a global regression*.  This
+benchmark swaps that step for simpler alternatives (attributes only, residual
+only, delta quantiles, random) while keeping condition induction and
+transformation fitting identical, and also ablates the accuracy-sharpness
+exponent of the score.  Expected shape: the blended strategy matches or beats
+every alternative, and random partitioning is clearly worst.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.baselines import PARTITION_STRATEGIES, ablation_summary
+from repro.core import Charles, CharlesConfig, score_summary
+from repro.evaluation import ResultTable, evaluate_summary
+from repro.workloads import bonus_policy
+
+
+def test_partitioning_strategy_ablation(benchmark, employee_2k):
+    """charles (attributes + residual) >= every ablated partitioner on accuracy."""
+    policy = bonus_policy()
+    config = CharlesConfig()
+    table = ResultTable(["strategy", "accuracy", "score", "rule_recall", "num_rules"],
+                        title="E8a: partitioning ablation (employee workload, k = 3)")
+    accuracies = {}
+    for strategy in PARTITION_STRATEGIES:
+        summary = ablation_summary(
+            employee_2k, "bonus", ["edu", "exp", "gen"], ["bonus"], 3, strategy, config
+        )
+        metrics = evaluate_summary(summary, employee_2k, policy, config)
+        accuracies[strategy] = metrics["accuracy"]
+        table.add(strategy=strategy, accuracy=metrics["accuracy"], score=metrics["score"],
+                  rule_recall=metrics["rule_recall"], num_rules=metrics["num_rules"])
+    emit(table)
+
+    benchmark(
+        ablation_summary, employee_2k, "bonus", ["edu", "exp", "gen"], ["bonus"], 3, "charles", config
+    )
+    assert accuracies["charles"] >= accuracies["random"]
+    assert accuracies["charles"] >= accuracies["delta_quantile"] - 1e-9
+    assert accuracies["charles"] >= max(accuracies.values()) - 0.05
+
+
+def test_accuracy_sharpness_ablation(benchmark, fig1_pair):
+    """gamma < 1 is what ranks the exact 3-rule summary above the 2-rule compromise."""
+    from repro.evaluation.metrics import cell_accuracy
+
+    table = ResultTable(
+        ["sharpness", "best_rules", "best_accuracy", "best_cell_accuracy", "best_score"],
+        title="E8b: accuracy-sharpness ablation (Example 1)",
+    )
+    best_by_gamma = {}
+    cell_accuracy_by_gamma = {}
+    for gamma in (1.0, 0.5, 0.25):
+        config = CharlesConfig(accuracy_sharpness=gamma)
+        result = Charles(config).summarize_pair(
+            fig1_pair, "bonus",
+            condition_attributes=["edu", "exp", "gen"], transformation_attributes=["bonus"],
+        )
+        best_by_gamma[gamma] = result.best
+        cell_accuracy_by_gamma[gamma] = cell_accuracy(result.best.summary, fig1_pair)
+        table.add(sharpness=gamma, best_rules=float(result.best.summary.size),
+                  best_accuracy=result.best.breakdown.accuracy,
+                  best_cell_accuracy=cell_accuracy_by_gamma[gamma],
+                  best_score=result.best.score)
+    emit(table)
+
+    benchmark(
+        Charles(CharlesConfig(accuracy_sharpness=0.5)).summarize_pair,
+        fig1_pair, "bonus",
+    )
+    # with the default gamma the winner explains (nearly) everything
+    assert best_by_gamma[0.5].breakdown.accuracy > 0.95
+    # sharpening never makes the winner reconstruct fewer cells correctly
+    # (note: the reported *accuracy* values are not comparable across gammas,
+    # because gamma is part of the accuracy definition itself)
+    assert cell_accuracy_by_gamma[0.25] >= cell_accuracy_by_gamma[1.0] - 1e-9
+    assert cell_accuracy_by_gamma[0.5] >= 0.8

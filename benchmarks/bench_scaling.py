@@ -1,0 +1,86 @@
+"""E6 — scalability of the diff discovery engine (implied by §2's search space).
+
+The engine enumerates condition-attribute subsets (≤ c), transformation
+subsets (≤ t), partition counts and residual weights, running a clustering and
+several regressions for each — so runtime grows with both data size and the
+attribute caps.  This benchmark measures end-to-end summarisation time on the
+Montgomery workload across row counts and across (c, t) settings, reporting
+the recovered quality alongside, so the cost/quality tradeoff of the caps is
+visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import emit
+
+from repro.core import Charles, CharlesConfig
+from repro.evaluation import ResultTable, evaluate_summary
+from repro.workloads import cola_policy, montgomery_pair
+
+ROW_COUNTS = [1_000, 5_000, 10_000, 20_000]
+
+
+@pytest.fixture(scope="module")
+def scaling_pairs():
+    return {rows: montgomery_pair(rows, seed=29) for rows in ROW_COUNTS}
+
+
+def _summarize(pair):
+    return Charles().summarize_pair(
+        pair, "base_salary",
+        condition_attributes=["department", "grade"],
+        transformation_attributes=["base_salary"],
+    )
+
+
+def test_scaling_with_rows(benchmark, scaling_pairs):
+    """Runtime grows roughly linearly with rows; quality stays flat."""
+    policy = cola_policy()
+    table = ResultTable(["rows", "seconds", "score", "accuracy", "num_rules"],
+                        title="E6a: scaling with table size (Montgomery workload)")
+    timings = {}
+    for rows, pair in scaling_pairs.items():
+        started = time.perf_counter()
+        result = _summarize(pair)
+        elapsed = time.perf_counter() - started
+        timings[rows] = elapsed
+        metrics = evaluate_summary(result.best.summary, pair, policy)
+        table.add(rows=rows, seconds=elapsed, score=metrics["score"],
+                  accuracy=metrics["accuracy"], num_rules=metrics["num_rules"])
+    emit(table)
+
+    # the benchmarked call: largest workload end to end
+    benchmark(_summarize, scaling_pairs[ROW_COUNTS[-1]])
+
+    # sub-linear-ish growth sanity check: 20x the rows should cost far less than 100x the time
+    assert timings[ROW_COUNTS[-1]] < 100 * max(timings[ROW_COUNTS[0]], 1e-3)
+    # quality does not degrade with scale
+    scores = table.column("score")
+    assert min(scores) > 0.6
+
+
+def test_scaling_with_attribute_caps(benchmark, scaling_pairs):
+    """The c/t caps control the combinatorial budget (paper §2, setup assistant)."""
+    pair = scaling_pairs[5_000]
+    table = ResultTable(["c", "t", "seconds", "candidates", "score"],
+                        title="E6b: scaling with attribute caps (5 000 rows)")
+    results = {}
+    for c, t in [(1, 1), (2, 1), (2, 2), (3, 2)]:
+        config = CharlesConfig(max_condition_attributes=c, max_transformation_attributes=t)
+        started = time.perf_counter()
+        result = Charles(config).summarize_pair(pair, "base_salary")
+        elapsed = time.perf_counter() - started
+        results[(c, t)] = (elapsed, result)
+        table.add(c=c, t=t, seconds=elapsed, candidates=result.total_candidates,
+                  score=result.best.score)
+    emit(table)
+
+    benchmark(
+        Charles(CharlesConfig(max_condition_attributes=1, max_transformation_attributes=1)).summarize_pair,
+        pair, "base_salary",
+    )
+    # a larger search budget can only produce at least as many candidates
+    assert results[(3, 2)][1].total_candidates >= results[(1, 1)][1].total_candidates

@@ -1,0 +1,75 @@
+"""Change-trend scan: did performance rewards differ by gender this year?
+
+The paper's introduction motivates ChARLES with exactly this question: "an
+explanation that semantically summarizes changes to highlight gender
+disparities in performance rewards is more human-consumable than a long list
+of employee salary changes."  This example constructs an employee snapshot
+pair whose latent raise policy *does* treat genders differently, then shows
+how the recovered change summary surfaces the disparity directly, and how the
+drift report (a distribution-level view) hints at it but cannot name the rule.
+
+Run with::
+
+    python examples/gender_pay_gap_scan.py [rows]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Charles, Condition, Descriptor, LinearTransformation
+from repro.diff import drift_report
+from repro.evaluation import rule_recovery
+from repro.workloads import Policy, evolve_pair, generate_employees
+
+
+def biased_raise_policy() -> Policy:
+    """A deliberately inequitable raise policy: 6% for men, 3% for women."""
+    return Policy.from_rules(
+        name="FY raise (gender-disparate)",
+        target="salary",
+        description="male employees receive a 6% raise, female employees 3%",
+        rules=[
+            (
+                Condition.of(Descriptor.equals("gen", "M")),
+                LinearTransformation("salary", ("salary",), (1.06,), 0.0),
+            ),
+            (
+                Condition.of(Descriptor.equals("gen", "F")),
+                LinearTransformation("salary", ("salary",), (1.03,), 0.0),
+            ),
+        ],
+    )
+
+
+def main(rows: int = 3_000) -> None:
+    policy = biased_raise_policy()
+    source = generate_employees(rows, seed=11)
+    pair = evolve_pair(source, policy, seed=12)
+
+    print(f"Employee roster: {pair.num_rows} people; every salary changed this year.\n")
+
+    print("What a distribution-level diff shows (Data-Diff style):")
+    print(drift_report(pair, attributes=["salary"]).describe())
+    print("  -> the salary distribution shifted, but by how much and for whom is not visible.\n")
+
+    charles = Charles()
+    result = charles.summarize_pair(pair, "salary")
+    best = result.best
+    print("What ChARLES reports:")
+    print(best.summary.describe())
+    print(f"score={best.score:.3f}  accuracy={best.breakdown.accuracy:.3f}")
+    print()
+
+    recovery = rule_recovery(best.summary, policy.summary, pair.source)
+    if recovery.recall == 1.0:
+        print("The gender-dependent raise structure was recovered exactly — the disparity "
+              "is stated as an explicit pair of rules rather than buried in "
+              f"{pair.num_rows} individual salary changes.")
+    else:
+        print(f"Recovered {recovery.matched_truth_rules} of {recovery.total_truth_rules} "
+              "ground-truth rules; inspect the ranked list for alternatives.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3_000)

@@ -1,0 +1,59 @@
+"""Payroll audit: what pay policy did the county apply this fiscal year?
+
+This is the scenario the paper demonstrates on the Montgomery County, MD
+employee-salary data: two yearly snapshots of a payroll with departments,
+divisions, grades and several pay components, where the year-over-year changes
+were driven by a negotiated cost-of-living agreement.  The real dataset is an
+external download, so this example generates the synthetic equivalent (same
+8-attribute schema, known ground-truth policy), runs ChARLES, compares the
+recovered summary against the actual policy, and contrasts it with what a
+plain cell-level diff would report.
+
+Run with::
+
+    python examples/payroll_audit.py [rows]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Charles
+from repro.diff import diff_snapshots
+from repro.evaluation import evaluate_summary
+from repro.viz import render_partition_treemap
+from repro.workloads import cola_policy, montgomery_pair
+
+
+def main(rows: int = 10_000) -> None:
+    policy = cola_policy()
+    pair = montgomery_pair(rows, seed=7)
+
+    print(f"Synthetic Montgomery County payroll: {pair.num_rows} employees, "
+          f"{pair.change_fraction('base_salary'):.0%} of base salaries changed.\n")
+    print("Ground-truth policy (normally unknown to the analyst):")
+    print(policy.describe())
+    print()
+
+    # what existing tools would show: an overwhelming cell listing
+    cell_diff = diff_snapshots(pair, attributes=["base_salary"])
+    print(f"A cell-level diff reports {cell_diff.num_changes} individual salary changes.\n")
+
+    # what ChARLES shows: a handful of conditional transformations
+    charles = Charles()
+    suggestions = charles.suggest_attributes(pair.source, pair.target, "base_salary", key=pair.key)
+    print(suggestions.describe())
+    print()
+    result = charles.summarize_pair(pair, "base_salary")
+    print(result.describe(limit=3))
+    print(render_partition_treemap(result.best.summary, result.pair))
+    print()
+
+    metrics = evaluate_summary(result.best.summary, pair, policy)
+    print("Recovery against the ground-truth policy:")
+    for name in ("score", "accuracy", "interpretability", "num_rules", "rule_recall", "partition_ari"):
+        print(f"  {name:>18}: {metrics[name]:.3f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

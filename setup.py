@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments (legacy editable installs do not require the ``wheel``
+package to be present).
+"""
+
+from setuptools import setup
+
+setup()

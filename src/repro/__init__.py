@@ -1,0 +1,87 @@
+"""ChARLES — Change-Aware Recovery of Latent Evolution Semantics in Relational Data.
+
+A from-scratch reproduction of the SIGMOD 2025 demonstration paper by He,
+Meliou and Fariha.  Given two snapshots of a relation (same schema, same
+entities, only numeric cell updates), ChARLES recovers ranked, human-readable
+*change summaries* — sets of ``condition -> linear transformation`` rules that
+explain how a target attribute evolved and why.
+
+Quick start::
+
+    from repro import Charles
+    from repro.workloads import example_snapshots
+
+    source, target = example_snapshots()          # the paper's Fig. 1 tables
+    result = Charles().summarize(source, target, target="bonus", key="name")
+    print(result.best.summary.describe())
+
+Package layout:
+
+* :mod:`repro.relational`  — typed tables, predicates, CSV I/O, snapshot alignment
+* :mod:`repro.ml`          — regression, k-means, association measures, model trees
+* :mod:`repro.core`        — the ChARLES contribution (conditions, transformations,
+  scoring, setup assistant, partition discovery, diff discovery engine)
+* :mod:`repro.diff`        — syntactic baselines: cell diffs, update distance, drift
+* :mod:`repro.baselines`   — exhaustive / global-regression / greedy-tree baselines
+* :mod:`repro.workloads`   — synthetic datasets with known ground-truth policies
+* :mod:`repro.evaluation`  — recovery metrics and the experiment harness
+* :mod:`repro.viz`         — ASCII model trees, partition treemaps, markdown reports
+* :mod:`repro.cli`         — the ``charles`` command-line front-end
+"""
+
+from repro.core.charles import Charles, CharlesResult
+from repro.core.condition import Condition, Descriptor
+from repro.core.config import CharlesConfig, InterpretabilityWeights
+from repro.core.discovery import DiffDiscoveryEngine, ScoredSummary
+from repro.core.scoring import ScoreBreakdown, score_summary
+from repro.core.setup_assistant import SetupAssistant, SetupSuggestions
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.exceptions import (
+    CharlesError,
+    ConfigurationError,
+    DiscoveryError,
+    ExpressionError,
+    ModelFitError,
+    SchemaError,
+    SnapshotAlignmentError,
+)
+from repro.relational.csv_io import read_csv, write_csv
+from repro.relational.schema import Column, DType, Schema
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Charles",
+    "CharlesResult",
+    "CharlesConfig",
+    "InterpretabilityWeights",
+    "Condition",
+    "Descriptor",
+    "LinearTransformation",
+    "ChangeSummary",
+    "ConditionalTransformation",
+    "ScoreBreakdown",
+    "score_summary",
+    "SetupAssistant",
+    "SetupSuggestions",
+    "DiffDiscoveryEngine",
+    "ScoredSummary",
+    "Table",
+    "Schema",
+    "Column",
+    "DType",
+    "SnapshotPair",
+    "read_csv",
+    "write_csv",
+    "CharlesError",
+    "SchemaError",
+    "ExpressionError",
+    "SnapshotAlignmentError",
+    "ModelFitError",
+    "ConfigurationError",
+    "DiscoveryError",
+]

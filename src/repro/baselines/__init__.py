@@ -1,0 +1,40 @@
+"""Baselines the paper's argument is built against.
+
+Every baseline produces a :class:`~repro.core.summary.ChangeSummary`, so it can
+be applied, scored and ranked with exactly the same machinery as ChARLES
+itself — which is what makes the E5 (baseline comparison) and E8 (partitioning
+ablation) benchmarks apples-to-apples:
+
+* :func:`~repro.baselines.exhaustive.exhaustive_summary` — list every changed
+  cell (maximal accuracy, minimal interpretability);
+* :func:`~repro.baselines.global_regression.global_regression_summary` and
+  :func:`~repro.baselines.global_regression.uniform_percentage_summary` — one
+  rule for everyone (the paper's R4);
+* :class:`~repro.baselines.greedy_tree.GreedyModelTreeBaseline` — top-down
+  greedy linear-model-tree induction;
+* :mod:`~repro.baselines.partition_ablation` — ChARLES with its partitioning
+  step swapped for simpler alternatives.
+"""
+
+from repro.baselines.exhaustive import exhaustive_summary
+from repro.baselines.global_regression import (
+    global_regression_summary,
+    uniform_percentage_summary,
+)
+from repro.baselines.greedy_tree import GreedyModelTreeBaseline, greedy_tree_summary
+from repro.baselines.partition_ablation import (
+    PARTITION_STRATEGIES,
+    ablation_summary,
+    label_changed_rows,
+)
+
+__all__ = [
+    "exhaustive_summary",
+    "global_regression_summary",
+    "uniform_percentage_summary",
+    "GreedyModelTreeBaseline",
+    "greedy_tree_summary",
+    "PARTITION_STRATEGIES",
+    "ablation_summary",
+    "label_changed_rows",
+]

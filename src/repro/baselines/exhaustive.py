@@ -1,0 +1,52 @@
+"""The exhaustive cell-listing baseline.
+
+The paper's introduction contrasts ChARLES with the obvious alternative: "one
+can provide a change summary by listing each individual cell that changed.
+However, such a summary—despite being very precise—would lack interpretability
+as this level of detail overwhelms the user."  This baseline materialises that
+alternative inside the same :class:`~repro.core.summary.ChangeSummary`
+machinery: one conditional transformation per changed row, whose condition
+pins down the entity by key and whose "transformation" is the constant new
+value.  It is maximally accurate by construction and maximally verbose, which
+is exactly the corner of the accuracy–interpretability space the E5 benchmark
+needs to exhibit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.exceptions import DiscoveryError
+from repro.relational.snapshot import SnapshotPair
+
+__all__ = ["exhaustive_summary"]
+
+
+def exhaustive_summary(pair: SnapshotPair, target: str) -> ChangeSummary:
+    """One conditional transformation per changed row of ``target``.
+
+    Requires a key column (otherwise individual rows cannot be addressed by a
+    condition); raises :class:`DiscoveryError` when the pair has none.
+    """
+    if pair.key is None:
+        raise DiscoveryError("the exhaustive baseline needs a key column to address rows")
+    column = pair.schema.column(target)
+    if not column.is_numeric:
+        raise DiscoveryError(f"target attribute {target!r} must be numeric")
+    changed = pair.changed_mask(target)
+    keys = pair.key_values
+    new_values = pair.target.numeric_column(target)
+    conditional_transformations = []
+    for index in np.nonzero(changed)[0].tolist():
+        condition = Condition.of(Descriptor.equals(pair.key, keys[index]))
+        transformation = LinearTransformation(target, (), (), float(new_values[index]))
+        conditional_transformations.append(ConditionalTransformation(condition, transformation))
+    return ChangeSummary(
+        target,
+        tuple(conditional_transformations),
+        identity_fallback=True,
+        label="exhaustive cell listing",
+    )

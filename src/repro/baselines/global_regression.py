@@ -1,0 +1,95 @@
+"""The single-rule global regression baseline.
+
+This is the paper's rule R4 — "Everyone receives about 6% increase on last
+year's bonus" — generalised: fit one linear model of the target's new value
+over the transformation attributes, apply it to every row, and report it as a
+single conditional transformation with the trivial condition.  It is the
+opposite corner of the accuracy–interpretability space from the exhaustive
+baseline: maximally concise, but blind to any partition structure in the
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.config import CharlesConfig
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.exceptions import DiscoveryError, ModelFitError
+from repro.ml.linreg import LinearRegression
+from repro.relational.snapshot import SnapshotPair
+
+__all__ = ["global_regression_summary", "uniform_percentage_summary"]
+
+
+def global_regression_summary(
+    pair: SnapshotPair,
+    target: str,
+    transformation_attributes: Sequence[str],
+    config: CharlesConfig | None = None,
+    changed_rows_only: bool = False,
+) -> ChangeSummary:
+    """One linear rule fitted over the whole table (or only the changed rows).
+
+    When ``changed_rows_only`` is set, the rule is fitted on the rows whose
+    target actually changed and guarded by a condition that restricts it to...
+    nothing — the trivial condition is kept deliberately, because the point of
+    this baseline is that it cannot express "who" changed.
+    """
+    config = config or CharlesConfig()
+    column = pair.schema.column(target)
+    if not column.is_numeric:
+        raise DiscoveryError(f"target attribute {target!r} must be numeric")
+    names = [name for name in transformation_attributes if pair.schema.column(name).is_numeric]
+    if not names:
+        raise DiscoveryError("the global regression baseline needs numeric attributes")
+    mask = pair.changed_mask(target) if changed_rows_only else np.ones(pair.num_rows, dtype=bool)
+    if not mask.any():
+        return ChangeSummary(target, (), label="global regression (no change)")
+    source_rows = pair.source.mask(mask)
+    actual_new = pair.target.numeric_column(target)[mask]
+    try:
+        model = LinearRegression(ridge=config.ridge).fit(
+            source_rows.numeric_matrix(names), actual_new
+        )
+    except ModelFitError as exc:
+        raise DiscoveryError(f"global regression could not be fitted: {exc}") from exc
+    transformation = LinearTransformation.from_regression(model, names, target)
+    return ChangeSummary(
+        target,
+        (ConditionalTransformation(Condition.always(), transformation),),
+        identity_fallback=config.include_identity_fallback,
+        label="global regression",
+    )
+
+
+def uniform_percentage_summary(pair: SnapshotPair, target: str) -> ChangeSummary:
+    """The literal R4 baseline: a single uniform percentage increase.
+
+    The percentage is the mean relative change over the rows whose target
+    value changed (e.g. "everyone receives about a 6% increase"), applied to
+    every row through the trivial condition.
+    """
+    column = pair.schema.column(target)
+    if not column.is_numeric:
+        raise DiscoveryError(f"target attribute {target!r} must be numeric")
+    changed = pair.changed_mask(target)
+    if not changed.any():
+        return ChangeSummary(target, (), label="uniform percentage (no change)")
+    old_values = pair.source.numeric_column(target)[changed]
+    new_values = pair.target.numeric_column(target)[changed]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(old_values != 0, new_values / old_values, np.nan)
+    ratios = ratios[~np.isnan(ratios)]
+    factor = float(np.mean(ratios)) if ratios.size else 1.0
+    transformation = LinearTransformation.scale(target, round(factor, 2))
+    return ChangeSummary(
+        target,
+        (ConditionalTransformation(Condition.always(), transformation),),
+        identity_fallback=True,
+        label="uniform percentage increase",
+    )

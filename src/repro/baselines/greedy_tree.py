@@ -1,0 +1,252 @@
+"""A greedy model-tree induction baseline.
+
+ChARLES discovers partitions by clustering and only then describes them with
+conditions; a natural alternative — and the classic way linear model trees are
+learnt (Potts, ICML 2004, cited by the paper as the output representation) —
+is to grow the tree top-down: repeatedly pick the single split of a condition
+attribute that most reduces the regression error of the children.  This
+baseline implements that greedy learner so the E5/E8 benchmarks can compare
+the two search strategies on equal footing (same conditions language, same
+leaf models, same scoring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.config import CharlesConfig
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.exceptions import DiscoveryError, ModelFitError
+from repro.ml.linreg import LinearRegression
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+__all__ = ["GreedyModelTreeBaseline", "greedy_tree_summary"]
+
+_MAX_NUMERIC_SPLITS = 16
+
+
+@dataclass
+class _Node:
+    condition: Condition
+    mask: np.ndarray
+    transformation: LinearTransformation | None
+    children: list["_Node"]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class GreedyModelTreeBaseline:
+    """Top-down greedy induction of a linear model tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of splits on any root-to-leaf path.
+    min_rows:
+        Minimum number of rows a child partition must keep for a split to be
+        considered.
+    min_improvement:
+        Minimum relative reduction of the summed absolute error required to
+        accept a split.
+    """
+
+    def __init__(
+        self,
+        config: CharlesConfig | None = None,
+        max_depth: int = 3,
+        min_rows: int = 5,
+        min_improvement: float = 0.05,
+    ):
+        self._config = config or CharlesConfig()
+        self._max_depth = max_depth
+        self._min_rows = min_rows
+        self._min_improvement = min_improvement
+
+    def summarize(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        condition_attributes: Sequence[str],
+        transformation_attributes: Sequence[str],
+    ) -> ChangeSummary:
+        """Learn a tree and return it as a :class:`ChangeSummary` (one CT per leaf)."""
+        column = pair.schema.column(target)
+        if not column.is_numeric:
+            raise DiscoveryError(f"target attribute {target!r} must be numeric")
+        names = [
+            name for name in transformation_attributes if pair.schema.column(name).is_numeric
+        ]
+        if not names:
+            raise DiscoveryError("the greedy tree baseline needs numeric transformation attributes")
+        actual_new = pair.target.numeric_column(target)
+        root_mask = ~np.isnan(actual_new)
+        root = self._grow(
+            pair.source, actual_new, root_mask, Condition.always(),
+            list(condition_attributes), names, target, depth=0,
+        )
+        conditional_transformations = [
+            ConditionalTransformation(node.condition, node.transformation)
+            for node in self._leaves(root)
+            if node.transformation is not None and not node.transformation.is_identity
+        ]
+        return ChangeSummary(
+            target,
+            tuple(conditional_transformations),
+            identity_fallback=True,
+            label="greedy model tree",
+        )
+
+    # -- tree growing -----------------------------------------------------------
+
+    def _grow(
+        self,
+        source: Table,
+        actual_new: np.ndarray,
+        mask: np.ndarray,
+        condition: Condition,
+        condition_attributes: list[str],
+        transformation_attributes: list[str],
+        target: str,
+        depth: int,
+    ) -> _Node:
+        transformation, error = self._fit(source, actual_new, mask, transformation_attributes, target)
+        node = _Node(condition, mask, transformation, [])
+        if (
+            depth >= self._max_depth
+            or int(mask.sum()) < 2 * self._min_rows
+            or transformation is None
+            or error <= 1e-9
+        ):
+            return node
+        best = self._best_split(source, actual_new, mask, condition_attributes,
+                                transformation_attributes, target)
+        if best is None:
+            return node
+        (descriptor, complement), split_error = best
+        if error > 0 and (error - split_error) / error < self._min_improvement:
+            return node
+        yes_mask = mask & descriptor.mask(source)
+        no_mask = mask & complement.mask(source)
+        node.children = [
+            self._grow(source, actual_new, yes_mask, condition.conjoined_with(descriptor),
+                       condition_attributes, transformation_attributes, target, depth + 1),
+            self._grow(source, actual_new, no_mask, condition.conjoined_with(complement),
+                       condition_attributes, transformation_attributes, target, depth + 1),
+        ]
+        return node
+
+    def _best_split(
+        self,
+        source: Table,
+        actual_new: np.ndarray,
+        mask: np.ndarray,
+        condition_attributes: Sequence[str],
+        transformation_attributes: list[str],
+        target: str,
+    ) -> tuple[tuple[Descriptor, Descriptor], float] | None:
+        best: tuple[tuple[Descriptor, Descriptor], float] | None = None
+        for attribute in condition_attributes:
+            column = source.schema.column(attribute)
+            candidates = (
+                self._categorical_splits(source, attribute, mask)
+                if column.is_categorical
+                else self._numeric_splits(source, attribute, mask)
+            )
+            for descriptor, complement in candidates:
+                yes_mask = mask & descriptor.mask(source)
+                no_mask = mask & complement.mask(source)
+                if int(yes_mask.sum()) < self._min_rows or int(no_mask.sum()) < self._min_rows:
+                    continue
+                _, yes_error = self._fit(source, actual_new, yes_mask,
+                                         transformation_attributes, target)
+                _, no_error = self._fit(source, actual_new, no_mask,
+                                        transformation_attributes, target)
+                total = yes_error + no_error
+                if best is None or total < best[1]:
+                    best = ((descriptor, complement), total)
+        return best
+
+    def _categorical_splits(
+        self, source: Table, attribute: str, mask: np.ndarray
+    ) -> list[tuple[Descriptor, Descriptor]]:
+        values = [
+            value
+            for value, keep in zip(source.column(attribute), mask)
+            if keep and value is not None
+        ]
+        distinct = list(dict.fromkeys(values))
+        return [
+            (Descriptor.equals(attribute, value), Descriptor.not_equals(attribute, value))
+            for value in distinct
+        ]
+
+    def _numeric_splits(
+        self, source: Table, attribute: str, mask: np.ndarray
+    ) -> list[tuple[Descriptor, Descriptor]]:
+        values = source.numeric_column(attribute)[mask]
+        values = np.unique(values[~np.isnan(values)])
+        if values.size < 2:
+            return []
+        midpoints = (values[:-1] + values[1:]) / 2.0
+        if midpoints.size > _MAX_NUMERIC_SPLITS:
+            positions = np.linspace(0, midpoints.size - 1, _MAX_NUMERIC_SPLITS).astype(int)
+            midpoints = midpoints[positions]
+        return [
+            (Descriptor.less_than(attribute, float(t)), Descriptor.at_least(attribute, float(t)))
+            for t in midpoints
+        ]
+
+    def _fit(
+        self,
+        source: Table,
+        actual_new: np.ndarray,
+        mask: np.ndarray,
+        transformation_attributes: list[str],
+        target: str,
+    ) -> tuple[LinearTransformation | None, float]:
+        if not mask.any():
+            return None, 0.0
+        rows = source.mask(mask)
+        new_values = actual_new[mask]
+        try:
+            model = LinearRegression(ridge=self._config.ridge).fit(
+                rows.numeric_matrix(transformation_attributes), new_values
+            )
+        except ModelFitError:
+            return None, float("inf")
+        transformation = LinearTransformation.from_regression(
+            model, transformation_attributes, target
+        )
+        predictions = transformation.apply(rows)
+        usable = ~np.isnan(predictions) & ~np.isnan(new_values)
+        error = float(np.sum(np.abs(predictions[usable] - new_values[usable]))) if usable.any() else 0.0
+        return transformation, error
+
+    def _leaves(self, node: _Node) -> list[_Node]:
+        if node.is_leaf:
+            return [node]
+        leaves: list[_Node] = []
+        for child in node.children:
+            leaves.extend(self._leaves(child))
+        return leaves
+
+
+def greedy_tree_summary(
+    pair: SnapshotPair,
+    target: str,
+    condition_attributes: Sequence[str],
+    transformation_attributes: Sequence[str],
+    config: CharlesConfig | None = None,
+    max_depth: int = 3,
+) -> ChangeSummary:
+    """Convenience wrapper around :class:`GreedyModelTreeBaseline`."""
+    baseline = GreedyModelTreeBaseline(config, max_depth=max_depth)
+    return baseline.summarize(pair, target, condition_attributes, transformation_attributes)

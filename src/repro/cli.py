@@ -1,0 +1,179 @@
+"""Command-line interface: the demo workflow without the GUI.
+
+The paper's demonstration walks users through uploading two snapshots,
+choosing a target attribute, tuning parameters and browsing ranked change
+summaries (Fig. 4).  The ``charles`` command exposes the same workflow:
+
+* ``charles suggest``   — steps 2–5: attribute shortlists for a target.
+* ``charles summarize`` — steps 1–10: ranked summaries, optionally with the
+  model tree / treemap details or a full markdown report.
+* ``charles diff``      — the syntactic view: cell diff, update distance and
+  distribution drift.
+* ``charles generate``  — write the synthetic workloads (employee, montgomery,
+  billionaires) to CSV, so every example is reproducible from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.charles import Charles
+from repro.core.config import CharlesConfig
+from repro.core.sql import summary_to_sql_update
+from repro.diff import batch_update_distance, diff_snapshots, drift_report, update_distance
+from repro.exceptions import CharlesError
+from repro.relational.csv_io import read_csv, write_csv
+from repro.relational.snapshot import SnapshotPair
+from repro.viz.report import result_to_markdown
+from repro.viz.tree_render import render_summary_tree
+from repro.viz.treemap import render_partition_treemap
+from repro.workloads import (
+    billionaires_pair,
+    employee_pair,
+    example_pair,
+    montgomery_pair,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``charles`` command."""
+    parser = argparse.ArgumentParser(
+        prog="charles",
+        description="ChARLES: change-aware recovery of latent evolution semantics",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summarize = subparsers.add_parser("summarize", help="rank change summaries for a target attribute")
+    _add_pair_arguments(summarize)
+    summarize.add_argument("--target", required=True, help="numeric attribute to explain")
+    summarize.add_argument("--alpha", type=float, default=0.5, help="accuracy weight (default 0.5)")
+    summarize.add_argument("--max-condition-attributes", "-c", type=int, default=3)
+    summarize.add_argument("--max-transformation-attributes", "-t", type=int, default=2)
+    summarize.add_argument("--top", type=int, default=10, help="number of summaries to show")
+    summarize.add_argument("--condition-attributes", nargs="*", default=None)
+    summarize.add_argument("--transformation-attributes", nargs="*", default=None)
+    summarize.add_argument("--details", action="store_true", help="show tree and treemap for the best summary")
+    summarize.add_argument("--sql", action="store_true",
+                           help="print the best summary as a SQL UPDATE statement")
+    summarize.add_argument("--markdown", type=Path, default=None, help="write a full markdown report here")
+
+    suggest = subparsers.add_parser("suggest", help="show the setup assistant's attribute shortlists")
+    _add_pair_arguments(suggest)
+    suggest.add_argument("--target", required=True)
+
+    diff = subparsers.add_parser("diff", help="syntactic diff: cells, update distance, drift")
+    _add_pair_arguments(diff)
+    diff.add_argument("--limit", type=int, default=20, help="max cell changes to list")
+
+    generate = subparsers.add_parser("generate", help="write a synthetic workload pair to CSV")
+    generate.add_argument("workload", choices=["example", "employee", "montgomery", "billionaires"])
+    generate.add_argument("--rows", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--noise", type=float, default=0.0, help="fraction of changed rows given noise")
+    generate.add_argument("--out-dir", type=Path, default=Path("."))
+    return parser
+
+
+def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", type=Path, help="CSV of the earlier snapshot")
+    parser.add_argument("target_file", metavar="target", type=Path, help="CSV of the later snapshot")
+    parser.add_argument("--key", default=None, help="entity-identifying column")
+
+
+def _load_pair(args: argparse.Namespace) -> SnapshotPair:
+    source = read_csv(args.source, primary_key=args.key)
+    target = read_csv(args.target_file, primary_key=args.key)
+    return SnapshotPair.align(source, target, key=args.key)
+
+
+def _command_summarize(args: argparse.Namespace) -> int:
+    config = CharlesConfig(
+        alpha=args.alpha,
+        max_condition_attributes=args.max_condition_attributes,
+        max_transformation_attributes=args.max_transformation_attributes,
+        top_k=args.top,
+    )
+    pair = _load_pair(args)
+    result = Charles(config).summarize_pair(
+        pair,
+        args.target,
+        condition_attributes=args.condition_attributes,
+        transformation_attributes=args.transformation_attributes,
+    )
+    print(result.describe())
+    if args.details and result.summaries:
+        best = result.best.summary
+        print(render_summary_tree(best))
+        print()
+        print(render_partition_treemap(best, pair))
+    if args.sql and result.summaries:
+        print()
+        print(summary_to_sql_update(result.best.summary, args.source.stem))
+    if args.markdown is not None:
+        args.markdown.write_text(result_to_markdown(result), encoding="utf-8")
+        print(f"\nmarkdown report written to {args.markdown}")
+    return 0
+
+
+def _command_suggest(args: argparse.Namespace) -> int:
+    pair = _load_pair(args)
+    suggestions = Charles().suggest_attributes(pair.source, pair.target, args.target, key=pair.key)
+    print(suggestions.describe())
+    return 0
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    pair = _load_pair(args)
+    report = diff_snapshots(pair)
+    print(report.describe(limit=args.limit))
+    print()
+    print(update_distance(pair.source, pair.target, key=pair.key))
+    print(f"batch update distance (changed attributes): {batch_update_distance(pair)}")
+    print()
+    print(drift_report(pair).describe())
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.workload == "example":
+        pair = example_pair()
+    elif args.workload == "employee":
+        pair = employee_pair(args.rows, seed=args.seed, noise_fraction=args.noise)
+    elif args.workload == "montgomery":
+        pair = montgomery_pair(args.rows, seed=args.seed, noise_fraction=args.noise)
+    else:
+        pair = billionaires_pair(args.rows, seed=args.seed, noise_fraction=args.noise)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    source_path = args.out_dir / f"{args.workload}_source.csv"
+    target_path = args.out_dir / f"{args.workload}_target.csv"
+    write_csv(pair.source, source_path)
+    write_csv(pair.target, target_path)
+    print(f"wrote {source_path} and {target_path} ({pair.num_rows} rows, key={pair.key})")
+    return 0
+
+
+_COMMANDS = {
+    "summarize": _command_summarize,
+    "suggest": _command_suggest,
+    "diff": _command_diff,
+    "generate": _command_generate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except CharlesError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The ChARLES core: the paper's primary contribution.
+
+Submodules, in dependency order:
+
+* :mod:`~repro.core.config` — :class:`CharlesConfig`, every tunable parameter.
+* :mod:`~repro.core.normality` — roundness prior for numeric constants.
+* :mod:`~repro.core.condition` — descriptors and conditions (partition "why").
+* :mod:`~repro.core.transformation` — linear update rules (partition "what").
+* :mod:`~repro.core.summary` — conditional transformations and change summaries.
+* :mod:`~repro.core.scoring` — accuracy, interpretability, and the alpha tradeoff.
+* :mod:`~repro.core.setup_assistant` — correlation-based attribute shortlists.
+* :mod:`~repro.core.partitioning` — regression-guided k-means partition discovery.
+* :mod:`~repro.core.discovery` — the diff discovery engine (enumerate, fit, rank).
+* :mod:`~repro.core.charles` — the :class:`Charles` facade tying it all together.
+"""
+
+from repro.core.charles import Charles, CharlesResult
+from repro.core.condition import Condition, Descriptor, DescriptorKind
+from repro.core.config import CharlesConfig, InterpretabilityWeights
+from repro.core.discovery import DiffDiscoveryEngine, ScoredSummary
+from repro.core.partitioning import Partition, discover_partitions, induce_condition
+from repro.core.scoring import ScoreBreakdown, accuracy, interpretability, score_summary
+from repro.core.setup_assistant import AttributeSuggestion, SetupAssistant, SetupSuggestions
+from repro.core.sql import condition_to_sql, summary_to_sql_update, transformation_to_sql
+from repro.core.summary import ChangeSummary, ConditionalTransformation, PartitionAssignment
+from repro.core.transformation import LinearTransformation
+
+__all__ = [
+    "Charles",
+    "CharlesResult",
+    "CharlesConfig",
+    "InterpretabilityWeights",
+    "Condition",
+    "Descriptor",
+    "DescriptorKind",
+    "LinearTransformation",
+    "ChangeSummary",
+    "ConditionalTransformation",
+    "PartitionAssignment",
+    "ScoreBreakdown",
+    "accuracy",
+    "interpretability",
+    "score_summary",
+    "SetupAssistant",
+    "SetupSuggestions",
+    "AttributeSuggestion",
+    "Partition",
+    "discover_partitions",
+    "induce_condition",
+    "DiffDiscoveryEngine",
+    "ScoredSummary",
+    "condition_to_sql",
+    "transformation_to_sql",
+    "summary_to_sql_update",
+]

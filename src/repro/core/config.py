@@ -1,0 +1,198 @@
+"""Configuration of the ChARLES pipeline.
+
+The paper exposes a small set of user-facing parameters (Fig. 4, steps 3 and
+6): the maximum number of condition attributes ``c``, the maximum number of
+transformation attributes ``t``, and the accuracy weight ``alpha`` of the
+score.  :class:`CharlesConfig` gathers those together with the internal knobs
+of the reproduction (correlation threshold of the setup assistant, partition
+counts tried by the search, snapping tolerance, interpretability weights) and
+validates every value, so that both the "novice" default path and the "expert"
+tuning path of the demo are covered by one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CharlesConfig", "InterpretabilityWeights"]
+
+
+@dataclass(frozen=True)
+class InterpretabilityWeights:
+    """Relative weights of the four interpretability components (paper §2).
+
+    The components are: summary size (fewer CTs), simplicity (fewer descriptors
+    and model variables), coverage (larger partitions) and normality (rounder
+    constants).  Weights are normalised at scoring time, so only their ratios
+    matter.
+    """
+
+    size: float = 1.0
+    simplicity: float = 1.0
+    coverage: float = 1.0
+    normality: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("size", "simplicity", "coverage", "normality"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"interpretability weight {name} must be >= 0, got {value}")
+        if self.total == 0:
+            raise ConfigurationError("at least one interpretability weight must be positive")
+
+    @property
+    def total(self) -> float:
+        """Sum of all weights."""
+        return self.size + self.simplicity + self.coverage + self.normality
+
+
+@dataclass(frozen=True)
+class CharlesConfig:
+    """All tunable parameters of the ChARLES pipeline.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of accuracy in ``Score = alpha * Accuracy + (1 - alpha) *
+        Interpretability``.  Default 0.5, as in the paper.
+    max_condition_attributes:
+        The paper's ``c``: maximum number of condition attributes used to
+        build a single summary's partitions.
+    max_transformation_attributes:
+        The paper's ``t``: maximum number of numeric attributes used in each
+        leaf's linear model.
+    correlation_threshold:
+        Minimum association with the target attribute for the setup assistant
+        to shortlist a candidate attribute (paper default 0.5).
+    max_partitions:
+        Largest number of partitions (k of k-means) tried per attribute
+        combination.
+    top_k:
+        Number of ranked summaries returned (paper default 10).
+    min_partition_coverage:
+        Partitions covering a smaller fraction of rows than this are discarded
+        during partition discovery (they explain too little of the change).
+    purity_threshold:
+        Minimum fraction of a cluster that must share a categorical value for
+        that value to become a descriptor of the induced condition.
+    snapping_tolerance:
+        Maximum *relative* accuracy loss allowed when snapping fitted
+        coefficients to "normal" (round) values.
+    accuracy_sharpness:
+        Exponent ``gamma`` applied to the normalised residual error before it
+        is subtracted from 1: ``Accuracy = 1 - (error / baseline) ** gamma``.
+        Values below 1 make the score distinguish "almost exact" from
+        "roughly right" summaries more strongly (see DESIGN.md; ablated in the
+        E8 benchmark).  ``1.0`` recovers the plain inverse-L1 ratio.
+    residual_weights:
+        Multipliers applied to the regression-residual feature during partition
+        discovery; the engine tries each one and lets scoring pick the winner.
+        The residual is one column among potentially many encoded
+        condition-attribute columns: weight 1.0 treats it like any other
+        feature (clusters follow the attribute geometry), larger weights anchor
+        the clustering on *how the value changed* (ablated by the
+        ``no_residual``/``residual_only`` strategies).
+    refine_partitions:
+        Whether the engine recursively re-partitions discovered partitions
+        whose transformation leaves a noticeable share of their change
+        unexplained (hierarchical refinement; produces deeper model trees like
+        the paper's Fig. 2).
+    refinement_error_threshold:
+        Minimum unexplained-change ratio within a partition before refinement
+        is attempted.
+    min_refinement_rows:
+        Partitions smaller than this are never refined.
+    ridge:
+        L2 regularisation used in every regression fit (keeps collinear
+        transformation attributes, e.g. salary = 10 x bonus, well behaved).
+    interpretability_weights:
+        Relative weights of the interpretability components.
+    include_identity_fallback:
+        Whether rows not covered by any conditional transformation are
+        predicted as "unchanged" (the paper's None leaf) instead of NaN.
+    seed:
+        Seed for every stochastic component (k-means restarts).
+    """
+
+    alpha: float = 0.5
+    max_condition_attributes: int = 3
+    max_transformation_attributes: int = 2
+    correlation_threshold: float = 0.5
+    max_partitions: int = 4
+    top_k: int = 10
+    min_partition_coverage: float = 0.02
+    purity_threshold: float = 0.8
+    snapping_tolerance: float = 0.002
+    accuracy_sharpness: float = 0.5
+    residual_weights: tuple[float, ...] = (1.0, 4.0)
+    refine_partitions: bool = True
+    refinement_error_threshold: float = 0.05
+    min_refinement_rows: int = 8
+    ridge: float = 1e-8
+    interpretability_weights: InterpretabilityWeights = field(
+        default_factory=InterpretabilityWeights
+    )
+    include_identity_fallback: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.max_condition_attributes < 1:
+            raise ConfigurationError(
+                f"max_condition_attributes must be >= 1, got {self.max_condition_attributes}"
+            )
+        if self.max_transformation_attributes < 1:
+            raise ConfigurationError(
+                "max_transformation_attributes must be >= 1, got "
+                f"{self.max_transformation_attributes}"
+            )
+        if not 0.0 <= self.correlation_threshold <= 1.0:
+            raise ConfigurationError(
+                f"correlation_threshold must be in [0, 1], got {self.correlation_threshold}"
+            )
+        if self.max_partitions < 1:
+            raise ConfigurationError(f"max_partitions must be >= 1, got {self.max_partitions}")
+        if self.top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {self.top_k}")
+        if not 0.0 <= self.min_partition_coverage < 1.0:
+            raise ConfigurationError(
+                f"min_partition_coverage must be in [0, 1), got {self.min_partition_coverage}"
+            )
+        if not 0.0 < self.purity_threshold <= 1.0:
+            raise ConfigurationError(
+                f"purity_threshold must be in (0, 1], got {self.purity_threshold}"
+            )
+        if self.snapping_tolerance < 0.0:
+            raise ConfigurationError(
+                f"snapping_tolerance must be >= 0, got {self.snapping_tolerance}"
+            )
+        if self.accuracy_sharpness <= 0.0:
+            raise ConfigurationError(
+                f"accuracy_sharpness must be > 0, got {self.accuracy_sharpness}"
+            )
+        if not self.residual_weights:
+            raise ConfigurationError("residual_weights must contain at least one value")
+        object.__setattr__(self, "residual_weights", tuple(self.residual_weights))
+        for weight in self.residual_weights:
+            if weight < 0.0:
+                raise ConfigurationError(
+                    f"residual weights must be >= 0, got {weight}"
+                )
+        if self.refinement_error_threshold < 0.0:
+            raise ConfigurationError(
+                f"refinement_error_threshold must be >= 0, got {self.refinement_error_threshold}"
+            )
+        if self.min_refinement_rows < 2:
+            raise ConfigurationError(
+                f"min_refinement_rows must be >= 2, got {self.min_refinement_rows}"
+            )
+        if self.ridge < 0.0:
+            raise ConfigurationError(f"ridge must be >= 0, got {self.ridge}")
+
+    def replace(self, **changes: Any) -> "CharlesConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **changes)

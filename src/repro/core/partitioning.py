@@ -1,0 +1,428 @@
+"""Partition discovery: finding the data segments that share a change pattern.
+
+The central difficulty the paper identifies is a cyclic dependency: shared
+change patterns can only be discovered once clusters are formed, but the
+clusters must group rows that share a change pattern.  ChARLES breaks the
+cycle with a two-step heuristic (paper §2, "Partition discovery"): first fit a
+single linear regression of the target's new value over the transformation
+attributes for *all* rows, then run k-means over the condition attributes
+*augmented with the distance from that regression line* — rows that deviate
+from the global trend in the same direction and live in the same region of the
+condition space end up in the same cluster.
+
+Clusters are opaque, so each one is translated back into a human-readable
+:class:`~repro.core.condition.Condition` (a conjunction of descriptors) by
+:func:`induce_condition`; the induced condition — not the raw cluster — defines
+the partition, which keeps every reported summary faithful to what it claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.config import CharlesConfig
+from repro.core.normality import value_normality
+from repro.exceptions import ModelFitError
+from repro.ml.encoding import TableEncoder
+from repro.ml.kmeans import KMeans
+from repro.ml.linreg import LinearRegression
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+__all__ = ["Partition", "discover_partitions", "induce_condition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A candidate data partition described by a condition.
+
+    ``mask`` is the condition's row mask over the *full* source table (not just
+    the changed rows); ``fidelity`` measures how well the induced condition
+    reproduces the cluster it came from (Jaccard similarity), and ``coverage``
+    is the fraction of all rows the condition selects.
+    """
+
+    condition: Condition
+    mask: np.ndarray
+    fidelity: float
+    coverage: float
+
+    @property
+    def size(self) -> int:
+        """Number of rows selected by the condition."""
+        return int(self.mask.sum())
+
+
+def discover_partitions(
+    pair: SnapshotPair,
+    target: str,
+    condition_attributes: Sequence[str],
+    transformation_attributes: Sequence[str],
+    n_partitions: int,
+    config: CharlesConfig | None = None,
+    residual_weight: float = 1.0,
+) -> list[Partition]:
+    """Discover up to ``n_partitions`` candidate partitions of the changed rows.
+
+    ``residual_weight`` controls how strongly the distance-from-the-regression-
+    line feature dominates the clustering (see ``CharlesConfig.residual_weights``).
+    Returns a list of :class:`Partition` objects in first-match order.
+    Partitions whose induced condition is trivial (except a trailing
+    catch-all), duplicated, or below the configured minimum coverage are
+    dropped, so the result may contain fewer than ``n_partitions`` entries
+    (possibly zero when nothing changed).
+    """
+    config = config or CharlesConfig()
+    changed = pair.changed_mask(target)
+    if not changed.any():
+        return []
+    source = pair.source
+    changed_indices = np.nonzero(changed)[0]
+    changed_source = source.take(changed_indices.tolist())
+    new_values = pair.target.numeric_column(target)[changed_indices]
+
+    residuals = _global_residuals(changed_source, new_values, transformation_attributes, config)
+    # the *relative* residual (residual as a share of the old value) separates
+    # multiplicative policies whose absolute effect scales with the value itself
+    old_values = changed_source.numeric_column(target)
+    denominator = np.maximum(np.abs(np.where(np.isnan(old_values), 0.0, old_values)), 1e-9)
+    relative_residuals = residuals / denominator
+    # winsorise both residual features: a few noisy point edits must not hijack
+    # the k-means centroids and mask the latent group structure
+    residual_features = np.column_stack(
+        [_winsorise(residuals), _winsorise(relative_residuals)]
+    )
+    labels = _cluster(
+        changed_source, condition_attributes, residual_features,
+        n_partitions, config, residual_weight,
+    )
+
+    # Pass 1: independent induction, to learn which clusters can be described
+    # cleanly against the whole table.
+    preliminary: list[tuple[np.ndarray, Condition]] = []
+    for label in range(int(labels.max()) + 1 if labels.size else 0):
+        member_positions = np.nonzero(labels == label)[0]
+        if member_positions.size == 0:
+            continue
+        member_indices = changed_indices[member_positions]
+        condition = induce_condition(source, member_indices, condition_attributes, config)
+        preliminary.append((member_indices, condition))
+
+    # Pass 2: sequential induction under first-match semantics.  Cleanly
+    # describable clusters go first (largest first); clusters that could not be
+    # described independently go last, where they only need to be separated
+    # from whatever no earlier partition claimed — possibly ending up as a
+    # legitimate trailing catch-all ("everyone else").
+    preliminary.sort(key=lambda item: (item[1].is_trivial, -item[0].size))
+    partitions: list[Partition] = []
+    seen_conditions: set[str] = set()
+    claimed = np.zeros(source.num_rows, dtype=bool)
+    for position, (member_indices, _) in enumerate(preliminary):
+        is_last = position == len(preliminary) - 1
+        condition = induce_condition(
+            source, member_indices, condition_attributes, config, ignore_mask=claimed
+        )
+        if condition.is_trivial and n_partitions > 1:
+            # a trailing catch-all is acceptable once every other cluster has a
+            # real condition; anywhere else a trivial condition explains nothing
+            if not (is_last and partitions):
+                continue
+        key = str(condition)
+        if key in seen_conditions:
+            continue
+        seen_conditions.add(key)
+        mask = condition.mask(source) & ~claimed
+        coverage = float(mask.mean()) if source.num_rows else 0.0
+        if coverage < config.min_partition_coverage:
+            continue
+        fidelity = _jaccard(mask, _indices_to_mask(member_indices, source.num_rows))
+        partitions.append(Partition(condition, mask, fidelity, coverage))
+        claimed |= mask
+    return partitions
+
+
+# ---------------------------------------------------------------------------
+# Step 1: residuals from the global regression line
+# ---------------------------------------------------------------------------
+
+
+def _winsorise(values: np.ndarray, lower: float = 2.0, upper: float = 98.0) -> np.ndarray:
+    """Clip a feature to its [lower, upper] percentile range (outlier damping)."""
+    if values.size == 0:
+        return values
+    low, high = np.percentile(values, [lower, upper])
+    return np.clip(values, low, high)
+
+
+def _global_residuals(
+    changed_source: Table,
+    new_values: np.ndarray,
+    transformation_attributes: Sequence[str],
+    config: CharlesConfig,
+) -> np.ndarray:
+    """Residuals of the all-rows regression of the new value on the transformation attrs."""
+    features = changed_source.numeric_matrix(list(transformation_attributes))
+    try:
+        model = LinearRegression(ridge=config.ridge).fit(features, new_values)
+        residuals = model.residuals(features, new_values)
+    except ModelFitError:
+        residuals = new_values - float(np.nanmean(new_values))
+    return np.where(np.isnan(residuals), 0.0, residuals)
+
+
+# ---------------------------------------------------------------------------
+# Step 2: k-means over condition attributes + residual
+# ---------------------------------------------------------------------------
+
+
+def _cluster(
+    changed_source: Table,
+    condition_attributes: Sequence[str],
+    residuals: np.ndarray,
+    n_partitions: int,
+    config: CharlesConfig,
+    residual_weight: float,
+) -> np.ndarray:
+    """Cluster the changed rows; ``residuals`` may hold several residual-derived columns."""
+    if n_partitions <= 1 or changed_source.num_rows <= 1:
+        return np.zeros(changed_source.num_rows, dtype=int)
+    residual_matrix = np.asarray(residuals, dtype=float)
+    if residual_matrix.ndim == 1:
+        residual_matrix = residual_matrix.reshape(-1, 1)
+    n_residual_features = residual_matrix.shape[1]
+    encoder = TableEncoder(list(condition_attributes))
+    matrix = encoder.fit_transform(
+        changed_source,
+        extra_features=residual_matrix,
+        extra_names=tuple(f"__residual_{i}__" for i in range(n_residual_features)),
+    )
+    # weighting the distance-from-the-regression-line features up makes clusters
+    # group rows by change pattern first and by attribute geometry second
+    matrix[:, -n_residual_features:] *= residual_weight
+    k = min(n_partitions, changed_source.num_rows)
+    result = KMeans(k, seed=config.seed).fit(matrix)
+    return result.labels
+
+
+# ---------------------------------------------------------------------------
+# Step 3: translating clusters into readable conditions
+# ---------------------------------------------------------------------------
+
+
+def induce_condition(
+    source: Table,
+    member_indices: np.ndarray | Sequence[int],
+    condition_attributes: Sequence[str],
+    config: CharlesConfig | None = None,
+    ignore_mask: np.ndarray | None = None,
+) -> Condition:
+    """Describe the rows at ``member_indices`` as a conjunction of descriptors.
+
+    Categorical attributes contribute an equality (or small set-membership)
+    descriptor when the cluster is sufficiently pure in that attribute and the
+    descriptor actually separates the cluster from the rest of the table.
+    Numeric attributes contribute a threshold or interval descriptor when the
+    cluster's values are separable from the rest; thresholds are chosen to be
+    as "normal" (round) as possible within the separating gap.  Attributes that
+    do not discriminate are skipped, which keeps conditions short.
+
+    ``ignore_mask`` marks rows that earlier partitions have already claimed:
+    under first-match semantics the condition does not need to (and should not
+    try to) separate the cluster from those rows.
+    """
+    config = config or CharlesConfig()
+    member_mask = _indices_to_mask(np.asarray(member_indices, dtype=int), source.num_rows)
+    rest_mask = ~member_mask
+    if ignore_mask is not None:
+        rest_mask &= ~np.asarray(ignore_mask, dtype=bool)
+    condition = Condition.always()
+    for attribute in condition_attributes:
+        column = source.schema.column(attribute)
+        descriptor = None
+        if column.is_categorical:
+            descriptor = _categorical_descriptor(source, attribute, member_mask, rest_mask, config)
+        else:
+            descriptor = _numeric_descriptor(source, attribute, member_mask, rest_mask, config)
+        if descriptor is not None:
+            condition = condition.conjoined_with(descriptor)
+            # narrow the "rest" to rows still matching the partial condition so
+            # later numeric thresholds only need to separate within that slice
+            rest_mask = rest_mask & descriptor.mask(source)
+    return condition
+
+
+def _categorical_descriptor(
+    source: Table,
+    attribute: str,
+    member_mask: np.ndarray,
+    rest_mask: np.ndarray,
+    config: CharlesConfig,
+) -> Descriptor | None:
+    values = np.array(source.column(attribute), dtype=object)
+    member_values = [value for value in values[member_mask].tolist() if value is not None]
+    if not member_values:
+        return None
+    counts: dict[object, int] = {}
+    for value in member_values:
+        counts[value] = counts.get(value, 0) + 1
+    dominant, dominant_count = max(counts.items(), key=lambda item: item[1])
+    purity = dominant_count / len(member_values)
+    if purity >= config.purity_threshold:
+        # only useful if the rest of the table is not equally dominated
+        rest_values = values[rest_mask]
+        rest_share = (
+            float(np.mean(rest_values == dominant)) if rest_values.size else 0.0
+        )
+        if rest_share < 1.0:
+            return Descriptor.equals(attribute, dominant)
+        return None
+    # a small set of values can still separate the cluster (e.g. edu IN {MS, PhD})
+    member_distinct = sorted(counts, key=lambda value: -counts[value])
+    rest_values = set(values[rest_mask].tolist()) - {None}
+    if 1 < len(member_distinct) <= 3:
+        if rest_values and not rest_values.issubset(set(member_distinct)):
+            return Descriptor.in_set(attribute, member_distinct)
+    # when the cluster spans many values but the *rest* is a small set the
+    # complement reads better (e.g. department NOT IN {POL, FRS})
+    excluded = rest_values - set(member_distinct)
+    if rest_values and 1 <= len(excluded) <= 3 and excluded == rest_values:
+        ordered = sorted(excluded, key=str)
+        if len(ordered) == 1:
+            return Descriptor.not_equals(attribute, ordered[0])
+        return Descriptor.not_in_set(attribute, ordered)
+    return None
+
+
+def _numeric_descriptor(
+    source: Table,
+    attribute: str,
+    member_mask: np.ndarray,
+    rest_mask: np.ndarray,
+    config: CharlesConfig,
+) -> Descriptor | None:
+    values = source.numeric_column(attribute)
+    member_values = values[member_mask]
+    member_values = member_values[~np.isnan(member_values)]
+    rest_values = values[rest_mask]
+    rest_values = rest_values[~np.isnan(rest_values)]
+    if member_values.size == 0 or rest_values.size == 0:
+        return None
+    member_low, member_high = float(member_values.min()), float(member_values.max())
+    rest_low, rest_high = float(rest_values.min()), float(rest_values.max())
+    if member_low > rest_high:
+        threshold = _nice_threshold(rest_high, member_low, inclusive_high=True)
+        return Descriptor.at_least(attribute, threshold)
+    if member_high < rest_low:
+        threshold = _nice_threshold(member_high, rest_low, inclusive_high=True)
+        return Descriptor.less_than(attribute, threshold)
+    # no clean one-sided split; look for the best imperfect threshold (a few
+    # mislabelled rows — noise, manual corrections — must not hide a real cut)
+    descriptor = _tolerant_threshold_descriptor(
+        attribute, member_values, rest_values, config.purity_threshold
+    )
+    if descriptor is not None:
+        return descriptor
+    # finally, try an interval if it excludes most of the rest
+    inside_rest = float(np.mean((rest_values >= member_low) & (rest_values <= member_high)))
+    if inside_rest <= 1.0 - config.purity_threshold:
+        return Descriptor.between(attribute, member_low, member_high)
+    return None
+
+
+def _tolerant_threshold_descriptor(
+    attribute: str,
+    member_values: np.ndarray,
+    rest_values: np.ndarray,
+    purity_threshold: float,
+    max_candidates: int = 64,
+) -> Descriptor | None:
+    """The single threshold that best separates members from the rest, if good enough.
+
+    Candidate cuts are the midpoints between consecutive distinct values of the
+    combined sample (subsampled for wide domains).  A cut is accepted when its
+    balanced accuracy — the mean of the member fraction on the member side and
+    the rest fraction on the other side — reaches ``purity_threshold``.
+    """
+    combined = np.unique(np.concatenate([member_values, rest_values]))
+    if combined.size < 2:
+        return None
+    midpoints = (combined[:-1] + combined[1:]) / 2.0
+    if midpoints.size > max_candidates:
+        positions = np.linspace(0, midpoints.size - 1, max_candidates).astype(int)
+        midpoints = midpoints[positions]
+    best: tuple[float, float, bool] | None = None  # (balanced accuracy, cut, at_least?)
+    for cut in midpoints:
+        member_at_least = float(np.mean(member_values >= cut))
+        rest_below = float(np.mean(rest_values < cut))
+        score_at_least = 0.5 * (member_at_least + rest_below)
+        score_less_than = 1.0 - score_at_least
+        if best is None or score_at_least > best[0]:
+            best = (score_at_least, float(cut), True)
+        if score_less_than > best[0]:
+            best = (score_less_than, float(cut), False)
+    if best is None or best[0] < purity_threshold:
+        return None
+    _, cut, at_least = best
+    below = combined[combined < cut]
+    above = combined[combined >= cut]
+    if below.size and above.size:
+        threshold = _nice_threshold(float(below.max()), float(above.min()), inclusive_high=True)
+    else:
+        threshold = cut
+    return Descriptor.at_least(attribute, threshold) if at_least else Descriptor.less_than(
+        attribute, threshold
+    )
+
+
+def _nice_threshold(low: float, high: float, inclusive_high: bool = True) -> float:
+    """A round value in ``(low, high]`` to use as a split threshold.
+
+    Candidates are generated at several granularities (powers of ten around the
+    gap width); the most normal candidate wins, ties broken by proximity to the
+    midpoint.  Falls back to the midpoint when the gap contains no round value.
+    """
+    if high <= low:
+        return high
+    midpoint = (low + high) / 2.0
+    gap = high - low
+    candidates: list[float] = [high] if inclusive_high else []
+    magnitude = 10.0 ** np.floor(np.log10(gap)) if gap > 0 else 1.0
+    for scale in (magnitude * 10, magnitude, magnitude / 10):
+        if scale <= 0:
+            continue
+        start = np.ceil((low + 1e-12) / scale) * scale
+        value = start
+        while value <= high + 1e-12:
+            if low < value <= high:
+                candidates.append(float(value))
+            value += scale
+            if len(candidates) > 64:
+                break
+    best = max(
+        candidates,
+        key=lambda candidate: (value_normality(candidate), -abs(candidate - midpoint)),
+    )
+    # strip floating-point crumbs (e.g. 2.000000000000001) from the threshold
+    return float(f"{best:.10g}")
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _indices_to_mask(indices: np.ndarray, length: int) -> np.ndarray:
+    mask = np.zeros(length, dtype=bool)
+    mask[np.asarray(indices, dtype=int)] = True
+    return mask
+
+
+def _jaccard(mask_a: np.ndarray, mask_b: np.ndarray) -> float:
+    union = float(np.sum(mask_a | mask_b))
+    if union == 0:
+        return 1.0
+    return float(np.sum(mask_a & mask_b)) / union

@@ -1,0 +1,252 @@
+"""Transformations: the "what" half of a conditional transformation.
+
+A ChARLES transformation is a linear model that computes the *new* value of
+the target attribute from (source-version) attribute values, e.g.
+``new_bonus = 1.05 x bonus + 1000``.  :class:`LinearTransformation` wraps the
+coefficients with the behaviour the rest of the system needs: applying the
+model to a table, measuring its complexity and normality for interpretability
+scoring, snapping coefficients to rounder values, and rendering the equation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.normality import normality_of_values, snap_candidates, value_normality
+from repro.exceptions import ModelFitError
+from repro.ml.linreg import LinearRegression
+from repro.ml.model_tree import LeafModel
+from repro.relational.table import Table
+
+__all__ = ["LinearTransformation"]
+
+_ZERO_EPSILON = 1e-10
+
+
+@dataclass(frozen=True)
+class LinearTransformation:
+    """A linear update rule for one target attribute.
+
+    Parameters
+    ----------
+    target:
+        The attribute whose new value this transformation computes.
+    feature_names:
+        Source-version attributes feeding the linear model (may include the
+        target attribute itself — "last year's bonus").
+    coefficients:
+        One coefficient per feature.
+    intercept:
+        The constant term.
+    """
+
+    target: str
+    feature_names: tuple[str, ...]
+    coefficients: tuple[float, ...]
+    intercept: float
+
+    def __post_init__(self) -> None:
+        if len(self.feature_names) != len(self.coefficients):
+            raise ModelFitError(
+                f"{len(self.feature_names)} features but {len(self.coefficients)} coefficients"
+            )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def identity(cls, target: str) -> "LinearTransformation":
+        """The no-change transformation ``new_target = target``."""
+        return cls(target, (target,), (1.0,), 0.0)
+
+    @classmethod
+    def constant_shift(cls, target: str, amount: float) -> "LinearTransformation":
+        """``new_target = target + amount``."""
+        return cls(target, (target,), (1.0,), float(amount))
+
+    @classmethod
+    def scale(cls, target: str, factor: float, shift: float = 0.0) -> "LinearTransformation":
+        """``new_target = factor * target + shift``."""
+        return cls(target, (target,), (float(factor),), float(shift))
+
+    @classmethod
+    def from_regression(
+        cls,
+        model: LinearRegression,
+        feature_names: Sequence[str],
+        target: str,
+        drop_zero_coefficients: bool = True,
+        zero_epsilon: float = 1e-6,
+    ) -> "LinearTransformation":
+        """Wrap a fitted :class:`~repro.ml.linreg.LinearRegression`.
+
+        Coefficients with magnitude below ``zero_epsilon`` are dropped (along
+        with their features) when ``drop_zero_coefficients`` is set, which
+        keeps the rendered equations minimal.
+        """
+        if not model.is_fitted:
+            raise ModelFitError("cannot build a transformation from an unfitted model")
+        names = list(feature_names)
+        coefficients = [float(value) for value in model.coefficients]
+        if len(names) != len(coefficients):
+            raise ModelFitError(
+                f"model has {len(coefficients)} coefficients for {len(names)} features"
+            )
+        if drop_zero_coefficients:
+            kept = [
+                (name, coefficient)
+                for name, coefficient in zip(names, coefficients)
+                if abs(coefficient) > zero_epsilon
+            ]
+            names = [name for name, _ in kept]
+            coefficients = [coefficient for _, coefficient in kept]
+        return cls(target, tuple(names), tuple(coefficients), float(model.intercept))
+
+    # -- semantics -------------------------------------------------------------
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this transformation leaves the target unchanged."""
+        return (
+            self.feature_names == (self.target,)
+            and len(self.coefficients) == 1
+            and abs(self.coefficients[0] - 1.0) < _ZERO_EPSILON
+            and abs(self.intercept) < _ZERO_EPSILON
+        )
+
+    def apply(self, table: Table) -> np.ndarray:
+        """Predicted new target values for every row of the source ``table``."""
+        if not self.feature_names:
+            return np.full(table.num_rows, self.intercept, dtype=float)
+        matrix = table.numeric_matrix(list(self.feature_names))
+        return matrix @ np.asarray(self.coefficients, dtype=float) + self.intercept
+
+    def errors(self, source: Table, actual_new_values: np.ndarray) -> np.ndarray:
+        """Absolute errors of this transformation against the actual new values."""
+        return np.abs(self.apply(source) - np.asarray(actual_new_values, dtype=float))
+
+    # -- interpretability inputs ----------------------------------------------
+
+    @property
+    def complexity(self) -> int:
+        """Number of variables in the equation (plus one if an intercept is used)."""
+        variables = sum(1 for coefficient in self.coefficients if abs(coefficient) > _ZERO_EPSILON)
+        return variables + (1 if abs(self.intercept) > _ZERO_EPSILON else 0)
+
+    def normality(self) -> float:
+        """Mean normality of the non-trivial constants of the equation."""
+        constants = [
+            coefficient
+            for coefficient in self.coefficients
+            if abs(coefficient) > _ZERO_EPSILON and abs(coefficient - 1.0) > _ZERO_EPSILON
+        ]
+        if abs(self.intercept) > _ZERO_EPSILON:
+            constants.append(self.intercept)
+        return normality_of_values(constants)
+
+    # -- snapping ---------------------------------------------------------------
+
+    def snapped(
+        self,
+        accuracy_loss: Callable[["LinearTransformation"], float],
+        tolerance: float,
+        max_combinations: int = 256,
+    ) -> "LinearTransformation":
+        """Round coefficients to "normal" values when accuracy allows it.
+
+        ``accuracy_loss`` maps a candidate transformation to a non-negative
+        penalty (e.g. relative L1 error increase on the partition); candidates
+        whose penalty exceeds ``tolerance`` are rejected.  Each constant is
+        snapped greedily, most-normal candidate first, and the best combination
+        found within ``max_combinations`` trials is returned.
+        """
+        constants = list(self.coefficients) + [self.intercept]
+        options: list[list[float]] = []
+        for constant in constants:
+            candidates = [constant]
+            if constant != 0.0:
+                # dropping a negligible term entirely is the most interpretable snap
+                candidates.append(0.0)
+            candidates.extend(
+                candidate for candidate in snap_candidates(constant)
+                if value_normality(candidate) > value_normality(constant)
+            )
+            options.append(candidates[:6])
+        total = 1
+        for candidates in options:
+            total *= len(candidates)
+        if total > max_combinations:
+            # too many combinations to enumerate: snap one constant at a time
+            return self._greedy_snap(accuracy_loss, tolerance)
+        best = self
+        best_key = (-self.complexity, self.normality(), 0.0)
+        for combination in product(*options):
+            candidate = LinearTransformation(
+                self.target,
+                self.feature_names,
+                tuple(combination[:-1]),
+                combination[-1],
+            )
+            loss = accuracy_loss(candidate)
+            if loss > tolerance:
+                continue
+            # prefer fewer terms, then rounder constants, then smaller accuracy loss
+            key = (-candidate.complexity, candidate.normality(), -loss)
+            if key > best_key:
+                best = candidate
+                best_key = key
+        return best
+
+    def _greedy_snap(
+        self,
+        accuracy_loss: Callable[["LinearTransformation"], float],
+        tolerance: float,
+    ) -> "LinearTransformation":
+        current = self
+        constants = list(self.coefficients) + [self.intercept]
+        for index, constant in enumerate(constants):
+            candidates = [0.0] if constant != 0.0 else []
+            candidates += [
+                candidate for candidate in snap_candidates(constant)
+                if value_normality(candidate) > value_normality(constant)
+            ]
+            for candidate_value in candidates:
+                new_constants = list(current.coefficients) + [current.intercept]
+                new_constants[index] = candidate_value
+                candidate = LinearTransformation(
+                    current.target,
+                    current.feature_names,
+                    tuple(new_constants[:-1]),
+                    new_constants[-1],
+                )
+                if accuracy_loss(candidate) <= tolerance:
+                    current = candidate
+                    break
+        return current
+
+    # -- conversion / rendering --------------------------------------------------
+
+    def to_leaf_model(self) -> LeafModel:
+        """The :class:`~repro.ml.model_tree.LeafModel` equivalent of this transformation."""
+        return LeafModel(
+            self.feature_names,
+            self.coefficients,
+            self.intercept,
+            self.target,
+            is_identity=self.is_identity,
+        )
+
+    def __str__(self) -> str:
+        if self.is_identity:
+            return f"new_{self.target} = {self.target} (unchanged)"
+        terms = []
+        for name, coefficient in zip(self.feature_names, self.coefficients):
+            if abs(coefficient) <= _ZERO_EPSILON:
+                continue
+            terms.append(f"{coefficient:g} x {name}")
+        if abs(self.intercept) > _ZERO_EPSILON or not terms:
+            terms.append(f"{self.intercept:g}")
+        return f"new_{self.target} = " + " + ".join(terms).replace("+ -", "- ")

@@ -1,0 +1,25 @@
+"""Syntactic diff substrate: cell diffs, update distance, distribution drift.
+
+These are the lenses that *existing* tools offer on database change, which the
+paper argues are either too fine-grained (cell listings, edit scripts) or too
+coarse (distribution summaries) to reveal update semantics.  The reproduction
+implements them both as baselines for the benchmark suite and as general
+utilities for inspecting snapshot pairs.
+"""
+
+from repro.diff.cell_diff import AttributeDiff, CellChange, DiffReport, diff_snapshots
+from repro.diff.drift import AttributeDrift, DriftReport, drift_report
+from repro.diff.update_distance import UpdateDistance, batch_update_distance, update_distance
+
+__all__ = [
+    "CellChange",
+    "AttributeDiff",
+    "DiffReport",
+    "diff_snapshots",
+    "UpdateDistance",
+    "update_distance",
+    "batch_update_distance",
+    "AttributeDrift",
+    "DriftReport",
+    "drift_report",
+]

@@ -1,0 +1,38 @@
+"""Evaluation: recovery metrics and the experiment harness.
+
+* :mod:`~repro.evaluation.metrics` — adjusted Rand index, partition agreement,
+  cell accuracy, and semantic rule-recovery precision/recall against a known
+  ground-truth policy.
+* :mod:`~repro.evaluation.harness` — result tables and the runners shared by
+  the benchmark suite (method comparison, alpha sweep).
+"""
+
+from repro.evaluation.harness import (
+    ResultTable,
+    evaluate_summary,
+    run_alpha_sweep,
+    run_method_comparison,
+    standard_methods,
+)
+from repro.evaluation.metrics import (
+    RuleRecovery,
+    adjusted_rand_index,
+    cell_accuracy,
+    partition_agreement,
+    partition_labels,
+    rule_recovery,
+)
+
+__all__ = [
+    "ResultTable",
+    "evaluate_summary",
+    "run_method_comparison",
+    "run_alpha_sweep",
+    "standard_methods",
+    "RuleRecovery",
+    "adjusted_rand_index",
+    "cell_accuracy",
+    "partition_agreement",
+    "partition_labels",
+    "rule_recovery",
+]

@@ -1,0 +1,218 @@
+"""Experiment harness: run methods on workloads and tabulate the results.
+
+Every benchmark in ``benchmarks/`` ultimately calls one of the runners here
+and prints a :class:`ResultTable`, so the rows the paper-style experiments
+report (method, workload, score, accuracy, interpretability, recovery metrics,
+timings) come out of one place and look the same everywhere — in the
+benchmarks, in the examples, and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.baselines import (
+    exhaustive_summary,
+    global_regression_summary,
+    greedy_tree_summary,
+    uniform_percentage_summary,
+)
+from repro.core.charles import Charles
+from repro.core.config import CharlesConfig
+from repro.core.scoring import score_summary
+from repro.core.summary import ChangeSummary
+from repro.evaluation.metrics import cell_accuracy, partition_agreement, rule_recovery
+from repro.relational.snapshot import SnapshotPair
+from repro.workloads.policies import Policy
+
+__all__ = [
+    "ResultTable",
+    "evaluate_summary",
+    "standard_methods",
+    "run_method_comparison",
+    "run_alpha_sweep",
+]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of result rows with aligned-text / markdown rendering."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add(self, **values: Any) -> None:
+        """Append one result row (missing columns render as empty cells)."""
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def _format_cell(self, value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    def to_text(self) -> str:
+        """Fixed-width text rendering (used by benchmark output and examples)."""
+        header = [str(column) for column in self.columns]
+        body = [[self._format_cell(row.get(column)) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table rendering (used by EXPERIMENTS.md)."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(self._format_cell(row.get(column)) for column in self.columns) + " |"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def evaluate_summary(
+    summary: ChangeSummary,
+    pair: SnapshotPair,
+    policy: Policy | None = None,
+    config: CharlesConfig | None = None,
+) -> dict[str, float]:
+    """All scalar quality metrics of one summary on one pair (plus recovery if a policy is known)."""
+    config = config or CharlesConfig()
+    breakdown = score_summary(summary, pair, config)
+    metrics: dict[str, float] = {
+        "score": breakdown.score,
+        "accuracy": breakdown.accuracy,
+        "interpretability": breakdown.interpretability,
+        "num_rules": float(summary.size),
+        "cell_accuracy": cell_accuracy(summary, pair),
+    }
+    if policy is not None:
+        truth = policy.summary
+        recovery = rule_recovery(summary, truth, pair.source)
+        metrics["rule_recall"] = recovery.recall
+        metrics["rule_precision"] = recovery.precision
+        metrics["rule_f1"] = recovery.f1
+        metrics["partition_ari"] = partition_agreement(summary, truth, pair.source)
+    return metrics
+
+
+MethodFunction = Callable[[SnapshotPair], ChangeSummary]
+
+
+def standard_methods(
+    target: str,
+    condition_attributes: Sequence[str],
+    transformation_attributes: Sequence[str],
+    config: CharlesConfig | None = None,
+) -> dict[str, MethodFunction]:
+    """The method suite of the E5 comparison: ChARLES plus every baseline."""
+    config = config or CharlesConfig()
+
+    def run_charles(pair: SnapshotPair) -> ChangeSummary:
+        result = Charles(config).summarize_pair(
+            pair,
+            target,
+            condition_attributes=condition_attributes,
+            transformation_attributes=transformation_attributes,
+        )
+        return result.best.summary
+
+    return {
+        "charles": run_charles,
+        "global-regression": lambda pair: global_regression_summary(
+            pair, target, transformation_attributes, config
+        ),
+        "uniform-percentage": lambda pair: uniform_percentage_summary(pair, target),
+        "greedy-tree": lambda pair: greedy_tree_summary(
+            pair, target, condition_attributes, transformation_attributes, config
+        ),
+        "exhaustive-diff": lambda pair: exhaustive_summary(pair, target),
+    }
+
+
+def run_method_comparison(
+    pair: SnapshotPair,
+    policy: Policy,
+    methods: Mapping[str, MethodFunction],
+    config: CharlesConfig | None = None,
+    workload: str = "",
+) -> ResultTable:
+    """Run every method on one workload and tabulate quality + runtime."""
+    config = config or CharlesConfig()
+    columns = [
+        "workload", "method", "score", "accuracy", "interpretability", "num_rules",
+        "cell_accuracy", "rule_recall", "rule_precision", "partition_ari", "seconds",
+    ]
+    table = ResultTable(columns, title=f"Method comparison on {workload or policy.name}")
+    for name, method in methods.items():
+        started = time.perf_counter()
+        summary = method(pair)
+        elapsed = time.perf_counter() - started
+        metrics = evaluate_summary(summary, pair, policy, config)
+        table.add(workload=workload, method=name, seconds=elapsed, **metrics)
+    return table
+
+
+def run_alpha_sweep(
+    pair: SnapshotPair,
+    target: str,
+    alphas: Sequence[float],
+    condition_attributes: Sequence[str] | None = None,
+    transformation_attributes: Sequence[str] | None = None,
+    base_config: CharlesConfig | None = None,
+    policy: Policy | None = None,
+) -> ResultTable:
+    """Re-rank summaries under different alpha values (the E3 tradeoff curve).
+
+    For each alpha the engine is re-run (the ranking, snapping and selection
+    all depend on the score), and the table records the winning summary's
+    accuracy, interpretability and size — the curve the demo's step 6 lets a
+    user explore interactively.
+    """
+    base_config = base_config or CharlesConfig()
+    columns = ["alpha", "score", "accuracy", "interpretability", "num_rules", "rule_recall"]
+    table = ResultTable(columns, title=f"Alpha sweep on '{target}'")
+    for alpha in alphas:
+        config = base_config.replace(alpha=float(alpha))
+        result = Charles(config).summarize_pair(
+            pair,
+            target,
+            condition_attributes=condition_attributes,
+            transformation_attributes=transformation_attributes,
+        )
+        best = result.best
+        row = {
+            "alpha": float(alpha),
+            "score": best.breakdown.score,
+            "accuracy": best.breakdown.accuracy,
+            "interpretability": best.breakdown.interpretability,
+            "num_rules": float(best.summary.size),
+        }
+        if policy is not None:
+            row["rule_recall"] = rule_recovery(best.summary, policy.summary, pair.source).recall
+        table.add(**row)
+    return table

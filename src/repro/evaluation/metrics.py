@@ -1,0 +1,183 @@
+"""Recovery metrics: how much of a ground-truth policy did a summary recover?
+
+The synthetic workloads know the latent policy that produced the target
+snapshot, which lets the evaluation quantify recovery along three axes:
+
+* **cell accuracy** — what fraction of the changed cells does the summary
+  reconstruct (within a relative tolerance)?
+* **partition agreement** — do the summary's partitions coincide with the
+  policy's partitions?  Measured by the adjusted Rand index over the per-row
+  partition labels.
+* **rule recovery** — treating each ground-truth rule as a retrieval target,
+  how many are matched by some discovered rule (same rows, same effect)?
+  Reported as precision / recall / F1 over rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.summary import ChangeSummary
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+__all__ = [
+    "adjusted_rand_index",
+    "partition_labels",
+    "partition_agreement",
+    "cell_accuracy",
+    "RuleRecovery",
+    "rule_recovery",
+]
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index between two labelings of the same rows.
+
+    1.0 means identical partitions (up to label renaming); 0.0 is the expected
+    agreement of independent random partitions; negative values mean worse
+    than chance.
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError(f"label arrays differ in length: {labels_a.shape} vs {labels_b.shape}")
+    n = labels_a.size
+    if n == 0:
+        return 1.0
+    values_a = {value: i for i, value in enumerate(dict.fromkeys(labels_a.tolist()))}
+    values_b = {value: i for i, value in enumerate(dict.fromkeys(labels_b.tolist()))}
+    contingency = np.zeros((len(values_a), len(values_b)), dtype=float)
+    for a, b in zip(labels_a.tolist(), labels_b.tolist()):
+        contingency[values_a[a], values_b[b]] += 1.0
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1.0) / 2.0
+
+    sum_comb_cells = float(comb2(contingency).sum())
+    sum_comb_rows = float(comb2(contingency.sum(axis=1)).sum())
+    sum_comb_cols = float(comb2(contingency.sum(axis=0)).sum())
+    total_pairs = float(comb2(np.array([n], dtype=float))[0])
+    expected = sum_comb_rows * sum_comb_cols / total_pairs if total_pairs else 0.0
+    maximum = 0.5 * (sum_comb_rows + sum_comb_cols)
+    if maximum == expected:
+        return 1.0
+    return (sum_comb_cells - expected) / (maximum - expected)
+
+
+def partition_labels(summary: ChangeSummary, source: Table) -> np.ndarray:
+    """Per-row partition labels induced by a summary (fallback partition = -1)."""
+    labels = np.full(source.num_rows, -1, dtype=int)
+    for index, assignment in enumerate(summary.partition_assignments(source)):
+        if assignment.is_fallback:
+            continue
+        labels[assignment.mask] = index
+    return labels
+
+
+def partition_agreement(
+    found: ChangeSummary, truth: ChangeSummary, source: Table
+) -> float:
+    """Adjusted Rand index between the partitions of two summaries over ``source``."""
+    return adjusted_rand_index(partition_labels(found, source), partition_labels(truth, source))
+
+
+def cell_accuracy(
+    summary: ChangeSummary, pair: SnapshotPair, relative_tolerance: float = 0.005
+) -> float:
+    """Fraction of *changed* cells the summary reconstructs within tolerance."""
+    changed = pair.changed_mask(summary.target)
+    if not changed.any():
+        return 1.0
+    predictions = summary.apply(pair.source)[changed]
+    actual = pair.target.numeric_column(summary.target)[changed]
+    scale = np.maximum(np.abs(actual), 1e-9)
+    good = np.abs(predictions - actual) <= relative_tolerance * scale
+    good = good & ~np.isnan(predictions)
+    return float(good.mean())
+
+
+@dataclass(frozen=True)
+class RuleRecovery:
+    """Rule-level precision/recall of a discovered summary against a policy."""
+
+    matched_truth_rules: int
+    total_truth_rules: int
+    matched_found_rules: int
+    total_found_rules: int
+
+    @property
+    def recall(self) -> float:
+        """Share of ground-truth rules that some discovered rule reproduces."""
+        if self.total_truth_rules == 0:
+            return 1.0
+        return self.matched_truth_rules / self.total_truth_rules
+
+    @property
+    def precision(self) -> float:
+        """Share of discovered rules that reproduce some ground-truth rule."""
+        if self.total_found_rules == 0:
+            return 1.0 if self.total_truth_rules == 0 else 0.0
+        return self.matched_found_rules / self.total_found_rules
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def rule_recovery(
+    found: ChangeSummary,
+    truth: ChangeSummary,
+    source: Table,
+    row_overlap_threshold: float = 0.8,
+    value_tolerance: float = 0.01,
+) -> RuleRecovery:
+    """Match discovered rules to ground-truth rules semantically.
+
+    A found rule matches a truth rule when (1) the sets of rows each one
+    handles (under first-match semantics) overlap with Jaccard similarity at
+    least ``row_overlap_threshold``, and (2) on the rows both handle, their
+    predicted new values agree within ``value_tolerance`` (relative).  This is
+    deliberately insensitive to syntactic differences — ``exp >= 3`` and
+    ``exp >= 2`` match if they select the same employees and prescribe the
+    same raise.
+    """
+    found_assignments = [a for a in found.partition_assignments(source) if not a.is_fallback]
+    truth_assignments = [a for a in truth.partition_assignments(source) if not a.is_fallback]
+    matched_truth = 0
+    matched_found_indices: set[int] = set()
+    for truth_assignment in truth_assignments:
+        truth_mask = truth_assignment.mask
+        best_index = None
+        for index, found_assignment in enumerate(found_assignments):
+            found_mask = found_assignment.mask
+            union = float(np.sum(truth_mask | found_mask))
+            if union == 0:
+                continue
+            jaccard = float(np.sum(truth_mask & found_mask)) / union
+            if jaccard < row_overlap_threshold:
+                continue
+            both = truth_mask & found_mask
+            if not both.any():
+                continue
+            rows = source.mask(both)
+            truth_values = truth_assignment.conditional_transformation.transformation.apply(rows)
+            found_values = found_assignment.conditional_transformation.transformation.apply(rows)
+            scale = np.maximum(np.abs(truth_values), 1e-9)
+            if np.all(np.abs(found_values - truth_values) <= value_tolerance * scale):
+                best_index = index
+                break
+        if best_index is not None:
+            matched_truth += 1
+            matched_found_indices.add(best_index)
+    return RuleRecovery(
+        matched_truth_rules=matched_truth,
+        total_truth_rules=len(truth_assignments),
+        matched_found_rules=len(matched_found_indices),
+        total_found_rules=len(found_assignments),
+    )

@@ -1,0 +1,69 @@
+"""Machine-learning substrate: regression, clustering, association, model trees.
+
+Everything ChARLES learns from data is built on the primitives in this
+package, implemented from scratch on numpy:
+
+* :mod:`~repro.ml.linreg` — OLS/ridge linear regression and regression metrics.
+* :mod:`~repro.ml.kmeans` — k-means clustering with k-means++ initialisation.
+* :mod:`~repro.ml.scaling` — standard and min-max feature scaling.
+* :mod:`~repro.ml.encoding` — categorical encoders and whole-table encoding.
+* :mod:`~repro.ml.correlation` — Pearson/Spearman/eta/Cramér's V association.
+* :mod:`~repro.ml.model_tree` — the linear model tree output representation.
+"""
+
+from repro.ml.correlation import (
+    association,
+    association_with_target,
+    correlation_ratio,
+    cramers_v,
+    pearson,
+    spearman,
+)
+from repro.ml.encoding import OneHotEncoder, OrdinalEncoder, TableEncoder
+from repro.ml.kmeans import KMeans, KMeansResult, choose_k_by_elbow
+from repro.ml.linreg import (
+    LinearRegression,
+    RegressionMetrics,
+    fit_linear_model,
+    mean_absolute_error,
+    r_squared,
+    root_mean_squared_error,
+    total_absolute_error,
+)
+from repro.ml.model_tree import (
+    LeafModel,
+    LinearModelTree,
+    ModelTreeLeaf,
+    ModelTreeNode,
+    ModelTreeSplit,
+)
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "LinearRegression",
+    "RegressionMetrics",
+    "fit_linear_model",
+    "r_squared",
+    "mean_absolute_error",
+    "total_absolute_error",
+    "root_mean_squared_error",
+    "KMeans",
+    "KMeansResult",
+    "choose_k_by_elbow",
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "TableEncoder",
+    "pearson",
+    "spearman",
+    "correlation_ratio",
+    "cramers_v",
+    "association",
+    "association_with_target",
+    "LeafModel",
+    "LinearModelTree",
+    "ModelTreeNode",
+    "ModelTreeLeaf",
+    "ModelTreeSplit",
+]

@@ -1,0 +1,287 @@
+"""Schema definitions for the lightweight relational substrate.
+
+ChARLES operates on two snapshots of a relation with *identical schema*.  The
+classes here give the reproduction a typed, validated notion of that schema
+without depending on pandas: a :class:`Column` declares a name and a
+:class:`DType`, a :class:`Schema` is an ordered collection of columns with an
+optional primary key, and both know how to validate and coerce raw Python
+values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.exceptions import SchemaError
+
+__all__ = ["DType", "Column", "Schema"]
+
+
+class DType(str, Enum):
+    """Supported column data types.
+
+    The substrate intentionally supports only the types ChARLES needs:
+    integers and floats (numeric attributes that can be targets or appear in
+    transformations), strings and booleans (categorical attributes usable in
+    conditions).
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can participate in arithmetic."""
+        return self in (DType.INT, DType.FLOAT)
+
+    @property
+    def is_categorical(self) -> bool:
+        """Whether values of this type are treated as discrete categories."""
+        return self in (DType.STRING, DType.BOOL)
+
+
+_MISSING_STRINGS = {"", "na", "n/a", "nan", "null", "none"}
+
+
+def _coerce_int(value: Any) -> int | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if not value.is_integer():
+            raise ValueError(f"{value!r} is not an integer")
+        return int(value)
+    text = str(value).strip()
+    if text.lower() in _MISSING_STRINGS:
+        return None
+    return int(text.replace(",", ""))
+
+
+def _coerce_float(value: Any) -> float | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        result = float(value)
+        return None if math.isnan(result) else result
+    text = str(value).strip()
+    if text.lower() in _MISSING_STRINGS:
+        return None
+    text = text.replace(",", "").replace("$", "").replace("%", "")
+    return float(text)
+
+
+def _coerce_string(value: Any) -> str | None:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return None if value.strip().lower() in _MISSING_STRINGS else value
+    return str(value)
+
+
+_TRUE_STRINGS = {"true", "t", "yes", "y", "1"}
+_FALSE_STRINGS = {"false", "f", "no", "n", "0"}
+
+
+def _coerce_bool(value: Any) -> bool | None:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        if value in (0, 1):
+            return bool(value)
+        raise ValueError(f"{value!r} is not a boolean")
+    text = str(value).strip().lower()
+    if text in _MISSING_STRINGS:
+        return None
+    if text in _TRUE_STRINGS:
+        return True
+    if text in _FALSE_STRINGS:
+        return False
+    raise ValueError(f"{value!r} is not a boolean")
+
+
+_COERCERS = {
+    DType.INT: _coerce_int,
+    DType.FLOAT: _coerce_float,
+    DType.STRING: _coerce_string,
+    DType.BOOL: _coerce_bool,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be non-empty and unique within a :class:`Schema`.
+    dtype:
+        The declared :class:`DType` of the column.
+    nullable:
+        Whether missing values (``None``) are permitted.
+    """
+
+    name: str
+    dtype: DType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.dtype, DType):
+            try:
+                object.__setattr__(self, "dtype", DType(self.dtype))
+            except ValueError as exc:
+                raise SchemaError(f"unknown dtype {self.dtype!r}") from exc
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the column holds numeric values."""
+        return self.dtype.is_numeric
+
+    @property
+    def is_categorical(self) -> bool:
+        """Whether the column holds categorical values."""
+        return self.dtype.is_categorical
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this column's dtype.
+
+        Raises
+        ------
+        SchemaError
+            If the value cannot be represented in the declared dtype, or if it
+            is missing and the column is not nullable.
+        """
+        try:
+            coerced = _COERCERS[self.dtype](value)
+        except (ValueError, TypeError) as exc:
+            raise SchemaError(
+                f"value {value!r} is not valid for column {self.name!r} ({self.dtype.value})"
+            ) from exc
+        if coerced is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} is not nullable but got a missing value")
+        return coerced
+
+    def coerce_many(self, values: Iterable[Any]) -> list[Any]:
+        """Coerce every value in ``values``; see :meth:`coerce`."""
+        return [self.coerce(value) for value in values]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Column` objects with an optional key.
+
+    Parameters
+    ----------
+    columns:
+        The columns, in relation order.
+    primary_key:
+        Name of the column that identifies real-world entities across
+        snapshots.  ChARLES needs a key to align the source and target
+        versions row by row; if omitted, row position is used.
+    """
+
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+    _by_name: dict[str, Column] = field(init=False, repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        columns = tuple(self.columns)
+        object.__setattr__(self, "columns", columns)
+        names = [column.name for column in columns]
+        if len(names) != len(set(names)):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        if not columns:
+            raise SchemaError("a schema must contain at least one column")
+        object.__setattr__(self, "_by_name", {column.name: column for column in columns})
+        if self.primary_key is not None and self.primary_key not in self._by_name:
+            raise SchemaError(f"primary key {self.primary_key!r} is not a column")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, spec: dict[str, DType | str], primary_key: str | None = None) -> "Schema":
+        """Build a schema from a ``{name: dtype}`` mapping (insertion order kept)."""
+        columns = tuple(Column(name, DType(dtype)) for name, dtype in spec.items())
+        return cls(columns, primary_key=primary_key)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown column {name!r}; known: {self.names}") from exc
+
+    @property
+    def names(self) -> list[str]:
+        """All column names in relation order."""
+        return [column.name for column in self.columns]
+
+    @property
+    def numeric_names(self) -> list[str]:
+        """Names of numeric columns in relation order."""
+        return [column.name for column in self.columns if column.is_numeric]
+
+    @property
+    def categorical_names(self) -> list[str]:
+        """Names of categorical columns in relation order."""
+        return [column.name for column in self.columns if column.is_categorical]
+
+    # -- manipulation ---------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema keeping only ``names`` (in the given order)."""
+        columns = tuple(self.column(name) for name in names)
+        key = self.primary_key if self.primary_key in names else None
+        return Schema(columns, primary_key=key)
+
+    def with_column(self, column: Column) -> "Schema":
+        """A new schema with ``column`` appended (or replaced if the name exists)."""
+        if column.name in self._by_name:
+            columns = tuple(column if c.name == column.name else c for c in self.columns)
+        else:
+            columns = self.columns + (column,)
+        return Schema(columns, primary_key=self.primary_key)
+
+    def with_primary_key(self, name: str | None) -> "Schema":
+        """A copy of this schema with a different primary key."""
+        return Schema(self.columns, primary_key=name)
+
+    def equivalent_to(self, other: "Schema") -> bool:
+        """Whether both schemas have the same columns with the same dtypes.
+
+        Primary keys are allowed to differ; ChARLES only requires structural
+        equality of the attributes themselves.
+        """
+        if self.names != other.names:
+            return False
+        return all(
+            self.column(name).dtype == other.column(name).dtype for name in self.names
+        )

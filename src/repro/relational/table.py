@@ -1,0 +1,368 @@
+"""A small, typed, columnar in-memory table.
+
+The reproduction needs a relational substrate that can hold two snapshots of a
+dataset, slice them by predicates, extract numeric matrices for regression and
+clustering, and group rows by categorical attributes.  ``pandas`` is not
+available in this environment, so :class:`Table` provides exactly that surface
+on top of plain Python lists and numpy arrays, validated against a
+:class:`~repro.relational.schema.Schema`.
+
+Tables are immutable in spirit: every operation returns a new table and never
+mutates the receiver, which keeps snapshot comparison honest.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Column, DType, Schema
+
+__all__ = ["Table"]
+
+Row = dict[str, Any]
+
+
+def _infer_dtype(values: Sequence[Any]) -> DType:
+    """Infer the narrowest :class:`DType` able to hold ``values``."""
+    seen_float = False
+    seen_int = False
+    seen_bool = False
+    seen_str = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            seen_bool = True
+        elif isinstance(value, int):
+            seen_int = True
+        elif isinstance(value, float):
+            seen_float = True
+        else:
+            seen_str = True
+    if seen_str:
+        return DType.STRING
+    if seen_float:
+        return DType.FLOAT
+    if seen_int:
+        return DType.INT
+    if seen_bool:
+        return DType.BOOL
+    return DType.STRING
+
+
+@dataclass(frozen=True)
+class Table:
+    """An immutable, schema-validated columnar table.
+
+    Construct tables with :meth:`from_rows` or :meth:`from_columns`; the raw
+    constructor expects already-coerced column data.
+    """
+
+    schema: Schema
+    _columns: dict[str, list[Any]]
+
+    def __post_init__(self) -> None:
+        lengths = {name: len(values) for name, values in self._columns.items()}
+        if set(lengths) != set(self.schema.names):
+            raise SchemaError(
+                f"column data {sorted(lengths)} does not match schema {self.schema.names}"
+            )
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        schema: Schema | None = None,
+        primary_key: str | None = None,
+    ) -> "Table":
+        """Build a table from an iterable of ``{column: value}`` mappings.
+
+        If ``schema`` is omitted it is inferred from the data: column order is
+        taken from the first row and dtypes are the narrowest type that fits
+        every value.
+        """
+        materialised = [dict(row) for row in rows]
+        if schema is None:
+            if not materialised:
+                raise SchemaError("cannot infer a schema from zero rows")
+            names = list(materialised[0].keys())
+            columns = {name: [row.get(name) for row in materialised] for name in names}
+            schema = Schema(
+                tuple(Column(name, _infer_dtype(values)) for name, values in columns.items()),
+                primary_key=primary_key,
+            )
+        elif primary_key is not None:
+            schema = schema.with_primary_key(primary_key)
+        data: dict[str, list[Any]] = {}
+        for column in schema:
+            data[column.name] = column.coerce_many(
+                [row.get(column.name) for row in materialised]
+            )
+        return cls(schema, data)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, Sequence[Any]],
+        schema: Schema | None = None,
+        primary_key: str | None = None,
+    ) -> "Table":
+        """Build a table from a ``{column: values}`` mapping."""
+        columns = OrderedDict((name, list(values)) for name, values in columns.items())
+        if schema is None:
+            schema = Schema(
+                tuple(Column(name, _infer_dtype(values)) for name, values in columns.items()),
+                primary_key=primary_key,
+            )
+        elif primary_key is not None:
+            schema = schema.with_primary_key(primary_key)
+        data = {column.name: column.coerce_many(columns.get(column.name, [])) for column in schema}
+        return cls(schema, data)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A table with the given schema and zero rows."""
+        return cls(schema, {name: [] for name in schema.names})
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        first = next(iter(self._columns.values()), [])
+        return len(first)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self.schema)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in relation order."""
+        return self.schema.names
+
+    @property
+    def primary_key(self) -> str | None:
+        """Name of the primary-key column, if declared."""
+        return self.schema.primary_key
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.schema.names == other.schema.names and all(
+            self._columns[name] == other._columns[name] for name in self.schema.names
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass requires it; identity is fine
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Table({self.num_rows} rows × {self.num_columns} columns: {self.column_names})"
+
+    # -- access ---------------------------------------------------------------
+
+    def column(self, name: str) -> list[Any]:
+        """The values of column ``name`` as a new list."""
+        self.schema.column(name)
+        return list(self._columns[name])
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Column ``name`` as a float numpy array (missing values become NaN)."""
+        column = self.schema.column(name)
+        if not column.is_numeric:
+            raise SchemaError(f"column {name!r} is {column.dtype.value}, not numeric")
+        values = self._columns[name]
+        return np.array([np.nan if v is None else float(v) for v in values], dtype=float)
+
+    def numeric_matrix(self, names: Sequence[str]) -> np.ndarray:
+        """A ``(num_rows, len(names))`` float matrix of the given numeric columns."""
+        if not names:
+            return np.empty((self.num_rows, 0), dtype=float)
+        return np.column_stack([self.numeric_column(name) for name in names])
+
+    def row(self, index: int) -> Row:
+        """Row ``index`` as a ``{column: value}`` dict."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row index {index} out of range [0, {self.num_rows})")
+        return {name: self._columns[name][index] for name in self.schema.names}
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over rows as dicts."""
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    def to_rows(self) -> list[Row]:
+        """All rows as a list of dicts."""
+        return list(self.rows())
+
+    def head(self, n: int = 5) -> "Table":
+        """The first ``n`` rows."""
+        return self.take(range(min(n, self.num_rows)))
+
+    def key_values(self) -> list[Any]:
+        """The primary-key column values (or row indices when no key is set)."""
+        if self.primary_key is None:
+            return list(range(self.num_rows))
+        return self.column(self.primary_key)
+
+    def unique(self, name: str) -> list[Any]:
+        """Distinct non-missing values of column ``name`` in first-seen order."""
+        seen: dict[Any, None] = {}
+        for value in self._columns[self.schema.column(name).name]:
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    # -- transformation -------------------------------------------------------
+
+    def take(self, indices: Iterable[int]) -> "Table":
+        """A new table containing the rows at ``indices`` (in that order)."""
+        index_list = list(indices)
+        data = {
+            name: [self._columns[name][i] for i in index_list] for name in self.schema.names
+        }
+        return Table(self.schema, data)
+
+    def mask(self, mask: Sequence[bool] | np.ndarray) -> "Table":
+        """A new table with the rows where ``mask`` is true."""
+        mask_array = np.asarray(mask, dtype=bool)
+        if mask_array.shape != (self.num_rows,):
+            raise SchemaError(
+                f"mask length {mask_array.shape} does not match {self.num_rows} rows"
+            )
+        return self.take(np.nonzero(mask_array)[0].tolist())
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Rows for which ``predicate(row)`` is true."""
+        return self.take(i for i, row in enumerate(self.rows()) if predicate(row))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Keep only the given columns, in the given order."""
+        schema = self.schema.project(names)
+        return Table(schema, {name: list(self._columns[name]) for name in schema.names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Remove the given columns."""
+        keep = [name for name in self.schema.names if name not in set(names)]
+        return self.project(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns according to ``mapping`` (old name -> new name)."""
+        columns = tuple(
+            Column(mapping.get(c.name, c.name), c.dtype, c.nullable) for c in self.schema
+        )
+        key = self.schema.primary_key
+        schema = Schema(columns, primary_key=mapping.get(key, key) if key else None)
+        data = {
+            mapping.get(name, name): list(self._columns[name]) for name in self.schema.names
+        }
+        return Table(schema, data)
+
+    def with_column(
+        self, name: str, values: Sequence[Any], dtype: DType | None = None
+    ) -> "Table":
+        """A new table with column ``name`` added or replaced by ``values``."""
+        values = list(values)
+        if len(values) != self.num_rows:
+            raise SchemaError(
+                f"new column {name!r} has {len(values)} values for {self.num_rows} rows"
+            )
+        column = Column(name, dtype if dtype is not None else _infer_dtype(values))
+        schema = self.schema.with_column(column)
+        data = {n: list(self._columns[n]) for n in self.schema.names if n in schema.names}
+        data[name] = column.coerce_many(values)
+        return Table(schema, data)
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        """Rows sorted by column ``name`` (missing values last)."""
+        values = self.column(name)
+        order = sorted(
+            range(self.num_rows),
+            key=lambda i: (values[i] is None, values[i]),
+            reverse=descending,
+        )
+        return self.take(order)
+
+    def concat(self, other: "Table") -> "Table":
+        """Rows of ``self`` followed by rows of ``other`` (schemas must match)."""
+        if not self.schema.equivalent_to(other.schema):
+            raise SchemaError("cannot concatenate tables with different schemas")
+        data = {
+            name: list(self._columns[name]) + list(other._columns[name])
+            for name in self.schema.names
+        }
+        return Table(self.schema, data)
+
+    def group_by(self, names: Sequence[str]) -> dict[tuple[Any, ...], "Table"]:
+        """Group rows by the values of ``names``; returns ``{key tuple: sub-table}``."""
+        for name in names:
+            self.schema.column(name)
+        groups: dict[tuple[Any, ...], list[int]] = OrderedDict()
+        columns = [self._columns[name] for name in names]
+        for index in range(self.num_rows):
+            key = tuple(column[index] for column in columns)
+            groups.setdefault(key, []).append(index)
+        return {key: self.take(indices) for key, indices in groups.items()}
+
+    def join(self, other: "Table", on: str, suffix: str = "_right") -> "Table":
+        """Inner equi-join on column ``on``; clashing right columns get ``suffix``."""
+        self.schema.column(on)
+        other.schema.column(on)
+        right_index: dict[Any, list[int]] = {}
+        for i, value in enumerate(other._columns[on]):
+            right_index.setdefault(value, []).append(i)
+        out_rows: list[Row] = []
+        for row in self.rows():
+            for j in right_index.get(row[on], []):
+                other_row = other.row(j)
+                merged = dict(row)
+                for name, value in other_row.items():
+                    if name == on:
+                        continue
+                    merged[name + suffix if name in row else name] = value
+                out_rows.append(merged)
+        if not out_rows:
+            names = list(self.column_names)
+            for name in other.column_names:
+                if name == on:
+                    continue
+                names.append(name + suffix if name in names else name)
+            return Table.empty(Schema.of({name: DType.STRING for name in names}))
+        return Table.from_rows(out_rows, primary_key=self.primary_key)
+
+    # -- summaries ------------------------------------------------------------
+
+    def describe(self, name: str) -> dict[str, float]:
+        """Summary statistics for a numeric column (count, mean, std, min, max)."""
+        values = self.numeric_column(name)
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            return {"count": 0, "mean": float("nan"), "std": float("nan"),
+                    "min": float("nan"), "max": float("nan")}
+        return {
+            "count": int(values.size),
+            "mean": float(np.mean(values)),
+            "std": float(np.std(values)),
+            "min": float(np.min(values)),
+            "max": float(np.max(values)),
+        }
+
+    def value_counts(self, name: str) -> dict[Any, int]:
+        """Occurrence counts of each distinct value of column ``name``."""
+        counts: dict[Any, int] = OrderedDict()
+        for value in self._columns[self.schema.column(name).name]:
+            counts[value] = counts.get(value, 0) + 1
+        return counts

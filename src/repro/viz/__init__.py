@@ -1,0 +1,18 @@
+"""Text visualisations of summaries: model trees, partition treemaps, reports.
+
+These are the library equivalents of the demo GUI's output panes: Fig. 2's
+linear model tree (:mod:`~repro.viz.tree_render`), Fig. 4 step 10's partition
+rectangles (:mod:`~repro.viz.treemap`), and a full markdown report
+(:mod:`~repro.viz.report`).
+"""
+
+from repro.viz.report import result_to_markdown
+from repro.viz.tree_render import render_model_tree, render_summary_tree
+from repro.viz.treemap import render_partition_treemap
+
+__all__ = [
+    "render_model_tree",
+    "render_summary_tree",
+    "render_partition_treemap",
+    "result_to_markdown",
+]

@@ -1,0 +1,77 @@
+"""Markdown reports of ChARLES results (the library's stand-in for the demo GUI).
+
+:func:`result_to_markdown` turns a :class:`~repro.core.charles.CharlesResult`
+into a self-contained markdown document: the attribute shortlists of the setup
+assistant, the ranked summary list with per-component scores (Fig. 4, step 8),
+and — for the top summaries — the linear model tree and the partition treemap
+(steps 9–10).  Examples write these reports to disk; the CLI prints them.
+"""
+
+from __future__ import annotations
+
+from repro.core.charles import CharlesResult
+from repro.viz.tree_render import render_summary_tree
+from repro.viz.treemap import render_partition_treemap
+
+__all__ = ["result_to_markdown"]
+
+
+def result_to_markdown(result: CharlesResult, detailed_top: int = 3) -> str:
+    """Render a full result as markdown.
+
+    Parameters
+    ----------
+    result:
+        The output of :meth:`Charles.summarize`.
+    detailed_top:
+        How many of the top summaries get the detailed tree + treemap section.
+    """
+    lines = [
+        f"# ChARLES change summaries — target `{result.target}`",
+        "",
+        f"*{result.pair.num_rows} aligned rows; "
+        f"{result.total_candidates} candidate summaries generated; "
+        f"showing the top {len(result.summaries)}.*",
+        "",
+        "## Setup assistant",
+        "",
+        "| role | attribute | association | selected |",
+        "|---|---|---|---|",
+    ]
+    for suggestion in result.suggestions.condition_candidates:
+        lines.append(
+            f"| condition | {suggestion.attribute} | {suggestion.association:.3f} | "
+            f"{'yes' if suggestion.selected else ''} |"
+        )
+    for suggestion in result.suggestions.transformation_candidates:
+        lines.append(
+            f"| transformation | {suggestion.attribute} | {suggestion.association:.3f} | "
+            f"{'yes' if suggestion.selected else ''} |"
+        )
+    lines += [
+        "",
+        "## Ranked summaries",
+        "",
+        "| rank | score | accuracy | interpretability | rules | summary |",
+        "|---|---|---|---|---|---|",
+    ]
+    for rank, scored in enumerate(result.summaries, start=1):
+        rules = "; ".join(str(ct) for ct in scored.summary.conditional_transformations) or "(no change)"
+        lines.append(
+            f"| {rank} | {scored.breakdown.score:.3f} | {scored.breakdown.accuracy:.3f} | "
+            f"{scored.breakdown.interpretability:.3f} | {scored.summary.size} | {rules} |"
+        )
+    for rank, scored in enumerate(result.summaries[:detailed_top], start=1):
+        lines += [
+            "",
+            f"## Summary #{rank} in detail",
+            "",
+            "```",
+            scored.summary.describe(),
+            "",
+            render_summary_tree(scored.summary),
+            "",
+            render_partition_treemap(scored.summary, result.pair),
+            "```",
+        ]
+    return "\n".join(lines) + "\n"

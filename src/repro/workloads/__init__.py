@@ -1,0 +1,60 @@
+"""Synthetic workloads with known ground-truth update policies.
+
+Because the paper's real datasets (Montgomery County payroll, Forbes
+billionaires) are external downloads, the reproduction generates synthetic
+equivalents whose *latent update policies are known by construction*
+(:class:`~repro.workloads.policies.Policy`).  That turns every experiment into
+a measurable recovery task: evolve a source snapshot with a policy, hand the
+pair to ChARLES or a baseline, and compare what comes back against the policy.
+
+* :mod:`~repro.workloads.employee` — the paper's Example 1 (exact Fig. 1 data
+  and a parametric generator).
+* :mod:`~repro.workloads.montgomery` — synthetic county payroll, 8-attribute
+  demo schema, cost-of-living policies.
+* :mod:`~repro.workloads.billionaires` — synthetic wealth list, market-year
+  policy.
+"""
+
+from repro.workloads.billionaires import (
+    BILLIONAIRES_SCHEMA,
+    billionaires_pair,
+    generate_billionaires,
+    wealth_policy,
+)
+from repro.workloads.employee import (
+    bonus_policy,
+    employee_pair,
+    example_pair,
+    example_policy,
+    example_snapshots,
+    generate_employees,
+)
+from repro.workloads.montgomery import (
+    MONTGOMERY_SCHEMA,
+    cola_policy,
+    generate_montgomery_payroll,
+    montgomery_pair,
+    overtime_policy,
+)
+from repro.workloads.policies import Policy, apply_policy, evolve_pair
+
+__all__ = [
+    "Policy",
+    "apply_policy",
+    "evolve_pair",
+    "example_snapshots",
+    "example_pair",
+    "example_policy",
+    "generate_employees",
+    "bonus_policy",
+    "employee_pair",
+    "MONTGOMERY_SCHEMA",
+    "generate_montgomery_payroll",
+    "cola_policy",
+    "overtime_policy",
+    "montgomery_pair",
+    "BILLIONAIRES_SCHEMA",
+    "generate_billionaires",
+    "wealth_policy",
+    "billionaires_pair",
+]

@@ -1,0 +1,133 @@
+"""A synthetic stand-in for the Forbes World's Billionaires list.
+
+The demo mentions making "additional datasets" available, citing the Forbes
+billionaires list.  The real list is an external web resource, so this module
+generates a synthetic equivalent: one row per individual with net worth, age,
+industry, country and a self-made flag, plus a year-over-year wealth-evolution
+policy whose effect depends on industry and age — a second, non-payroll domain
+on which ChARLES's recovered summaries can be demonstrated and benchmarked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.transformation import LinearTransformation
+from repro.relational.schema import DType, Schema
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.workloads.generators import make_rng, sample_categorical, sequential_ids
+from repro.workloads.policies import Policy, evolve_pair
+
+__all__ = [
+    "BILLIONAIRES_SCHEMA",
+    "generate_billionaires",
+    "wealth_policy",
+    "billionaires_pair",
+]
+
+_INDUSTRIES = (
+    ("Technology", 0.22, 4.5),
+    ("Finance", 0.18, 3.2),
+    ("Retail", 0.14, 2.8),
+    ("Manufacturing", 0.14, 2.5),
+    ("Energy", 0.10, 3.0),
+    ("Healthcare", 0.12, 3.4),
+    ("Real Estate", 0.10, 2.6),
+)
+
+_COUNTRIES = ("United States", "China", "Germany", "India", "Russia", "Brazil", "France", "Japan")
+
+BILLIONAIRES_SCHEMA = Schema.of(
+    {
+        "person_id": DType.STRING,
+        "industry": DType.STRING,
+        "country": DType.STRING,
+        "self_made": DType.BOOL,
+        "age": DType.INT,
+        "net_worth": DType.FLOAT,
+    },
+    primary_key="person_id",
+)
+
+
+def generate_billionaires(num_rows: int, seed: int | np.random.Generator = 0) -> Table:
+    """A synthetic billionaires list (net worth in billions of dollars)."""
+    rng = make_rng(seed)
+    names = [industry for industry, _, _ in _INDUSTRIES]
+    weights = [weight for _, weight, _ in _INDUSTRIES]
+    medians = {industry: median for industry, _, median in _INDUSTRIES}
+    industries = sample_categorical(rng, names, num_rows, weights=weights)
+    countries = sample_categorical(
+        rng, _COUNTRIES, num_rows, weights=(0.3, 0.22, 0.08, 0.12, 0.07, 0.05, 0.08, 0.08)
+    )
+    ages = rng.integers(30, 95, size=num_rows)
+    self_made = rng.random(num_rows) < 0.68
+    rows = []
+    for index, person in enumerate(sequential_ids("B", num_rows)):
+        industry = industries[index]
+        net_worth = float(np.round(rng.lognormal(np.log(medians[industry]), 0.7), 1))
+        rows.append(
+            {
+                "person_id": person,
+                "industry": industry,
+                "country": countries[index],
+                "self_made": bool(self_made[index]),
+                "age": int(ages[index]),
+                "net_worth": max(1.0, net_worth),
+            }
+        )
+    return Table.from_rows(rows, schema=BILLIONAIRES_SCHEMA)
+
+
+def wealth_policy() -> Policy:
+    """Year-over-year wealth evolution: a tech boom, an energy correction.
+
+    Technology fortunes grow 18%; energy fortunes shrink 8%; everyone else
+    drifts up 4%.  The policy is expressed over the previous year's net worth
+    only, so recovering it requires finding the industry partitions.
+    """
+    return Policy.from_rules(
+        name="market year",
+        target="net_worth",
+        description="tech boom (+18%), energy correction (-8%), broad market +4%",
+        rules=[
+            (
+                Condition.of(Descriptor.equals("industry", "Technology")),
+                LinearTransformation("net_worth", ("net_worth",), (1.18,), 0.0),
+            ),
+            (
+                Condition.of(Descriptor.equals("industry", "Energy")),
+                LinearTransformation("net_worth", ("net_worth",), (0.92,), 0.0),
+            ),
+            (
+                Condition.always(),
+                LinearTransformation("net_worth", ("net_worth",), (1.04,), 0.0),
+            ),
+        ],
+    )
+
+
+def billionaires_pair(
+    num_rows: int,
+    seed: int = 0,
+    noise_fraction: float = 0.0,
+    noise_scale: float = 0.05,
+    policy: Policy | None = None,
+) -> SnapshotPair:
+    """A generated billionaires list evolved by the market-year policy."""
+    source = generate_billionaires(num_rows, seed=seed)
+    policy = policy or wealth_policy()
+    # net worth is in billions, so keep four decimals (hundreds of thousands of
+    # dollars): coarser rounding would swamp the small relative changes of the
+    # low end of the list and make the latent policy unrecoverable by design
+    return evolve_pair(
+        source,
+        policy,
+        noise_fraction=noise_fraction,
+        noise_scale=noise_scale,
+        rounding=4,
+        seed=seed + 1,
+        extra_updates={"age": LinearTransformation.constant_shift("age", 1.0)},
+    )

@@ -1,0 +1,69 @@
+"""Shared random-generation helpers for the synthetic workloads.
+
+The workload generators (employee, Montgomery payroll, billionaires) need the
+same small toolbox: weighted categorical sampling, plausibly-distributed
+salaries and wealth figures, value rounding to payroll-like precision, and
+stable synthetic identifiers.  Centralising these here keeps the individual
+generators short and their distributions consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "make_rng",
+    "sample_categorical",
+    "lognormal_amounts",
+    "round_to",
+    "sequential_ids",
+]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """A numpy random generator from a seed (pass-through for existing generators)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def sample_categorical(
+    rng: np.random.Generator,
+    values: Sequence[str],
+    size: int,
+    weights: Sequence[float] | None = None,
+) -> list[str]:
+    """Sample ``size`` values from ``values`` with optional (unnormalised) weights."""
+    if weights is None:
+        probabilities = None
+    else:
+        weights_array = np.asarray(weights, dtype=float)
+        probabilities = weights_array / weights_array.sum()
+    choices = rng.choice(len(values), size=size, p=probabilities)
+    return [values[int(index)] for index in choices]
+
+
+def lognormal_amounts(
+    rng: np.random.Generator,
+    size: int,
+    median: float,
+    sigma: float = 0.3,
+    minimum: float = 0.0,
+) -> np.ndarray:
+    """Positively-skewed amounts (salaries, overtime, net worth) with a given median."""
+    values = rng.lognormal(mean=np.log(max(median, 1e-9)), sigma=sigma, size=size)
+    return np.maximum(values, minimum)
+
+
+def round_to(values: np.ndarray, step: float) -> np.ndarray:
+    """Round each value to the nearest multiple of ``step`` (e.g. 100 for salaries)."""
+    if step <= 0:
+        return np.asarray(values, dtype=float)
+    return np.round(np.asarray(values, dtype=float) / step) * step
+
+
+def sequential_ids(prefix: str, count: int, width: int = 6) -> list[str]:
+    """Stable synthetic identifiers: ``E000001``, ``E000002``, ..."""
+    return [f"{prefix}{index:0{width}d}" for index in range(1, count + 1)]

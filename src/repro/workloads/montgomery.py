@@ -1,0 +1,166 @@
+"""A synthetic stand-in for the Montgomery County, MD employee-salary dataset.
+
+The paper demonstrates ChARLES on "salary information for all active,
+permanent employees of Montgomery County, MD for the years 2016 and 2017",
+with 8 attributes: Department, Department Name, Division, Gender, Base Salary,
+Overtime Pay, Longevity Pay, and Grade.  That dataset is an external download
+(data.montgomerycountymd.gov) and is not redistributable here, so this module
+generates a synthetic payroll with the same schema, realistic magnitudes, and
+a configurable county-wide pay policy — preserving exactly the properties the
+demo exercises: a mixed categorical/numeric schema, tens of thousands of rows,
+and changes driven by latent department/grade-dependent rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.transformation import LinearTransformation
+from repro.relational.schema import DType, Schema
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.workloads.generators import make_rng, round_to, sample_categorical, sequential_ids
+from repro.workloads.policies import Policy, evolve_pair
+
+__all__ = [
+    "MONTGOMERY_SCHEMA",
+    "generate_montgomery_payroll",
+    "cola_policy",
+    "overtime_policy",
+    "montgomery_pair",
+]
+
+# (code, name, division pool, salary median, headcount weight)
+_DEPARTMENTS = (
+    ("POL", "Police", ("Patrol", "Investigations", "Traffic"), 82_000.0, 0.24),
+    ("FRS", "Fire and Rescue", ("Operations", "EMS", "Prevention"), 78_000.0, 0.18),
+    ("HHS", "Health and Human Services", ("Public Health", "Children Services", "Aging"), 64_000.0, 0.16),
+    ("DOT", "Transportation", ("Highway", "Transit", "Parking"), 60_000.0, 0.12),
+    ("LIB", "Public Libraries", ("Branches", "Collections"), 52_000.0, 0.08),
+    ("FIN", "Finance", ("Treasury", "Accounts"), 70_000.0, 0.07),
+    ("REC", "Recreation", ("Aquatics", "Programs"), 48_000.0, 0.08),
+    ("TEC", "Technology Services", ("Infrastructure", "Applications"), 86_000.0, 0.07),
+)
+
+MONTGOMERY_SCHEMA = Schema.of(
+    {
+        "employee_id": DType.STRING,
+        "department": DType.STRING,
+        "department_name": DType.STRING,
+        "division": DType.STRING,
+        "gender": DType.STRING,
+        "grade": DType.INT,
+        "base_salary": DType.FLOAT,
+        "overtime_pay": DType.FLOAT,
+        "longevity_pay": DType.FLOAT,
+    },
+    primary_key="employee_id",
+)
+
+
+def generate_montgomery_payroll(num_rows: int, seed: int | np.random.Generator = 0) -> Table:
+    """A synthetic county payroll snapshot with the 8-attribute demo schema."""
+    rng = make_rng(seed)
+    codes = [d[0] for d in _DEPARTMENTS]
+    weights = [d[4] for d in _DEPARTMENTS]
+    by_code = {d[0]: d for d in _DEPARTMENTS}
+    departments = sample_categorical(rng, codes, num_rows, weights=weights)
+    genders = sample_categorical(rng, ("F", "M"), num_rows, weights=(0.46, 0.54))
+    grades = rng.integers(10, 36, size=num_rows)
+    rows = []
+    identifiers = sequential_ids("M", num_rows)
+    for index in range(num_rows):
+        code = departments[index]
+        _, name, divisions, salary_median, _ = by_code[code]
+        division = divisions[int(rng.integers(0, len(divisions)))]
+        grade = int(grades[index])
+        base_salary = salary_median * (0.6 + 0.025 * (grade - 10))
+        base_salary *= float(rng.lognormal(0.0, 0.08))
+        base_salary = float(round_to(np.array([base_salary]), 100.0)[0])
+        # overtime is heavy in public-safety departments, light elsewhere
+        overtime_median = 9_000.0 if code in ("POL", "FRS") else 1_500.0
+        overtime = float(np.round(rng.lognormal(np.log(overtime_median), 0.5), 2))
+        years_of_service = int(rng.integers(0, 30))
+        longevity = 0.0 if years_of_service < 10 else round(150.0 * years_of_service, 2)
+        rows.append(
+            {
+                "employee_id": identifiers[index],
+                "department": code,
+                "department_name": name,
+                "division": division,
+                "gender": genders[index],
+                "grade": grade,
+                "base_salary": base_salary,
+                "overtime_pay": overtime,
+                "longevity_pay": longevity,
+            }
+        )
+    return Table.from_rows(rows, schema=MONTGOMERY_SCHEMA)
+
+
+def cola_policy() -> Policy:
+    """A county-wide cost-of-living / union-agreement adjustment on base salary.
+
+    Public-safety departments (police, fire) negotiated a higher raise plus a
+    step bonus; senior-grade employees elsewhere get a slightly larger raise
+    than junior grades.  This mirrors the kind of latent policy the demo is
+    meant to surface from the Montgomery data.
+    """
+    return Policy.from_rules(
+        name="FY2017 cost-of-living adjustment",
+        target="base_salary",
+        description="public-safety union raise; grade-dependent general raise",
+        rules=[
+            (
+                Condition.of(Descriptor.in_set("department", ("POL", "FRS"))),
+                LinearTransformation("base_salary", ("base_salary",), (1.035,), 1500.0),
+            ),
+            (
+                Condition.of(Descriptor.at_least("grade", 25)),
+                LinearTransformation("base_salary", ("base_salary",), (1.02,), 1000.0),
+            ),
+            (
+                Condition.of(Descriptor.less_than("grade", 25)),
+                LinearTransformation("base_salary", ("base_salary",), (1.015,), 500.0),
+            ),
+        ],
+    )
+
+
+def overtime_policy() -> Policy:
+    """A second target attribute: overtime budgets cut outside public safety."""
+    return Policy.from_rules(
+        name="FY2017 overtime budget",
+        target="overtime_pay",
+        description="overtime preserved for police/fire, reduced 20% elsewhere",
+        rules=[
+            (
+                Condition.of(Descriptor.in_set("department", ("POL", "FRS"))),
+                LinearTransformation("overtime_pay", ("overtime_pay",), (1.05,), 0.0),
+            ),
+            (
+                Condition.always(),
+                LinearTransformation("overtime_pay", ("overtime_pay",), (0.8,), 0.0),
+            ),
+        ],
+    )
+
+
+def montgomery_pair(
+    num_rows: int,
+    seed: int = 0,
+    noise_fraction: float = 0.0,
+    noise_scale: float = 0.01,
+    policy: Policy | None = None,
+) -> SnapshotPair:
+    """A generated county payroll evolved by the cost-of-living policy."""
+    source = generate_montgomery_payroll(num_rows, seed=seed)
+    policy = policy or cola_policy()
+    return evolve_pair(
+        source,
+        policy,
+        noise_fraction=noise_fraction,
+        noise_scale=noise_scale,
+        seed=seed + 1,
+    )

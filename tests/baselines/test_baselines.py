@@ -1,0 +1,138 @@
+"""Unit tests for the baseline summarisers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PARTITION_STRATEGIES,
+    ablation_summary,
+    exhaustive_summary,
+    global_regression_summary,
+    greedy_tree_summary,
+    label_changed_rows,
+    uniform_percentage_summary,
+)
+from repro.core import CharlesConfig, score_summary
+from repro.exceptions import ConfigurationError, DiscoveryError
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+
+class TestExhaustiveBaseline:
+    def test_one_rule_per_changed_row(self, fig1_pair):
+        summary = exhaustive_summary(fig1_pair, "bonus")
+        assert summary.size == 7
+        assert score_summary(summary, fig1_pair).accuracy == pytest.approx(1.0)
+
+    def test_interpretability_lower_than_charles(self, fig1_pair, fig1_result, default_config):
+        exhaustive = score_summary(exhaustive_summary(fig1_pair, "bonus"), fig1_pair, default_config)
+        assert exhaustive.interpretability < fig1_result.best.breakdown.interpretability
+
+    def test_requires_key(self, fig1_tables):
+        source, target = fig1_tables
+        keyless = SnapshotPair.align(
+            Table.from_rows(source.to_rows()), Table.from_rows(target.to_rows())
+        )
+        with pytest.raises(DiscoveryError):
+            exhaustive_summary(keyless, "bonus")
+
+    def test_non_numeric_target_rejected(self, fig1_pair):
+        with pytest.raises(DiscoveryError):
+            exhaustive_summary(fig1_pair, "edu")
+
+
+class TestGlobalRegressionBaseline:
+    def test_single_trivial_condition_rule(self, fig1_pair):
+        summary = global_regression_summary(fig1_pair, "bonus", ["bonus", "salary"])
+        assert summary.size == 1
+        assert summary.conditional_transformations[0].condition.is_trivial
+
+    def test_accuracy_between_nothing_and_charles(self, fig1_pair, fig1_result):
+        breakdown = score_summary(
+            global_regression_summary(fig1_pair, "bonus", ["bonus"]), fig1_pair
+        )
+        assert 0.0 < breakdown.accuracy < fig1_result.best.breakdown.accuracy
+
+    def test_changed_rows_only_variant(self, fig1_pair):
+        summary = global_regression_summary(
+            fig1_pair, "bonus", ["bonus"], changed_rows_only=True
+        )
+        assert summary.size == 1
+
+    def test_no_change_produces_empty_summary(self, fig1_tables):
+        source, _ = fig1_tables
+        pair = SnapshotPair.align(source, source)
+        assert global_regression_summary(pair, "bonus", ["bonus"], changed_rows_only=True).size == 0
+
+    def test_requires_numeric_attributes(self, fig1_pair):
+        with pytest.raises(DiscoveryError):
+            global_regression_summary(fig1_pair, "bonus", ["edu"])
+
+    def test_uniform_percentage_is_r4(self, fig1_pair):
+        summary = uniform_percentage_summary(fig1_pair, "bonus")
+        assert summary.size == 1
+        transformation = summary.conditional_transformations[0].transformation
+        # "everyone receives about 6% increase on last year's bonus"
+        assert transformation.feature_names == ("bonus",)
+        assert 1.04 <= transformation.coefficients[0] <= 1.12
+
+
+class TestGreedyTreeBaseline:
+    def test_recovers_structure_on_generated_data(self, employee_200):
+        summary = greedy_tree_summary(
+            employee_200, "bonus", ["edu", "exp"], ["bonus"], max_depth=3
+        )
+        breakdown = score_summary(summary, employee_200)
+        assert breakdown.accuracy > 0.9
+        assert 1 <= summary.size <= 8
+
+    def test_max_depth_bounds_rule_count(self, employee_200):
+        shallow = greedy_tree_summary(employee_200, "bonus", ["edu", "exp"], ["bonus"], max_depth=1)
+        assert shallow.size <= 2
+
+    def test_non_numeric_target_rejected(self, fig1_pair):
+        with pytest.raises(DiscoveryError):
+            greedy_tree_summary(fig1_pair, "edu", ["exp"], ["salary"])
+
+    def test_handles_numeric_condition_attributes(self, montgomery_400):
+        summary = greedy_tree_summary(
+            montgomery_400, "base_salary", ["grade", "department"], ["base_salary"]
+        )
+        assert score_summary(summary, montgomery_400).accuracy > 0.5
+
+
+class TestPartitionAblation:
+    def test_labels_have_one_entry_per_changed_row(self, fig1_pair):
+        for strategy in PARTITION_STRATEGIES:
+            labels = label_changed_rows(
+                fig1_pair, "bonus", ["edu", "exp"], ["bonus"], 3, strategy
+            )
+            assert labels.shape == (7,)
+            assert labels.min() >= 0
+
+    def test_unknown_strategy_rejected(self, fig1_pair):
+        with pytest.raises(ConfigurationError):
+            label_changed_rows(fig1_pair, "bonus", ["edu"], ["bonus"], 3, "magic")
+
+    def test_charles_strategy_beats_random_on_average(self, employee_200):
+        config = CharlesConfig()
+        scores = {}
+        for strategy in ("charles", "random"):
+            summary = ablation_summary(
+                employee_200, "bonus", ["edu", "exp"], ["bonus"], 3, strategy, config
+            )
+            scores[strategy] = score_summary(summary, employee_200, config).accuracy
+        assert scores["charles"] >= scores["random"]
+
+    def test_every_strategy_produces_a_summary(self, employee_200):
+        for strategy in PARTITION_STRATEGIES:
+            summary = ablation_summary(
+                employee_200, "bonus", ["edu", "exp"], ["bonus"], 3, strategy
+            )
+            assert summary.target == "bonus"
+
+    def test_no_change_gives_empty_labels(self, fig1_tables):
+        source, _ = fig1_tables
+        pair = SnapshotPair.align(source, source)
+        labels = label_changed_rows(pair, "bonus", ["edu"], ["bonus"], 3, "charles")
+        assert labels.size == 0

@@ -1,0 +1,111 @@
+"""Unit tests for descriptors and conditions."""
+
+import pytest
+
+from repro.core.condition import Condition, Descriptor, DescriptorKind
+from repro.exceptions import ConfigurationError
+
+
+class TestDescriptor:
+    def test_equals_on_categorical(self, fig1_tables):
+        source, _ = fig1_tables
+        descriptor = Descriptor.equals("edu", "PhD")
+        assert descriptor.mask(source).sum() == 3
+        assert str(descriptor) == "edu = 'PhD'"
+
+    def test_not_equals(self, fig1_tables):
+        source, _ = fig1_tables
+        assert Descriptor.not_equals("edu", "PhD").mask(source).sum() == 6
+
+    def test_threshold_descriptors(self, fig1_tables):
+        source, _ = fig1_tables
+        # 2016 experience values: 2, 3, 5, 1, 2, 4, 3, 4, 1
+        assert Descriptor.at_least("exp", 3).mask(source).sum() == 5
+        assert Descriptor.less_than("exp", 3).mask(source).sum() == 4
+
+    def test_between_inclusive(self, fig1_tables):
+        source, _ = fig1_tables
+        descriptor = Descriptor.between("salary", 120000, 160000)
+        assert descriptor.mask(source).sum() == 5
+
+    def test_between_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Descriptor.between("salary", 10, 5)
+
+    def test_in_set_and_not_in_set(self, fig1_tables):
+        source, _ = fig1_tables
+        assert Descriptor.in_set("edu", ["MS", "PhD"]).mask(source).sum() == 7
+        assert Descriptor.not_in_set("edu", ["MS", "PhD"]).mask(source).sum() == 2
+
+    def test_in_set_requires_values(self):
+        with pytest.raises(ConfigurationError):
+            Descriptor.in_set("edu", [])
+        with pytest.raises(ConfigurationError):
+            Descriptor.not_in_set("edu", [])
+
+    def test_numeric_constants_and_normality(self):
+        assert Descriptor.at_least("exp", 3).numeric_constants == [3.0]
+        assert Descriptor.equals("edu", "PhD").numeric_constants == []
+        assert Descriptor.at_least("exp", 3).normality() == 1.0
+        assert Descriptor.at_least("exp", 3).normality() > Descriptor.at_least("exp", 3.2971).normality()
+
+    def test_kind_enum_round_trip(self):
+        assert Descriptor.equals("a", 1).kind is DescriptorKind.EQUALS
+        assert Descriptor.between("a", 1, 2).kind is DescriptorKind.BETWEEN
+
+    def test_string_rendering_variants(self):
+        assert str(Descriptor.less_than("exp", 3)) == "exp < 3"
+        assert str(Descriptor.between("exp", 1, 3)) == "exp in [1, 3]"
+        assert "not in" in str(Descriptor.not_in_set("dept", ["POL", "FRS"]))
+
+
+class TestCondition:
+    def test_trivial_condition_matches_everything(self, fig1_tables):
+        source, _ = fig1_tables
+        condition = Condition.always()
+        assert condition.is_trivial
+        assert condition.mask(source).all()
+        assert condition.coverage(source) == 1.0
+        assert condition.complexity == 0
+        assert str(condition) == "TRUE"
+        assert condition.to_expression() is None
+
+    def test_conjunction_semantics(self, fig1_tables):
+        source, _ = fig1_tables
+        condition = Condition.of(
+            Descriptor.equals("edu", "MS"), Descriptor.at_least("exp", 3)
+        )
+        assert condition.mask(source).sum() == 3
+        assert condition.coverage(source) == pytest.approx(3 / 9)
+        assert condition.complexity == 2
+        assert condition.attributes() == ["edu", "exp"]
+        assert str(condition) == "edu = 'MS' AND exp >= 3"
+
+    def test_single_descriptor_expression(self, fig1_tables):
+        source, _ = fig1_tables
+        condition = Condition.of(Descriptor.equals("edu", "PhD"))
+        expression = condition.to_expression()
+        assert expression is not None
+        assert expression.mask(source).tolist() == condition.mask(source).tolist()
+
+    def test_conjoined_with_appends(self, fig1_tables):
+        source, _ = fig1_tables
+        base = Condition.of(Descriptor.equals("edu", "MS"))
+        extended = base.conjoined_with(Descriptor.less_than("exp", 3))
+        assert extended.complexity == 2
+        assert extended.mask(source).sum() == 1
+        assert base.complexity == 1  # original untouched
+
+    def test_normality_aggregates_descriptor_constants(self):
+        clean = Condition.of(Descriptor.at_least("exp", 3))
+        ragged = Condition.of(Descriptor.at_least("exp", 3.2971))
+        assert clean.normality() > ragged.normality()
+        assert Condition.always().normality() == 1.0
+
+    def test_contradictory_condition_selects_nothing(self, fig1_tables):
+        source, _ = fig1_tables
+        condition = Condition.of(
+            Descriptor.equals("edu", "PhD"), Descriptor.equals("edu", "MS")
+        )
+        assert condition.mask(source).sum() == 0
+        assert condition.coverage(source) == 0.0

@@ -1,0 +1,51 @@
+"""Tests for the facade conveniences: per-entity explanations and multi-target runs."""
+
+import pytest
+
+from repro.core import Charles
+from repro.exceptions import DiscoveryError
+
+
+class TestExplainEntity:
+    def test_explains_a_changed_employee(self, fig1_result):
+        text = fig1_result.explain_entity("Anne")
+        assert "Anne" in text
+        assert "23000" in text and "25150" in text
+        assert "rule R" in text
+        assert "error 0" in text
+
+    def test_explains_an_unchanged_employee(self, fig1_result):
+        text = fig1_result.explain_entity("Cathy")
+        assert "no rule applies" in text
+        assert "11000" in text
+
+    def test_unknown_entity_rejected(self, fig1_result):
+        with pytest.raises(DiscoveryError):
+            fig1_result.explain_entity("Nobody")
+
+    def test_every_entity_is_explainable(self, fig1_result, fig1_pair):
+        for key in fig1_pair.key_values:
+            text = fig1_result.explain_entity(key)
+            assert str(key) in text
+
+
+class TestSummarizeAll:
+    def test_covers_every_changed_numeric_attribute(self, fig1_pair):
+        results = Charles().summarize_all(fig1_pair)
+        assert set(results) == {"exp", "bonus"}
+        for target, result in results.items():
+            assert result.target == target
+            assert result.summaries
+
+    def test_explicit_target_list(self, fig1_pair):
+        results = Charles().summarize_all(fig1_pair, targets=["bonus"])
+        assert list(results) == ["bonus"]
+
+    def test_exp_change_is_explained_as_plus_one(self, fig1_pair):
+        result = Charles().summarize_all(fig1_pair, targets=["exp"])["exp"]
+        best = result.best
+        # everyone's experience advanced by exactly one year
+        assert best.breakdown.accuracy == pytest.approx(1.0)
+        assert best.summary.size == 1
+        transformation = best.summary.conditional_transformations[0].transformation
+        assert transformation.intercept == pytest.approx(1.0)

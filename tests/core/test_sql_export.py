@@ -1,0 +1,92 @@
+"""Tests for exporting change summaries as SQL UPDATE statements."""
+
+import pytest
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.sql import condition_to_sql, summary_to_sql_update, transformation_to_sql
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+
+
+class TestConditionToSql:
+    def test_trivial_condition(self):
+        assert condition_to_sql(Condition.always()) == "TRUE"
+
+    def test_equality_and_threshold(self):
+        condition = Condition.of(Descriptor.equals("edu", "MS"), Descriptor.at_least("exp", 3))
+        assert condition_to_sql(condition) == "edu = 'MS' AND exp >= 3"
+
+    def test_in_and_not_in(self):
+        assert condition_to_sql(Condition.of(Descriptor.in_set("dept", ["POL", "FRS"]))) == (
+            "dept IN ('POL', 'FRS')"
+        )
+        assert "NOT IN" in condition_to_sql(Condition.of(Descriptor.not_in_set("dept", ["POL"])))
+
+    def test_between(self):
+        assert condition_to_sql(Condition.of(Descriptor.between("salary", 100, 200))) == (
+            "salary BETWEEN 100 AND 200"
+        )
+
+    def test_string_values_escaped(self):
+        condition = Condition.of(Descriptor.equals("name", "O'Brien"))
+        assert "O''Brien" in condition_to_sql(condition)
+
+    def test_mixed_case_identifier_quoted(self):
+        condition = Condition.of(Descriptor.equals("Department Name", "Police"))
+        assert condition_to_sql(condition).startswith('"Department Name"')
+
+
+class TestTransformationToSql:
+    def test_scale_and_shift(self):
+        rule = LinearTransformation("bonus", ("bonus",), (1.05,), 1000.0)
+        assert transformation_to_sql(rule) == "1.05 * bonus + 1000"
+
+    def test_unit_coefficient_rendered_without_multiplier(self):
+        rule = LinearTransformation("bonus", ("bonus",), (1.0,), 500.0)
+        assert transformation_to_sql(rule) == "bonus + 500"
+
+    def test_negative_intercept(self):
+        rule = LinearTransformation("bonus", ("bonus",), (1.2,), -2000.0)
+        assert transformation_to_sql(rule) == "1.2 * bonus - 2000"
+
+    def test_constant_only(self):
+        rule = LinearTransformation("bonus", (), (), 12345.0)
+        assert transformation_to_sql(rule) == "12345"
+
+
+class TestSummaryToSqlUpdate:
+    def test_full_update_statement(self, fig1_policy):
+        sql = summary_to_sql_update(fig1_policy.summary, "employees")
+        assert sql.startswith("UPDATE employees")
+        assert "SET bonus = CASE" in sql
+        assert sql.count("WHEN") == 3
+        assert "WHEN edu = 'PhD' THEN 1.05 * bonus + 1000" in sql
+        assert sql.rstrip().endswith("END;")
+        assert "ELSE bonus" in sql  # identity fallback preserves unchanged rows
+
+    def test_empty_summary_renders_comment(self):
+        sql = summary_to_sql_update(ChangeSummary("bonus", ()), "employees")
+        assert sql.startswith("--")
+
+    def test_no_fallback_yields_null_else(self):
+        summary = ChangeSummary(
+            "bonus",
+            (ConditionalTransformation(Condition.always(), LinearTransformation.scale("bonus", 1.1)),),
+            identity_fallback=False,
+        )
+        assert "ELSE NULL" in summary_to_sql_update(summary, "t")
+
+    def test_sql_reproduces_summary_semantics_when_interpreted(self, fig1_pair, fig1_policy):
+        """Sanity-check first-match CASE semantics by mimicking the evaluation by hand."""
+        summary = fig1_policy.summary
+        predictions = summary.apply(fig1_pair.source)
+        # interpret the CASE manually: first matching arm wins, reading old values
+        for index, row in enumerate(fig1_pair.source.rows()):
+            expected = None
+            for ct in summary.conditional_transformations:
+                if ct.condition.mask(fig1_pair.source)[index]:
+                    expected = ct.transformation.apply(fig1_pair.source)[index]
+                    break
+            if expected is None:
+                expected = row["bonus"]
+            assert predictions[index] == pytest.approx(expected)

@@ -1,0 +1,181 @@
+"""Unit tests for change summaries and the scoring function."""
+
+import numpy as np
+import pytest
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.config import CharlesConfig, InterpretabilityWeights
+from repro.core.scoring import accuracy, interpretability, score_summary
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+
+
+def _ct(condition, transformation):
+    return ConditionalTransformation(condition, transformation)
+
+
+@pytest.fixture()
+def truth_summary(fig1_policy):
+    return fig1_policy.summary
+
+
+class TestChangeSummary:
+    def test_apply_reconstructs_target_exactly(self, fig1_pair, truth_summary):
+        predictions = truth_summary.apply(fig1_pair.source)
+        assert np.allclose(predictions, fig1_pair.target.numeric_column("bonus"))
+
+    def test_first_match_semantics(self, fig1_pair):
+        # two overlapping rules: the first one wins for PhD rows
+        summary = ChangeSummary(
+            "bonus",
+            (
+                _ct(Condition.of(Descriptor.equals("edu", "PhD")),
+                    LinearTransformation.scale("bonus", 2.0)),
+                _ct(Condition.always(), LinearTransformation.scale("bonus", 3.0)),
+            ),
+        )
+        predictions = summary.apply(fig1_pair.source)
+        bonus = fig1_pair.source.numeric_column("bonus")
+        edu = np.array(fig1_pair.source.column("edu"))
+        assert np.allclose(predictions[edu == "PhD"], 2.0 * bonus[edu == "PhD"])
+        assert np.allclose(predictions[edu != "PhD"], 3.0 * bonus[edu != "PhD"])
+
+    def test_identity_fallback_for_uncovered_rows(self, fig1_pair, truth_summary):
+        predictions = truth_summary.apply(fig1_pair.source)
+        bonus = fig1_pair.source.numeric_column("bonus")
+        edu = np.array(fig1_pair.source.column("edu"))
+        assert np.allclose(predictions[edu == "BS"], bonus[edu == "BS"])
+
+    def test_no_fallback_yields_nan(self, fig1_pair):
+        summary = ChangeSummary(
+            "bonus",
+            (_ct(Condition.of(Descriptor.equals("edu", "PhD")),
+                 LinearTransformation.identity("bonus")),),
+            identity_fallback=False,
+        )
+        predictions = summary.apply(fig1_pair.source)
+        edu = np.array(fig1_pair.source.column("edu"))
+        assert np.isnan(predictions[edu != "PhD"]).all()
+
+    def test_partition_assignments_cover_all_rows_exactly_once(self, fig1_pair, truth_summary):
+        assignments = truth_summary.partition_assignments(fig1_pair.source)
+        stacked = np.vstack([assignment.mask for assignment in assignments])
+        assert np.all(stacked.sum(axis=0) == 1)
+        assert assignments[-1].is_fallback
+
+    def test_coverage_counts_explicit_rules_only(self, fig1_pair, truth_summary):
+        assert truth_summary.coverage(fig1_pair.source) == pytest.approx(7 / 9)
+
+    def test_attribute_listings(self, truth_summary):
+        assert truth_summary.condition_attributes == ["edu", "exp"]
+        assert truth_summary.transformation_attributes == ["bonus"]
+        assert truth_summary.size == 3 and len(truth_summary) == 3
+
+    def test_transformed_table_replaces_target_column(self, fig1_pair, truth_summary):
+        transformed = truth_summary.transformed_table(fig1_pair.source)
+        assert transformed.column("bonus") == fig1_pair.target.column("bonus")
+        # other columns untouched
+        assert transformed.column("salary") == fig1_pair.source.column("salary")
+
+    def test_residuals_zero_for_exact_summary(self, fig1_pair, truth_summary):
+        assert np.allclose(truth_summary.residuals(fig1_pair), 0.0)
+
+    def test_target_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeSummary(
+                "bonus",
+                (_ct(Condition.always(), LinearTransformation.identity("salary")),),
+            )
+
+    def test_to_model_tree_predicts_identically(self, fig1_pair, truth_summary):
+        tree = truth_summary.to_model_tree()
+        assert np.allclose(tree.predict(fig1_pair.source), truth_summary.apply(fig1_pair.source))
+
+    def test_describe_lists_rules(self, truth_summary):
+        text = truth_summary.describe()
+        assert "R1" in text and "R3" in text and "otherwise" in text
+
+
+class TestAccuracy:
+    def test_exact_summary_scores_one(self, fig1_pair, truth_summary):
+        assert accuracy(truth_summary, fig1_pair) == pytest.approx(1.0)
+
+    def test_empty_summary_scores_zero_when_changes_exist(self, fig1_pair):
+        empty = ChangeSummary("bonus", ())
+        assert accuracy(empty, fig1_pair) == pytest.approx(0.0)
+
+    def test_empty_summary_scores_one_when_nothing_changed(self, fig1_tables):
+        source, _ = fig1_tables
+        from repro.relational.snapshot import SnapshotPair
+
+        pair = SnapshotPair.align(source, source)
+        assert accuracy(ChangeSummary("bonus", ()), pair) == 1.0
+
+    def test_sharpness_penalises_residual_error_more(self, fig1_pair):
+        partial = ChangeSummary(
+            "bonus",
+            (_ct(Condition.of(Descriptor.equals("edu", "PhD")),
+                 LinearTransformation("bonus", ("bonus",), (1.05,), 1000.0)),),
+        )
+        linear = accuracy(partial, fig1_pair, sharpness=1.0)
+        sharp = accuracy(partial, fig1_pair, sharpness=0.5)
+        assert 0.0 < sharp < linear < 1.0
+
+    def test_accuracy_bounded(self, fig1_pair):
+        terrible = ChangeSummary(
+            "bonus",
+            (_ct(Condition.always(), LinearTransformation.scale("bonus", 100.0)),),
+        )
+        assert accuracy(terrible, fig1_pair) == 0.0
+
+
+class TestInterpretabilityAndScore:
+    def test_smaller_summaries_more_interpretable(self, fig1_pair, truth_summary, default_config):
+        single = ChangeSummary(
+            "bonus",
+            (_ct(Condition.always(), LinearTransformation.scale("bonus", 1.06)),),
+        )
+        value_single, _ = interpretability(single, fig1_pair, default_config)
+        value_truth, _ = interpretability(truth_summary, fig1_pair, default_config)
+        assert value_single > value_truth
+
+    def test_components_reported_and_bounded(self, fig1_pair, truth_summary, default_config):
+        value, components = interpretability(truth_summary, fig1_pair, default_config)
+        assert set(components) == {"size", "simplicity", "coverage", "normality"}
+        assert 0.0 <= value <= 1.0
+        assert all(0.0 <= component <= 1.0 for component in components.values())
+        assert components["coverage"] == pytest.approx(1.0)
+        assert components["normality"] == pytest.approx(1.0)
+
+    def test_score_is_alpha_blend(self, fig1_pair, truth_summary):
+        config = CharlesConfig(alpha=0.7)
+        breakdown = score_summary(truth_summary, fig1_pair, config)
+        expected = 0.7 * breakdown.accuracy + 0.3 * breakdown.interpretability
+        assert breakdown.score == pytest.approx(expected)
+
+    def test_alpha_one_scores_accuracy_only(self, fig1_pair, truth_summary):
+        breakdown = score_summary(truth_summary, fig1_pair, CharlesConfig(alpha=1.0))
+        assert breakdown.score == pytest.approx(breakdown.accuracy)
+
+    def test_alpha_zero_scores_interpretability_only(self, fig1_pair, truth_summary):
+        breakdown = score_summary(truth_summary, fig1_pair, CharlesConfig(alpha=0.0))
+        assert breakdown.score == pytest.approx(breakdown.interpretability)
+
+    def test_custom_interpretability_weights_change_result(self, fig1_pair, truth_summary):
+        coverage_only = CharlesConfig(
+            interpretability_weights=InterpretabilityWeights(size=0, simplicity=0, coverage=1, normality=0)
+        )
+        breakdown = score_summary(truth_summary, fig1_pair, coverage_only)
+        assert breakdown.interpretability == pytest.approx(1.0)
+
+    def test_paper_example_scores_high(self, fig1_pair, truth_summary, default_config):
+        # the demo reports ~0.89 for the ground-truth summary at alpha = 0.5
+        breakdown = score_summary(truth_summary, fig1_pair, default_config)
+        assert breakdown.score > 0.85
+        assert breakdown.accuracy == pytest.approx(1.0)
+
+    def test_breakdown_as_dict_and_str(self, fig1_pair, truth_summary, default_config):
+        breakdown = score_summary(truth_summary, fig1_pair, default_config)
+        as_dict = breakdown.as_dict()
+        assert set(as_dict) >= {"score", "accuracy", "interpretability", "alpha"}
+        assert "score=" in str(breakdown)

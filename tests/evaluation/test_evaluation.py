@@ -1,0 +1,164 @@
+"""Unit tests for recovery metrics and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import Charles, CharlesConfig
+from repro.core.condition import Condition, Descriptor
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.evaluation import (
+    ResultTable,
+    adjusted_rand_index,
+    cell_accuracy,
+    evaluate_summary,
+    partition_agreement,
+    partition_labels,
+    rule_recovery,
+    run_alpha_sweep,
+    run_method_comparison,
+    standard_methods,
+)
+
+
+class TestAdjustedRandIndex:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_identical(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 9, 9])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 3000)
+        b = rng.integers(0, 3, 3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([0, 1]), np.array([0]))
+
+    def test_empty_labelings(self):
+        assert adjusted_rand_index(np.array([]), np.array([])) == 1.0
+
+
+class TestRecoveryMetrics:
+    def test_partition_labels_match_rules(self, fig1_pair, fig1_policy):
+        labels = partition_labels(fig1_policy.summary, fig1_pair.source)
+        assert set(labels.tolist()) == {-1, 0, 1, 2}
+        edu = np.array(fig1_pair.source.column("edu"))
+        assert set(labels[edu == "BS"]) == {-1}
+
+    def test_partition_agreement_of_identical_summaries(self, fig1_pair, fig1_policy):
+        assert partition_agreement(
+            fig1_policy.summary, fig1_policy.summary, fig1_pair.source
+        ) == pytest.approx(1.0)
+
+    def test_cell_accuracy_exact_summary(self, fig1_pair, fig1_policy):
+        assert cell_accuracy(fig1_policy.summary, fig1_pair) == pytest.approx(1.0)
+
+    def test_cell_accuracy_empty_summary(self, fig1_pair):
+        assert cell_accuracy(ChangeSummary("bonus", ()), fig1_pair) == 0.0
+
+    def test_rule_recovery_perfect_match(self, fig1_pair, fig1_policy, fig1_result):
+        recovery = rule_recovery(fig1_result.best.summary, fig1_policy.summary, fig1_pair.source)
+        assert recovery.recall == 1.0 and recovery.precision == 1.0 and recovery.f1 == 1.0
+
+    def test_rule_recovery_is_syntactically_insensitive(self, fig1_pair, fig1_policy):
+        # exp >= 2 selects the same MS employees as exp >= 3 on this data
+        equivalent = ChangeSummary(
+            "bonus",
+            (
+                ConditionalTransformation(
+                    Condition.of(Descriptor.equals("edu", "PhD")),
+                    LinearTransformation("bonus", ("bonus",), (1.05,), 1000.0),
+                ),
+                ConditionalTransformation(
+                    Condition.of(Descriptor.equals("edu", "MS"), Descriptor.at_least("exp", 2)),
+                    LinearTransformation("bonus", ("bonus",), (1.04,), 800.0),
+                ),
+                ConditionalTransformation(
+                    Condition.of(Descriptor.equals("edu", "MS")),
+                    LinearTransformation("bonus", ("bonus",), (1.03,), 400.0),
+                ),
+            ),
+        )
+        recovery = rule_recovery(equivalent, fig1_policy.summary, fig1_pair.source)
+        assert recovery.recall == 1.0
+
+    def test_rule_recovery_partial(self, fig1_pair, fig1_policy):
+        partial = ChangeSummary("bonus", fig1_policy.summary.conditional_transformations[:1])
+        recovery = rule_recovery(partial, fig1_policy.summary, fig1_pair.source)
+        assert recovery.recall == pytest.approx(1 / 3)
+        assert recovery.precision == 1.0
+        assert 0.0 < recovery.f1 < 1.0
+
+    def test_rule_recovery_wrong_transformation_not_matched(self, fig1_pair, fig1_policy):
+        wrong = ChangeSummary(
+            "bonus",
+            (
+                ConditionalTransformation(
+                    Condition.of(Descriptor.equals("edu", "PhD")),
+                    LinearTransformation("bonus", ("bonus",), (2.0,), 0.0),
+                ),
+            ),
+        )
+        recovery = rule_recovery(wrong, fig1_policy.summary, fig1_pair.source)
+        assert recovery.recall == 0.0 and recovery.precision == 0.0
+
+    def test_rule_recovery_empty_summaries(self, fig1_pair):
+        empty = ChangeSummary("bonus", ())
+        recovery = rule_recovery(empty, empty, fig1_pair.source)
+        assert recovery.recall == 1.0 and recovery.precision == 1.0
+
+
+class TestResultTable:
+    def test_add_and_column(self):
+        table = ResultTable(["a", "b"], title="demo")
+        table.add(a=1, b=0.5)
+        table.add(a=2)
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == [0.5, None]
+
+    def test_text_rendering_aligns_columns(self):
+        table = ResultTable(["method", "score"])
+        table.add(method="charles", score=0.9123)
+        text = table.to_text()
+        assert "charles" in text and "0.912" in text
+
+    def test_markdown_rendering(self):
+        table = ResultTable(["x"], title="t")
+        table.add(x="v")
+        markdown = table.to_markdown()
+        assert "| x |" in markdown and "| v |" in markdown
+
+
+class TestHarness:
+    def test_evaluate_summary_with_policy(self, fig1_pair, fig1_policy, fig1_result):
+        metrics = evaluate_summary(fig1_result.best.summary, fig1_pair, fig1_policy)
+        assert metrics["rule_recall"] == 1.0
+        assert metrics["cell_accuracy"] == 1.0
+        assert 0.0 <= metrics["score"] <= 1.0
+
+    def test_run_method_comparison_covers_all_methods(self, fig1_pair, fig1_policy):
+        methods = standard_methods("bonus", ["edu", "exp"], ["bonus"])
+        table = run_method_comparison(fig1_pair, fig1_policy, methods, workload="fig1")
+        assert set(table.column("method")) == set(methods)
+        assert all(seconds >= 0 for seconds in table.column("seconds"))
+        charles_row = next(row for row in table.rows if row["method"] == "charles")
+        assert charles_row["rule_recall"] == 1.0
+
+    def test_run_alpha_sweep_monotone_tendencies(self, fig1_pair, fig1_policy):
+        table = run_alpha_sweep(
+            fig1_pair, "bonus", alphas=[0.0, 0.5, 1.0],
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+            policy=fig1_policy,
+        )
+        accuracies = table.column("accuracy")
+        interpretabilities = table.column("interpretability")
+        assert accuracies[-1] >= accuracies[0]
+        assert interpretabilities[0] >= interpretabilities[-1]
+        assert len(table.rows) == 3

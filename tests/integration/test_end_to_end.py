@@ -1,0 +1,142 @@
+"""End-to-end integration tests: the full demo workflow on every workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import Charles, CharlesConfig
+from repro.diff import diff_snapshots
+from repro.evaluation import evaluate_summary, rule_recovery, run_method_comparison, standard_methods
+from repro.relational import SnapshotPair, read_csv, write_csv
+from repro.viz import render_partition_treemap, render_summary_tree, result_to_markdown
+from repro.workloads import (
+    billionaires_pair,
+    bonus_policy,
+    cola_policy,
+    employee_pair,
+    example_policy,
+    example_snapshots,
+    wealth_policy,
+)
+
+
+class TestPaperExampleEndToEnd:
+    """The demo walk-through (Fig. 4) as a single scripted scenario."""
+
+    def test_full_demo_workflow(self, tmp_path):
+        # step 1: "upload" datasets (round-trip through CSV like the demo does)
+        source, target = example_snapshots()
+        write_csv(source, tmp_path / "2016.csv")
+        write_csv(target, tmp_path / "2017.csv")
+        source = read_csv(tmp_path / "2016.csv", primary_key="name")
+        target = read_csv(tmp_path / "2017.csv", primary_key="name")
+
+        charles = Charles()
+        # steps 2-5: target attribute + attribute shortlists
+        suggestions = charles.suggest_attributes(source, target, "bonus")
+        assert "bonus" in suggestions.selected_transformation_attributes
+        # steps 6-8: summaries with the demo's attribute selections
+        result = charles.summarize(
+            source, target, "bonus", key="name",
+            condition_attributes=["edu", "exp", "gen"],
+            transformation_attributes=["bonus", "salary"],
+        )
+        # the top summary reflects Example 1 and scores in the high 80s / low 90s
+        recovery = rule_recovery(result.best.summary, example_policy().summary, result.pair.source)
+        assert recovery.recall == 1.0
+        assert 0.85 <= result.best.score <= 0.95
+        # steps 9-10: visualisation artefacts render without error and mention
+        # the 33.3% top partition of the demo
+        treemap = render_partition_treemap(result.best.summary, result.pair)
+        assert "33.3%" in treemap
+        tree = render_summary_tree(result.best.summary)
+        assert "YES" in tree
+        report = result_to_markdown(result)
+        (tmp_path / "report.md").write_text(report)
+        assert "Ranked summaries" in report
+
+    def test_syntactic_diff_is_much_larger_than_summary(self, fig1_pair, fig1_result):
+        report = diff_snapshots(fig1_pair, attributes=["bonus"])
+        assert report.num_changes == 7
+        assert fig1_result.best.summary.size == 3
+        assert fig1_result.best.summary.size < report.num_changes
+
+
+class TestWorkloadRecoveryEndToEnd:
+    def test_employee_workload_recovery_with_noise(self):
+        pair = employee_pair(400, seed=13, noise_fraction=0.05, noise_scale=0.02)
+        result = Charles().summarize_pair(
+            pair, "bonus",
+            condition_attributes=["edu", "exp", "gen"],
+            transformation_attributes=["bonus"],
+        )
+        recovery = rule_recovery(result.best.summary, bonus_policy().summary, pair.source)
+        assert recovery.recall >= 2 / 3
+        assert result.best.breakdown.accuracy > 0.8
+
+    def test_billionaires_workload_recovery(self):
+        pair = billionaires_pair(800, seed=21)
+        result = Charles().summarize_pair(pair, "net_worth")
+        recovery = rule_recovery(result.best.summary, wealth_policy().summary, pair.source)
+        assert recovery.recall >= 2 / 3
+
+    def test_montgomery_workload_produces_usable_summary(self, montgomery_400):
+        result = Charles().summarize_pair(montgomery_400, "base_salary")
+        metrics = evaluate_summary(result.best.summary, montgomery_400, cola_policy())
+        assert metrics["accuracy"] > 0.4
+        assert metrics["num_rules"] <= 6
+
+    def test_method_comparison_ranks_charles_first_on_score(self, employee_200):
+        methods = standard_methods("bonus", ["edu", "exp"], ["bonus"])
+        table = run_method_comparison(employee_200, bonus_policy(), methods, workload="employee")
+        scores = {row["method"]: row["score"] for row in table.rows}
+        assert scores["charles"] == max(scores.values())
+
+    def test_charles_beats_baselines_on_rule_recovery(self, employee_200):
+        methods = standard_methods("bonus", ["edu", "exp"], ["bonus"])
+        table = run_method_comparison(employee_200, bonus_policy(), methods, workload="employee")
+        recalls = {row["method"]: row["rule_recall"] for row in table.rows}
+        assert recalls["charles"] >= max(v for k, v in recalls.items() if k != "charles")
+
+
+class TestRobustnessEndToEnd:
+    def test_alpha_extremes_and_default_all_produce_valid_results(self, fig1_pair):
+        for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+            result = Charles(CharlesConfig(alpha=alpha)).summarize_pair(
+                fig1_pair, "bonus",
+                condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+            )
+            assert result.summaries
+            assert 0.0 <= result.best.score <= 1.0
+
+    def test_identical_snapshots_report_no_change(self, fig1_tables):
+        source, _ = fig1_tables
+        pair = SnapshotPair.align(source, source)
+        result = Charles().summarize_pair(pair, "bonus")
+        assert result.best.summary.size == 0
+        assert result.best.breakdown.accuracy == 1.0
+
+    def test_every_numeric_attribute_can_be_a_target(self, fig1_pair):
+        for target in ("bonus", "salary", "exp"):
+            result = Charles().summarize_pair(fig1_pair, target)
+            assert result.summaries, f"no summaries for target {target}"
+
+    def test_single_row_change(self, fig1_tables):
+        source, _ = fig1_tables
+        bonus = source.column("bonus")
+        bonus[0] = bonus[0] + 5000.0
+        target = source.with_column("bonus", bonus)
+        pair = SnapshotPair.align(source, target)
+        result = Charles().summarize_pair(pair, "bonus")
+        assert result.best.breakdown.accuracy >= 0.0  # must not crash, any score valid
+
+    def test_reproducibility_across_runs(self, employee_200):
+        first = Charles().summarize_pair(
+            employee_200, "bonus",
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+        )
+        second = Charles().summarize_pair(
+            employee_200, "bonus",
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+        )
+        assert first.best.summary.describe() == second.best.summary.describe()
+        assert first.best.score == pytest.approx(second.best.score)

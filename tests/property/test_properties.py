@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.condition import Condition, Descriptor
+from repro.core.config import CharlesConfig
+from repro.core.normality import snap_value, value_normality
+from repro.core.scoring import score_summary
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.evaluation.metrics import adjusted_rand_index
+from repro.ml.kmeans import KMeans
+from repro.ml.linreg import fit_linear_model
+from repro.relational.csv_io import read_csv_text, write_csv_text
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+educations = st.sampled_from(["BS", "MS", "PhD"])
+
+
+@st.composite
+def employee_tables(draw, min_rows: int = 2, max_rows: int = 40) -> Table:
+    """Random employee-like tables with a unique key and positive numerics."""
+    n = draw(st.integers(min_rows, max_rows))
+    rows = []
+    for index in range(n):
+        rows.append(
+            {
+                "id": f"r{index}",
+                "edu": draw(educations),
+                "exp": draw(st.integers(0, 30)),
+                "bonus": float(draw(st.integers(1_000, 50_000))),
+            }
+        )
+    return Table.from_rows(rows, primary_key="id")
+
+
+@st.composite
+def linear_rules(draw) -> LinearTransformation:
+    factor = draw(st.floats(min_value=0.5, max_value=1.5, allow_nan=False))
+    shift = float(draw(st.integers(-2_000, 2_000)))
+    return LinearTransformation("bonus", ("bonus",), (round(factor, 3),), shift)
+
+
+# ---------------------------------------------------------------------------
+# relational invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTableProperties:
+    @given(employee_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_csv_round_trip_preserves_rows(self, table: Table):
+        back = read_csv_text(write_csv_text(table), primary_key="id")
+        assert back.num_rows == table.num_rows
+        assert back.column("edu") == table.column("edu")
+        assert back.column("exp") == table.column("exp")
+        assert np.allclose(back.numeric_column("bonus"), table.numeric_column("bonus"))
+
+    @given(employee_tables(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_take_then_mask_consistency(self, table: Table, seed: int):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(table.num_rows) < 0.5
+        masked = table.mask(mask)
+        taken = table.take(np.nonzero(mask)[0].tolist())
+        assert masked == taken
+
+    @given(employee_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_partitions_all_rows(self, table: Table):
+        groups = table.group_by(["edu"])
+        assert sum(group.num_rows for group in groups.values()) == table.num_rows
+
+    @given(employee_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_sort_is_permutation(self, table: Table):
+        ordered = table.sort_by("bonus")
+        assert sorted(ordered.column("id")) == sorted(table.column("id"))
+        values = ordered.numeric_column("bonus")
+        assert np.all(np.diff(values) >= 0)
+
+
+# ---------------------------------------------------------------------------
+# ML invariants
+# ---------------------------------------------------------------------------
+
+
+class TestModelProperties:
+    @given(
+        st.lists(finite_floats, min_size=5, max_size=40),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linear_regression_recovers_exact_line(self, xs, slope, intercept):
+        x = np.asarray(xs, dtype=float)
+        if np.std(x) < 1e-6:
+            return  # constant feature carries no slope information
+        y = slope * x + intercept
+        model = fit_linear_model(x.reshape(-1, 1), y)
+        assert np.allclose(model.predict(x.reshape(-1, 1)), y, atol=1e-3, rtol=1e-3)
+
+    @given(st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_kmeans_labels_are_valid(self, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(30, 2))
+        result = KMeans(k, seed=seed).fit(points)
+        assert result.labels.shape == (30,)
+        assert result.labels.min() >= 0 and result.labels.max() < result.k
+        assert result.inertia >= 0.0
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_ari_of_identical_labelings_is_one(self, labels):
+        array = np.array(labels)
+        assert adjusted_rand_index(array, array) == pytest.approx(1.0)
+
+    @given(finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_normality_is_bounded(self, value):
+        assert 0.0 <= value_normality(value) <= 1.0
+
+    @given(finite_floats, st.floats(min_value=0.0, max_value=0.1, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_snap_value_stays_within_tolerance(self, value, tolerance):
+        snapped = snap_value(value, relative_tolerance=tolerance)
+        assert abs(snapped - value) <= tolerance * max(abs(value), 1e-12) + 1e-12
+        assert value_normality(snapped) >= value_normality(value)
+
+
+# ---------------------------------------------------------------------------
+# ChARLES core invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSummaryProperties:
+    @given(employee_tables(), linear_rules(), educations)
+    @settings(max_examples=30, deadline=None)
+    def test_score_components_always_bounded(self, table, rule, education):
+        summary = ChangeSummary(
+            "bonus",
+            (ConditionalTransformation(Condition.of(Descriptor.equals("edu", education)), rule),),
+        )
+        target_table = summary.transformed_table(table)
+        pair = SnapshotPair.align(table, target_table)
+        breakdown = score_summary(summary, pair, CharlesConfig())
+        assert 0.0 <= breakdown.accuracy <= 1.0
+        assert 0.0 <= breakdown.interpretability <= 1.0
+        assert 0.0 <= breakdown.score <= 1.0
+
+    @given(employee_tables(), linear_rules(), educations)
+    @settings(max_examples=30, deadline=None)
+    def test_generating_summary_is_perfectly_accurate(self, table, rule, education):
+        summary = ChangeSummary(
+            "bonus",
+            (ConditionalTransformation(Condition.of(Descriptor.equals("edu", education)), rule),),
+        )
+        pair = SnapshotPair.align(table, summary.transformed_table(table))
+        assert score_summary(summary, pair).accuracy == pytest.approx(1.0)
+
+    @given(employee_tables(), linear_rules(), linear_rules())
+    @settings(max_examples=30, deadline=None)
+    def test_partition_assignments_are_a_partition(self, table, rule_a, rule_b):
+        summary = ChangeSummary(
+            "bonus",
+            (
+                ConditionalTransformation(Condition.of(Descriptor.equals("edu", "PhD")), rule_a),
+                ConditionalTransformation(Condition.of(Descriptor.at_least("exp", 10)), rule_b),
+            ),
+        )
+        assignments = summary.partition_assignments(table)
+        stacked = np.vstack([assignment.mask for assignment in assignments])
+        assert np.all(stacked.sum(axis=0) == 1)
+
+    @given(employee_tables(), linear_rules())
+    @settings(max_examples=30, deadline=None)
+    def test_model_tree_equivalent_to_summary(self, table, rule):
+        summary = ChangeSummary(
+            "bonus",
+            (ConditionalTransformation(Condition.of(Descriptor.at_least("exp", 5)), rule),),
+        )
+        tree_predictions = summary.to_model_tree().predict(table)
+        assert np.allclose(tree_predictions, summary.apply(table))
+
+    @given(employee_tables())
+    @settings(max_examples=20, deadline=None)
+    def test_snapshot_alignment_is_order_invariant(self, table):
+        rng = np.random.default_rng(0)
+        permutation = rng.permutation(table.num_rows).tolist()
+        shuffled = table.take(permutation)
+        pair = SnapshotPair.align(table, shuffled)
+        assert not pair.changed_mask("bonus").any()
+        assert not pair.changed_mask("edu").any()

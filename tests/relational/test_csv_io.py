@@ -1,0 +1,95 @@
+"""Unit tests for CSV reading/writing and type inference."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.csv_io import (
+    infer_column_dtype,
+    read_csv,
+    read_csv_text,
+    write_csv,
+    write_csv_text,
+)
+from repro.relational.schema import DType, Schema
+from repro.relational.table import Table
+
+
+class TestTypeInference:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            (["1", "2", "3"], DType.INT),
+            (["1.5", "2"], DType.FLOAT),
+            (["$1,200.50", "3"], DType.FLOAT),
+            (["true", "false"], DType.BOOL),
+            (["yes", "no"], DType.BOOL),
+            (["abc", "1"], DType.STRING),
+            (["", "NA"], DType.STRING),
+            (["1", ""], DType.INT),
+        ],
+    )
+    def test_infer_column_dtype(self, values, expected):
+        assert infer_column_dtype(values) is expected
+
+
+class TestReadCsv:
+    def test_read_infers_types(self):
+        table = read_csv_text("name,age,salary\nAnne,30,230000.5\nBob,41,120000\n")
+        assert table.schema.column("age").dtype is DType.INT
+        assert table.schema.column("salary").dtype is DType.FLOAT
+        assert table.column("name") == ["Anne", "Bob"]
+
+    def test_read_with_explicit_schema(self):
+        schema = Schema.of({"a": DType.STRING, "b": DType.FLOAT})
+        table = read_csv_text("a,b\n01,2\n", schema=schema)
+        assert table.column("a") == ["01"]
+        assert table.column("b") == [2.0]
+
+    def test_read_with_primary_key(self):
+        table = read_csv_text("id,v\nx,1\ny,2\n", primary_key="id")
+        assert table.primary_key == "id"
+
+    def test_blank_lines_skipped(self):
+        table = read_csv_text("a,b\n1,2\n\n3,4\n")
+        assert table.num_rows == 2
+
+    def test_missing_values_become_none(self):
+        table = read_csv_text("a,b\n1,\n2,5\n")
+        assert table.column("b") == [None, 5]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,b\n1\n")
+
+    def test_empty_header_name_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,,c\n1,2,3\n")
+
+    def test_custom_delimiter(self):
+        table = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert table.column_names == ["a", "b"]
+
+
+class TestRoundTrip:
+    def test_text_round_trip_preserves_values(self, small_table):
+        text = write_csv_text(small_table)
+        back = read_csv_text(text, primary_key="id")
+        assert back.column("age") == small_table.column("age")
+        assert back.column("income") == small_table.column("income")
+        assert back.column("city") == small_table.column("city")
+
+    def test_file_round_trip(self, tmp_path, small_table):
+        path = tmp_path / "t.csv"
+        write_csv(small_table, path)
+        back = read_csv(path, primary_key="id")
+        assert back.num_rows == small_table.num_rows
+        assert back.column_names == small_table.column_names
+
+    def test_none_serialised_as_empty(self):
+        table = Table.from_columns({"a": [1, None]}, schema=Schema.of({"a": DType.FLOAT}))
+        assert "\r\n1.0" in write_csv_text(table) or "\n1.0" in write_csv_text(table)
+        assert read_csv_text(write_csv_text(table)).column("a") == [1.0, None]

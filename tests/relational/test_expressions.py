@@ -1,0 +1,144 @@
+"""Unit tests for the expression AST and the condition parser."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    IsIn,
+    Literal,
+    Not,
+    Or,
+    parse_expression,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def employees() -> Table:
+    return Table.from_rows(
+        [
+            {"name": "Anne", "edu": "PhD", "exp": 2, "salary": 230000.0},
+            {"name": "Amber", "edu": "MS", "exp": 5, "salary": 160000.0},
+            {"name": "Allen", "edu": "MS", "exp": 1, "salary": 130000.0},
+            {"name": "Cathy", "edu": "BS", "exp": 2, "salary": None},
+        ],
+        primary_key="name",
+    )
+
+
+class TestASTEvaluation:
+    def test_equality_on_strings(self, employees):
+        mask = Comparison(ColumnRef("edu"), "=", Literal("MS")).mask(employees)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_numeric_comparison_ignores_missing(self, employees):
+        mask = Comparison(ColumnRef("salary"), ">", Literal(150000)).mask(employees)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_between_inclusive(self, employees):
+        mask = Between(ColumnRef("exp"), 2, 5).mask(employees)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_is_in(self, employees):
+        mask = IsIn(ColumnRef("edu"), ("PhD", "BS")).mask(employees)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_and_or_not(self, employees):
+        is_ms = Comparison(ColumnRef("edu"), "=", Literal("MS"))
+        senior = Comparison(ColumnRef("exp"), ">=", Literal(3))
+        assert And((is_ms, senior)).mask(employees).tolist() == [False, True, False, False]
+        assert Or((is_ms, senior)).mask(employees).tolist() == [False, True, True, False]
+        assert Not(is_ms).mask(employees).tolist() == [True, False, False, True]
+
+    def test_operator_overloads(self, employees):
+        is_ms = Comparison(ColumnRef("edu"), "=", Literal("MS"))
+        junior = Comparison(ColumnRef("exp"), "<", Literal(3))
+        combined = is_ms & junior
+        assert combined.mask(employees).tolist() == [False, False, True, False]
+        assert (~combined).mask(employees).tolist() == [True, True, False, True]
+
+    def test_arithmetic(self, employees):
+        expr = Arithmetic(ColumnRef("salary"), "/", Literal(10))
+        values = expr.evaluate(employees)
+        assert values[0] == pytest.approx(23000.0)
+        assert np.isnan(values[3])
+
+    def test_mask_of_non_predicate_rejected(self, employees):
+        with pytest.raises(ExpressionError):
+            ColumnRef("salary").mask(employees)
+
+    def test_columns_collection(self):
+        expr = And((Comparison(ColumnRef("a"), "<", Literal(1)),
+                    Comparison(ColumnRef("b"), "=", Literal("x"))))
+        assert expr.columns() == {"a", "b"}
+
+    def test_unknown_comparison_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison(ColumnRef("a"), "~", Literal(1))
+
+    def test_empty_and_or(self, employees):
+        assert And(()).mask(employees).all()
+        assert not Or(()).mask(employees).any()
+
+
+class TestParser:
+    def test_simple_comparison(self, employees):
+        expr = parse_expression("exp >= 3")
+        assert expr.mask(employees).tolist() == [False, True, False, False]
+
+    def test_string_equality_and_conjunction(self, employees):
+        expr = parse_expression("edu = 'MS' AND exp < 3")
+        assert expr.mask(employees).tolist() == [False, False, True, False]
+
+    def test_or_and_precedence(self, employees):
+        expr = parse_expression("edu = 'PhD' OR edu = 'MS' AND exp >= 3")
+        # AND binds tighter than OR
+        assert expr.mask(employees).tolist() == [True, True, False, False]
+
+    def test_parentheses_override_precedence(self, employees):
+        expr = parse_expression("(edu = 'PhD' OR edu = 'MS') AND exp >= 3")
+        assert expr.mask(employees).tolist() == [False, True, False, False]
+
+    def test_not(self, employees):
+        expr = parse_expression("NOT edu = 'MS'")
+        assert expr.mask(employees).tolist() == [True, False, False, True]
+
+    def test_between(self, employees):
+        expr = parse_expression("exp BETWEEN 2 AND 4")
+        assert expr.mask(employees).tolist() == [True, False, False, True]
+
+    def test_in_list(self, employees):
+        expr = parse_expression("edu IN ('PhD', 'BS')")
+        assert expr.mask(employees).tolist() == [True, False, False, True]
+
+    def test_arithmetic_in_comparison(self, employees):
+        expr = parse_expression("salary / 10 > 14000")
+        assert expr.mask(employees).tolist() == [True, True, False, False]
+
+    def test_quoted_identifier(self):
+        table = Table.from_rows([{"Base Salary": 100.0}, {"Base Salary": 50.0}])
+        expr = parse_expression("`Base Salary` >= 75")
+        assert expr.mask(table).tolist() == [True, False]
+
+    def test_not_equals_both_spellings(self, employees):
+        assert str(parse_expression("exp != 2")) == str(parse_expression("exp <> 2"))
+
+    def test_roundtrip_through_str(self, employees):
+        original = parse_expression("edu = 'MS' AND exp >= 3")
+        reparsed = parse_expression(str(original))
+        assert reparsed.mask(employees).tolist() == original.mask(employees).tolist()
+
+    @pytest.mark.parametrize("bad", ["", "   ", "edu = ", "AND exp < 3", "exp ** 2", "edu = 'MS' extra junk'"])
+    def test_invalid_expressions_rejected(self, bad):
+        with pytest.raises(ExpressionError):
+            parse_expression(bad)
+
+    def test_boolean_and_null_literals(self):
+        table = Table.from_rows([{"flag": True}, {"flag": False}])
+        assert parse_expression("flag = TRUE").mask(table).tolist() == [True, False]

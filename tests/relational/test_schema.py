@@ -1,0 +1,122 @@
+"""Unit tests for schemas, columns and dtype coercion."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Column, DType, Schema
+
+
+class TestDType:
+    def test_numeric_flags(self):
+        assert DType.INT.is_numeric and DType.FLOAT.is_numeric
+        assert not DType.STRING.is_numeric and not DType.BOOL.is_numeric
+
+    def test_categorical_flags(self):
+        assert DType.STRING.is_categorical and DType.BOOL.is_categorical
+        assert not DType.INT.is_categorical
+
+
+class TestColumnCoercion:
+    def test_int_from_string_with_commas(self):
+        assert Column("n", DType.INT).coerce("1,234") == 1234
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            Column("n", DType.INT).coerce(1.5)
+
+    def test_int_accepts_integral_float(self):
+        assert Column("n", DType.INT).coerce(3.0) == 3
+
+    def test_float_strips_currency_symbols(self):
+        assert Column("s", DType.FLOAT).coerce("$230,000") == pytest.approx(230000.0)
+
+    def test_missing_markers_become_none(self):
+        column = Column("s", DType.FLOAT)
+        assert column.coerce("") is None
+        assert column.coerce("NA") is None
+        assert column.coerce(None) is None
+
+    def test_not_nullable_rejects_missing(self):
+        with pytest.raises(SchemaError):
+            Column("s", DType.FLOAT, nullable=False).coerce(None)
+
+    def test_bool_parsing(self):
+        column = Column("b", DType.BOOL)
+        assert column.coerce("yes") is True
+        assert column.coerce("F") is False
+        assert column.coerce(1) is True
+
+    def test_bool_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            Column("b", DType.BOOL).coerce("maybe")
+
+    def test_string_passthrough(self):
+        assert Column("s", DType.STRING).coerce(12) == "12"
+
+    def test_coerce_many(self):
+        assert Column("n", DType.INT).coerce_many(["1", "2", None]) == [1, 2, None]
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "decimal")  # type: ignore[arg-type]
+
+    def test_string_dtype_accepted_by_name(self):
+        assert Column("x", "float").dtype is DType.FLOAT  # type: ignore[arg-type]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DType.INT)
+
+
+class TestSchema:
+    def test_of_builds_ordered_columns(self):
+        schema = Schema.of({"a": DType.INT, "b": "string"}, primary_key="a")
+        assert schema.names == ["a", "b"]
+        assert schema.primary_key == "a"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("a", DType.INT), Column("a", DType.FLOAT)))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of({"a": DType.INT}, primary_key="b")
+
+    def test_column_lookup_and_contains(self):
+        schema = Schema.of({"a": DType.INT, "b": DType.STRING})
+        assert schema.column("b").dtype is DType.STRING
+        assert "a" in schema and "z" not in schema
+        with pytest.raises(SchemaError):
+            schema.column("z")
+
+    def test_numeric_and_categorical_names(self):
+        schema = Schema.of({"a": DType.INT, "b": DType.STRING, "c": DType.FLOAT})
+        assert schema.numeric_names == ["a", "c"]
+        assert schema.categorical_names == ["b"]
+
+    def test_project_keeps_key_only_if_included(self):
+        schema = Schema.of({"a": DType.INT, "b": DType.STRING}, primary_key="a")
+        assert schema.project(["a"]).primary_key == "a"
+        assert schema.project(["b"]).primary_key is None
+
+    def test_with_column_appends_or_replaces(self):
+        schema = Schema.of({"a": DType.INT})
+        extended = schema.with_column(Column("b", DType.FLOAT))
+        assert extended.names == ["a", "b"]
+        replaced = extended.with_column(Column("b", DType.STRING))
+        assert replaced.column("b").dtype is DType.STRING
+        assert len(replaced) == 2
+
+    def test_equivalent_to_ignores_primary_key(self):
+        schema_a = Schema.of({"a": DType.INT, "b": DType.FLOAT}, primary_key="a")
+        schema_b = Schema.of({"a": DType.INT, "b": DType.FLOAT})
+        assert schema_a.equivalent_to(schema_b)
+
+    def test_equivalent_to_detects_dtype_mismatch(self):
+        schema_a = Schema.of({"a": DType.INT})
+        schema_b = Schema.of({"a": DType.FLOAT})
+        assert not schema_a.equivalent_to(schema_b)

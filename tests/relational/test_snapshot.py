@@ -1,0 +1,124 @@
+"""Unit tests for snapshot alignment (the ChARLES input contract)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SnapshotAlignmentError
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+
+def _table(rows, key="id"):
+    return Table.from_rows(rows, primary_key=key)
+
+
+@pytest.fixture()
+def source():
+    return _table(
+        [
+            {"id": "a", "grp": "x", "v": 10.0},
+            {"id": "b", "grp": "x", "v": 20.0},
+            {"id": "c", "grp": "y", "v": 30.0},
+        ]
+    )
+
+
+class TestAlignment:
+    def test_align_reorders_target_by_key(self, source):
+        target = _table(
+            [
+                {"id": "c", "grp": "y", "v": 33.0},
+                {"id": "a", "grp": "x", "v": 10.0},
+                {"id": "b", "grp": "x", "v": 22.0},
+            ]
+        )
+        pair = SnapshotPair.align(source, target)
+        assert pair.key == "id"
+        assert pair.target.column("id") == ["a", "b", "c"]
+        assert pair.target.column("v") == [10.0, 22.0, 33.0]
+
+    def test_schema_mismatch_rejected(self, source):
+        other = _table([{"id": "a", "grp": "x", "w": 1.0}])
+        with pytest.raises(SnapshotAlignmentError):
+            SnapshotPair.align(source, other)
+
+    def test_inserted_or_deleted_entities_rejected(self, source):
+        target = _table(
+            [
+                {"id": "a", "grp": "x", "v": 10.0},
+                {"id": "b", "grp": "x", "v": 20.0},
+                {"id": "d", "grp": "y", "v": 40.0},
+            ]
+        )
+        with pytest.raises(SnapshotAlignmentError):
+            SnapshotPair.align(source, target)
+
+    def test_duplicate_keys_rejected(self):
+        duplicated = _table([{"id": "a", "v": 1.0}, {"id": "a", "v": 2.0}])
+        with pytest.raises(SnapshotAlignmentError):
+            SnapshotPair.align(duplicated, duplicated)
+
+    def test_positional_alignment_without_key(self):
+        left = Table.from_columns({"v": [1.0, 2.0]})
+        right = Table.from_columns({"v": [1.0, 3.0]})
+        pair = SnapshotPair.align(left, right)
+        assert pair.key is None
+        assert pair.changed_mask("v").tolist() == [False, True]
+
+    def test_positional_alignment_row_count_mismatch_rejected(self):
+        left = Table.from_columns({"v": [1.0, 2.0]})
+        right = Table.from_columns({"v": [1.0]})
+        with pytest.raises(SnapshotAlignmentError):
+            SnapshotPair.align(left, right)
+
+
+class TestChangeInspection:
+    @pytest.fixture()
+    def pair(self, source):
+        target = _table(
+            [
+                {"id": "a", "grp": "x", "v": 11.0},
+                {"id": "b", "grp": "x", "v": 20.0},
+                {"id": "c", "grp": "z", "v": 33.0},
+            ]
+        )
+        return SnapshotPair.align(source, target)
+
+    def test_changed_mask_numeric(self, pair):
+        assert pair.changed_mask("v").tolist() == [True, False, True]
+
+    def test_changed_mask_categorical(self, pair):
+        assert pair.changed_mask("grp").tolist() == [False, False, True]
+
+    def test_changed_attributes_excludes_key(self, pair):
+        assert pair.changed_attributes() == ["grp", "v"]
+
+    def test_change_fraction(self, pair):
+        assert pair.change_fraction("v") == pytest.approx(2 / 3)
+
+    def test_delta(self, pair):
+        assert pair.delta("v").tolist() == [1.0, 0.0, 3.0]
+
+    def test_delta_rejects_categorical(self, pair):
+        with pytest.raises(SnapshotAlignmentError):
+            pair.delta("grp")
+
+    def test_numeric_tolerance(self, source):
+        target = source.with_column("v", [10.0 + 1e-12, 20.0, 30.0])
+        pair = SnapshotPair.align(source, target)
+        assert not pair.changed_mask("v").any()
+
+    def test_restricted(self, pair):
+        sub = pair.restricted(np.array([True, False, True]))
+        assert sub.num_rows == 2
+        assert sub.key_values == ["a", "c"]
+        assert sub.changed_mask("v").tolist() == [True, True]
+
+    def test_combined_view(self, pair):
+        combined = pair.combined("v")
+        assert "v_old" in combined.column_names and "v_new" in combined.column_names
+        assert combined.column("v_new") == [11.0, 20.0, 33.0]
+
+    def test_len_and_key_values(self, pair):
+        assert len(pair) == 3
+        assert pair.key_values == ["a", "b", "c"]

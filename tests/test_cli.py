@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational.csv_io import write_csv
+from repro.workloads import example_snapshots
+
+
+@pytest.fixture()
+def example_csvs(tmp_path):
+    source, target = example_snapshots()
+    source_path = tmp_path / "2016.csv"
+    target_path = tmp_path / "2017.csv"
+    write_csv(source, source_path)
+    write_csv(target, target_path)
+    return source_path, target_path
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("summarize", "suggest", "diff", "generate"):
+            args = parser.parse_args(
+                [command, "a.csv", "b.csv", "--target", "x"]
+                if command in ("summarize", "suggest")
+                else ([command, "a.csv", "b.csv"] if command == "diff" else [command, "example"])
+            )
+            assert args.command == command
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_summarize_prints_ranked_summaries(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--top", "3", "--details",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "#1" in output and "score=" in output
+        assert "Partition treemap" in output
+
+    def test_summarize_writes_markdown(self, example_csvs, tmp_path, capsys):
+        source, target = example_csvs
+        report = tmp_path / "report.md"
+        code = main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--markdown", str(report),
+        ])
+        assert code == 0
+        assert report.exists()
+        assert "# ChARLES change summaries" in report.read_text()
+
+    def test_summarize_with_explicit_attributes(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--condition-attributes", "edu", "exp",
+            "--transformation-attributes", "bonus",
+        ])
+        assert code == 0
+        assert "edu" in capsys.readouterr().out
+
+    def test_suggest_lists_candidates(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main(["suggest", str(source), str(target), "--key", "name", "--target", "bonus"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "condition candidates" in output
+
+    def test_diff_reports_cells_and_distance(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main(["diff", str(source), str(target), "--key", "name"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "changed cells" in output
+        assert "update distance" in output
+        assert "drift" in output.lower()
+
+    def test_generate_writes_csv_pair(self, tmp_path, capsys):
+        code = main([
+            "generate", "employee", "--rows", "50", "--seed", "3", "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "employee_source.csv").exists()
+        assert (tmp_path / "employee_target.csv").exists()
+
+    def test_generate_example_workload(self, tmp_path):
+        assert main(["generate", "example", "--out-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "example_source.csv").exists()
+
+    def test_error_exit_code_on_bad_target(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main(["summarize", str(source), str(target), "--key", "name", "--target", "edu"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

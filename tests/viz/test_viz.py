@@ -1,0 +1,74 @@
+"""Unit tests for the text visualisations (tree, treemap, markdown report)."""
+
+import pytest
+
+from repro.viz import (
+    render_model_tree,
+    render_partition_treemap,
+    render_summary_tree,
+    result_to_markdown,
+)
+
+
+class TestTreeRendering:
+    def test_tree_shows_conditions_and_leaf_models(self, fig1_result):
+        text = render_summary_tree(fig1_result.best.summary)
+        assert "YES" in text and "NO" in text
+        assert "edu" in text
+        assert "no change" in text
+
+    def test_tree_of_empty_summary_is_single_leaf(self, fig1_pair):
+        from repro.core.summary import ChangeSummary
+
+        text = render_summary_tree(ChangeSummary("bonus", ()))
+        assert "no change" in text
+        assert "YES" not in text
+
+    def test_render_model_tree_matches_summary_tree(self, fig1_result):
+        summary = fig1_result.best.summary
+        assert render_model_tree(summary.to_model_tree()) == render_summary_tree(summary)
+
+    def test_each_rule_appears_in_tree(self, fig1_result):
+        summary = fig1_result.best.summary
+        text = render_summary_tree(summary)
+        for ct in summary:
+            for name in ct.transformation.feature_names:
+                assert name in text
+
+
+class TestTreemap:
+    def test_treemap_lists_partitions_with_coverage(self, fig1_result, fig1_pair):
+        text = render_partition_treemap(fig1_result.best.summary, fig1_pair)
+        assert "33.3%" in text  # Fig. 4 step 10: top partition coverage
+        assert "no change observed" in text
+        assert "█" in text and "░" in text
+
+    def test_treemap_reports_partition_accuracy(self, fig1_result, fig1_pair):
+        text = render_partition_treemap(fig1_result.best.summary, fig1_pair)
+        assert "partition accuracy" in text
+        assert "100.0%" in text
+
+    def test_treemap_width_controls_bar_length(self, fig1_result, fig1_pair):
+        narrow = render_partition_treemap(fig1_result.best.summary, fig1_pair, width=10)
+        wide = render_partition_treemap(fig1_result.best.summary, fig1_pair, width=60)
+        assert max(len(line) for line in wide.splitlines()) > max(
+            len(line) for line in narrow.splitlines()
+        )
+
+
+class TestMarkdownReport:
+    def test_report_contains_all_sections(self, fig1_result):
+        report = result_to_markdown(fig1_result)
+        assert "# ChARLES change summaries" in report
+        assert "## Setup assistant" in report
+        assert "## Ranked summaries" in report
+        assert "## Summary #1 in detail" in report
+
+    def test_report_lists_every_ranked_summary(self, fig1_result):
+        report = result_to_markdown(fig1_result)
+        assert report.count("| ") > len(fig1_result.summaries)
+
+    def test_detailed_top_parameter(self, fig1_result):
+        report = result_to_markdown(fig1_result, detailed_top=1)
+        assert "## Summary #1 in detail" in report
+        assert "## Summary #2 in detail" not in report

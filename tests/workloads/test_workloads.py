@@ -1,0 +1,165 @@
+"""Unit tests for the synthetic workloads and ground-truth policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import score_summary
+from repro.core.transformation import LinearTransformation
+from repro.exceptions import ConfigurationError
+from repro.workloads import (
+    Policy,
+    apply_policy,
+    billionaires_pair,
+    bonus_policy,
+    cola_policy,
+    employee_pair,
+    evolve_pair,
+    example_pair,
+    example_policy,
+    example_snapshots,
+    generate_billionaires,
+    generate_employees,
+    generate_montgomery_payroll,
+    montgomery_pair,
+    overtime_policy,
+    wealth_policy,
+)
+
+
+class TestExampleWorkload:
+    def test_fig1_values_match_paper(self, fig1_tables):
+        source, target = fig1_tables
+        assert source.num_rows == 9 and target.num_rows == 9
+        anne_2016 = source.row(0)
+        anne_2017 = target.row(0)
+        assert anne_2016["bonus"] == 23000.0 and anne_2017["bonus"] == 25150.0
+        assert anne_2016["exp"] == 2 and anne_2017["exp"] == 3
+        # 2016 bonus is a flat 10% of salary for everyone
+        assert all(row["bonus"] == pytest.approx(0.1 * row["salary"]) for row in source.rows())
+
+    def test_example_policy_reproduces_2017_bonuses(self, fig1_pair, fig1_policy):
+        assert score_summary(fig1_policy.summary, fig1_pair).accuracy == pytest.approx(1.0)
+
+    def test_unchanged_rows_are_bs_employees(self, fig1_pair):
+        changed = fig1_pair.changed_mask("bonus")
+        edu = np.array(fig1_pair.source.column("edu"))
+        assert set(edu[~changed]) == {"BS"}
+
+    def test_example_pair_key(self, fig1_pair):
+        assert fig1_pair.key == "name"
+
+
+class TestPolicyApplication:
+    def test_apply_policy_changes_only_target(self, fig1_tables, fig1_policy):
+        source, _ = fig1_tables
+        evolved = apply_policy(source, fig1_policy)
+        assert evolved.column("salary") == source.column("salary")
+        assert evolved.column("bonus") != source.column("bonus")
+
+    def test_noise_injection_bounded_to_changed_rows(self, fig1_tables, fig1_policy):
+        source, _ = fig1_tables
+        clean = apply_policy(source, fig1_policy, seed=1)
+        noisy = apply_policy(source, fig1_policy, noise_fraction=1.0, noise_scale=0.05, seed=1)
+        clean_bonus = np.array(clean.column("bonus"))
+        noisy_bonus = np.array(noisy.column("bonus"))
+        original = np.array(source.column("bonus"))
+        unchanged = clean_bonus == original
+        assert np.array_equal(noisy_bonus[unchanged], original[unchanged])
+        assert not np.array_equal(noisy_bonus[~unchanged], clean_bonus[~unchanged])
+
+    def test_invalid_noise_parameters_rejected(self, fig1_tables, fig1_policy):
+        source, _ = fig1_tables
+        with pytest.raises(ConfigurationError):
+            apply_policy(source, fig1_policy, noise_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            apply_policy(source, fig1_policy, noise_scale=-0.1)
+
+    def test_extra_updates_applied(self, fig1_tables, fig1_policy):
+        source, _ = fig1_tables
+        evolved = apply_policy(
+            source, fig1_policy,
+            extra_updates={"exp": LinearTransformation.constant_shift("exp", 1.0)},
+        )
+        assert evolved.column("exp") == [value + 1 for value in source.column("exp")]
+
+    def test_evolve_pair_returns_aligned_pair(self, fig1_tables, fig1_policy):
+        source, _ = fig1_tables
+        pair = evolve_pair(source, fig1_policy)
+        assert pair.key == "name"
+        assert pair.change_fraction("bonus") == pytest.approx(7 / 9)
+
+    def test_policy_from_rules_and_describe(self, fig1_policy):
+        assert fig1_policy.num_rules == 3
+        text = fig1_policy.describe()
+        assert "PhD" in text and "bonus" in text
+
+    def test_policy_rounding(self, fig1_tables):
+        source, _ = fig1_tables
+        policy = Policy.from_rules(
+            "thirds", "bonus",
+            [(example_policy().rules[0].condition, LinearTransformation.scale("bonus", 1 / 3))],
+        )
+        evolved = apply_policy(source, policy, rounding=2)
+        assert all(round(v, 2) == v for v in evolved.column("bonus"))
+
+
+class TestGenerators:
+    def test_employee_generator_shape_and_determinism(self):
+        first = generate_employees(100, seed=3)
+        second = generate_employees(100, seed=3)
+        different = generate_employees(100, seed=4)
+        assert first.num_rows == 100
+        assert first.column("salary") == second.column("salary")
+        assert first.column("salary") != different.column("salary")
+
+    def test_employee_bonus_is_flat_rate(self):
+        table = generate_employees(50, seed=0, bonus_rate=0.1)
+        salary = table.numeric_column("salary")
+        bonus = table.numeric_column("bonus")
+        assert np.allclose(bonus, 0.1 * salary)
+
+    def test_employee_pair_changes_driven_by_policy(self, employee_200):
+        changed = employee_200.changed_mask("bonus")
+        edu = np.array(employee_200.source.column("edu"))
+        assert set(edu[changed]) <= {"MS", "PhD"}
+        assert not changed[edu == "BS"].any()
+
+    def test_employee_pair_policy_is_exactly_recoverable(self, employee_200):
+        assert score_summary(bonus_policy().summary, employee_200).accuracy == pytest.approx(1.0)
+
+    def test_montgomery_schema_matches_paper_attributes(self):
+        table = generate_montgomery_payroll(50, seed=0)
+        assert set(table.column_names) == {
+            "employee_id", "department", "department_name", "division", "gender",
+            "grade", "base_salary", "overtime_pay", "longevity_pay",
+        }
+        assert table.primary_key == "employee_id"
+
+    def test_montgomery_policy_accuracy_one(self, montgomery_400):
+        assert score_summary(cola_policy().summary, montgomery_400).accuracy == pytest.approx(1.0)
+
+    def test_montgomery_overtime_policy_targets_other_attribute(self):
+        assert overtime_policy().target == "overtime_pay"
+
+    def test_billionaires_generator_values_positive(self):
+        table = generate_billionaires(80, seed=1)
+        assert table.num_rows == 80
+        assert min(table.numeric_column("net_worth")) >= 1.0
+
+    def test_billionaires_policy_accuracy_one(self, billionaires_300):
+        assert score_summary(wealth_policy().summary, billionaires_300).accuracy > 0.99
+
+    def test_noise_fraction_reduces_policy_accuracy(self):
+        clean = employee_pair(300, seed=2, noise_fraction=0.0)
+        noisy = employee_pair(300, seed=2, noise_fraction=0.3, noise_scale=0.05)
+        truth = bonus_policy().summary
+        assert score_summary(truth, noisy).accuracy < score_summary(truth, clean).accuracy
+
+    def test_pairs_have_disjoint_seed_behaviour(self):
+        a = montgomery_pair(100, seed=1)
+        b = montgomery_pair(100, seed=2)
+        assert a.source.column("base_salary") != b.source.column("base_salary")
+
+    def test_billionaires_pair_age_advances(self, billionaires_300):
+        delta_age = billionaires_300.delta("age")
+        assert np.allclose(delta_age, 1.0)
