@@ -11,13 +11,14 @@ visible.
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 from conftest import emit
 
 from repro.core import Charles, CharlesConfig
-from repro.evaluation import ResultTable, evaluate_summary
+from repro.evaluation import ResultTable, evaluate_summary, run_search_profile
 from repro.workloads import cola_policy, montgomery_pair
 
 ROW_COUNTS = [1_000, 5_000, 10_000, 20_000]
@@ -39,18 +40,34 @@ def _summarize(pair):
 def test_scaling_with_rows(benchmark, scaling_pairs):
     """Runtime grows roughly linearly with rows; quality stays flat."""
     policy = cola_policy()
-    table = ResultTable(["rows", "seconds", "score", "accuracy", "num_rules"],
+    table = ResultTable(["rows", "seconds", "score", "accuracy", "num_rules",
+                         "cache_hit_rate", "pruned"],
                         title="E6a: scaling with table size (Montgomery workload)")
     timings = {}
+    stats_by_rows = {}
     for rows, pair in scaling_pairs.items():
         started = time.perf_counter()
         result = _summarize(pair)
         elapsed = time.perf_counter() - started
         timings[rows] = elapsed
+        stats = result.search_stats
+        stats_by_rows[rows] = stats
         metrics = evaluate_summary(result.best.summary, pair, policy)
         table.add(rows=rows, seconds=elapsed, score=metrics["score"],
-                  accuracy=metrics["accuracy"], num_rules=metrics["num_rules"])
+                  accuracy=metrics["accuracy"], num_rules=metrics["num_rules"],
+                  cache_hit_rate=stats.cache_hit_rate, pruned=stats.candidates_pruned)
     emit(table)
+    # machine-readable SearchStats for trend tracking across PRs
+    print(json.dumps({
+        "experiment": "E6a",
+        "search_stats": {rows: stats.as_dict() for rows, stats in stats_by_rows.items()},
+    }))
+    benchmark.extra_info["search_stats"] = {
+        rows: stats.as_dict() for rows, stats in stats_by_rows.items()
+    }
+
+    # the memo caches must be eliminating redundant fits at every scale
+    assert all(stats.cache_hit_rate > 0 for stats in stats_by_rows.values())
 
     # the benchmarked call: largest workload end to end
     benchmark(_summarize, scaling_pairs[ROW_COUNTS[-1]])
@@ -84,3 +101,43 @@ def test_scaling_with_attribute_caps(benchmark, scaling_pairs):
     )
     # a larger search budget can only produce at least as many candidates
     assert results[(3, 2)][1].total_candidates >= results[(1, 1)][1].total_candidates
+
+
+def test_search_executors_on_largest_scenario(benchmark, scaling_pairs):
+    """E6c: the search subsystem profile — serial vs parallel, caches, pruning.
+
+    The rankings must be byte-identical across executors; wall time with
+    ``--jobs > 1`` depends on available cores (this table is how the speedup
+    is measured on multi-core hardware).
+    """
+    pair = scaling_pairs[ROW_COUNTS[-1]]
+    configs = {
+        "serial": CharlesConfig(n_jobs=1),
+        "parallel-2": CharlesConfig(n_jobs=2),
+        "no-pruning": CharlesConfig(prune_search=False),
+    }
+    table = run_search_profile(
+        pair, "base_salary", configs,
+        condition_attributes=["department", "grade"],
+        transformation_attributes=["base_salary"],
+    )
+    emit(table)
+    print(json.dumps({"experiment": "E6c", "search_profile": table.rows}))
+    benchmark.extra_info["search_profile"] = table.rows
+
+    def _rankings(n_jobs):
+        result = Charles(CharlesConfig(n_jobs=n_jobs)).summarize_pair(
+            pair, "base_salary",
+            condition_attributes=["department", "grade"],
+            transformation_attributes=["base_salary"],
+        )
+        return [(s.summary.describe(), s.score) for s in result.summaries]
+
+    serial_ranking = _rankings(1)
+    assert serial_ranking == _rankings(2)
+    # executors agree on quality, and the caches are doing real work
+    scores = table.column("best_score")
+    assert max(scores) == pytest.approx(min(scores))
+    assert all(rate > 0 for rate in table.column("cache_hit_rate"))
+
+    benchmark(_rankings, 2)

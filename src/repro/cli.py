@@ -54,6 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--max-condition-attributes", "-c", type=int, default=3)
     summarize.add_argument("--max-transformation-attributes", "-t", type=int, default=2)
     summarize.add_argument("--top", type=int, default=10, help="number of summaries to show")
+    summarize.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the candidate search (1 = serial)")
     summarize.add_argument("--condition-attributes", nargs="*", default=None)
     summarize.add_argument("--transformation-attributes", nargs="*", default=None)
     summarize.add_argument("--details", action="store_true", help="show tree and treemap for the best summary")
@@ -96,6 +98,7 @@ def _command_summarize(args: argparse.Namespace) -> int:
         max_condition_attributes=args.max_condition_attributes,
         max_transformation_attributes=args.max_transformation_attributes,
         top_k=args.top,
+        n_jobs=args.jobs,
     )
     pair = _load_pair(args)
     result = Charles(config).summarize_pair(
@@ -105,6 +108,8 @@ def _command_summarize(args: argparse.Namespace) -> int:
         transformation_attributes=args.transformation_attributes,
     )
     print(result.describe())
+    if result.search_stats is not None:
+        print(f"search: {result.search_stats.describe()}")
     if args.details and result.summaries:
         best = result.best.summary
         print(render_summary_tree(best))

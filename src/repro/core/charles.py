@@ -28,6 +28,7 @@ from repro.core.setup_assistant import SetupAssistant, SetupSuggestions
 from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
+from repro.search.stats import SearchStats
 
 __all__ = ["Charles", "CharlesResult"]
 
@@ -44,6 +45,7 @@ class CharlesResult:
     condition_attributes: tuple[str, ...]
     transformation_attributes: tuple[str, ...]
     total_candidates: int
+    search_stats: SearchStats | None = None
 
     @property
     def best(self) -> ScoredSummary:
@@ -196,7 +198,7 @@ class Charles:
             condition_attributes = suggestions.selected_condition_attributes
         if transformation_attributes is None:
             transformation_attributes = suggestions.selected_transformation_attributes
-        ranked = self._engine.discover(
+        ranked, stats = self._engine.discover_with_stats(
             pair, target, condition_attributes, transformation_attributes
         )
         top = tuple(ranked[: self._config.top_k])
@@ -208,5 +210,9 @@ class Charles:
             config=self._config,
             condition_attributes=tuple(condition_attributes),
             transformation_attributes=tuple(transformation_attributes),
-            total_candidates=len(ranked),
+            # bound-pruned specs were distinct summaries that provably fell
+            # below the top-k; duplicate-pruned specs are not counted — they
+            # would have merged into an existing candidate anyway
+            total_candidates=len(ranked) + stats.candidates_pruned_bounds,
+            search_stats=stats,
         )

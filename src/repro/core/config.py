@@ -115,6 +115,17 @@ class CharlesConfig:
         predicted as "unchanged" (the paper's None leaf) instead of NaN.
     seed:
         Seed for every stochastic component (k-means restarts).
+    n_jobs:
+        Number of worker processes the candidate search uses.  ``1`` (the
+        default) selects the in-process :class:`~repro.search.executors.
+        SerialExecutor`; values above 1 select the process-pool-backed
+        :class:`~repro.search.executors.ParallelExecutor`.  Both executors
+        produce identical rankings; only wall time and cache hit rates differ.
+    prune_search:
+        Whether the search may skip candidates that provably cannot enter the
+        ranked top-k (score upper bound below the current k-th best score).
+        Pruning never changes the top-k; disable it to rank the complete
+        candidate space, e.g. for exhaustive analyses.
     """
 
     alpha: float = 0.5
@@ -137,6 +148,8 @@ class CharlesConfig:
     )
     include_identity_fallback: bool = True
     seed: int = 0
+    n_jobs: int = 1
+    prune_search: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -192,6 +205,8 @@ class CharlesConfig:
             )
         if self.ridge < 0.0:
             raise ConfigurationError(f"ridge must be >= 0, got {self.ridge}")
+        if self.n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {self.n_jobs}")
 
     def replace(self, **changes: Any) -> "CharlesConfig":
         """A copy of this configuration with the given fields replaced."""

@@ -1,62 +1,41 @@
-"""The diff discovery engine: enumerating, fitting, scoring and ranking summaries.
+"""The diff discovery engine: a thin orchestrator over :mod:`repro.search`.
 
 This is the orchestration layer of ChARLES (paper §2, "Diff discovery
 engine").  Given an aligned snapshot pair, a target attribute, and the
 shortlisted condition/transformation attributes, the engine:
 
-1. enumerates every combination of condition-attribute subsets (size ≤ c),
-   transformation-attribute subsets (size ≤ t) and partition counts
-   (1 ≤ k ≤ ``max_partitions``);
-2. for each combination runs partition discovery
-   (:mod:`repro.core.partitioning`) followed by transformation discovery — a
-   per-partition linear regression over the transformation attributes, with
-   coefficients snapped to "normal" values when accuracy allows;
-3. assembles the resulting conditional transformations into a
-   :class:`~repro.core.summary.ChangeSummary`, scores it
-   (:mod:`repro.core.scoring`) and collects it;
-4. deduplicates and ranks every generated summary by descending score.
+1. validates the inputs and handles the degenerate "nothing changed" case;
+2. asks the planner (:mod:`repro.search.planner`) to enumerate the candidate
+   space — every combination of condition-attribute subsets (size ≤ c),
+   transformation-attribute subsets (size ≤ t), partition counts
+   (1 ≤ k ≤ ``max_partitions``) and residual weights — as an explicit
+   :class:`~repro.search.planner.SearchPlan`;
+3. hands the plan to the executor selected by ``CharlesConfig.n_jobs``
+   (:mod:`repro.search.executors`), which evaluates each spec — partition
+   discovery, per-partition regression fits with coefficient snapping,
+   equivalent-partition merging, hierarchical refinement, scoring — through
+   the memo-cached :class:`~repro.search.evaluator.CandidateEvaluator`;
+4. returns the deduplicated candidates ranked by descending score, together
+   with the run's :class:`~repro.search.stats.SearchStats`.
+
+The model-fitting internals live in :mod:`repro.search.evaluator`; this module
+only owns the public engine API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from itertools import combinations
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.condition import Condition
 from repro.core.config import CharlesConfig
-from repro.core.partitioning import Partition, discover_partitions
-from repro.core.scoring import ScoreBreakdown, score_summary
-from repro.core.summary import ChangeSummary, ConditionalTransformation
-from repro.core.transformation import LinearTransformation
-from repro.exceptions import DiscoveryError, ModelFitError
-from repro.ml.linreg import LinearRegression
+from repro.core.summary import ChangeSummary
+from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
-from repro.relational.table import Table
+from repro.search.evaluator import CandidateEvaluator, ScoredSummary
+from repro.search.executors import select_executor
+from repro.search.planner import build_search_plan
+from repro.search.stats import SearchStats
 
 __all__ = ["ScoredSummary", "DiffDiscoveryEngine"]
-
-
-@dataclass(frozen=True)
-class ScoredSummary:
-    """A generated summary together with its score and provenance."""
-
-    summary: ChangeSummary
-    breakdown: ScoreBreakdown
-    condition_attributes: tuple[str, ...]
-    transformation_attributes: tuple[str, ...]
-    n_partitions: int
-
-    @property
-    def score(self) -> float:
-        """The combined accuracy/interpretability score."""
-        return self.breakdown.score
-
-    def describe(self) -> str:
-        """The summary text followed by its score breakdown."""
-        return f"{self.summary.describe()}\n  {self.breakdown}"
 
 
 class DiffDiscoveryEngine:
@@ -87,6 +66,19 @@ class DiffDiscoveryEngine:
             If the target attribute is not numeric or no candidate attributes
             were provided.
         """
+        ranked, _ = self.discover_with_stats(
+            pair, target, condition_attributes, transformation_attributes
+        )
+        return ranked
+
+    def discover_with_stats(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        condition_attributes: Sequence[str],
+        transformation_attributes: Sequence[str],
+    ) -> tuple[list[ScoredSummary], SearchStats]:
+        """Like :meth:`discover`, additionally returning the search statistics."""
         column = pair.schema.column(target)
         if not column.is_numeric:
             raise DiscoveryError(f"target attribute {target!r} must be numeric")
@@ -102,329 +94,12 @@ class DiffDiscoveryEngine:
         changed = pair.changed_mask(target)
         if not changed.any():
             empty = ChangeSummary(target, (), label="no change detected")
-            return [self._scored(empty, pair, (), (), 0)]
+            evaluator = CandidateEvaluator(pair, target, self._config)
+            return [evaluator.score_empty_summary(empty)], SearchStats(n_jobs=self._config.n_jobs)
 
-        candidates: dict[str, ScoredSummary] = {}
-        for transformation_subset in self._subsets(
-            transformation_attributes, self._config.max_transformation_attributes
-        ):
-            # the single-partition, trivial-condition summary (the paper's R4)
-            global_summary = self._global_summary(pair, target, transformation_subset)
-            if global_summary is not None:
-                self._add(candidates, global_summary)
-            if not condition_attributes:
-                continue
-            for condition_subset in self._subsets(
-                condition_attributes, self._config.max_condition_attributes
-            ):
-                for n_partitions in range(1, self._config.max_partitions + 1):
-                    for residual_weight in self._config.residual_weights:
-                        scored = self._partitioned_summary(
-                            pair, target, condition_subset, transformation_subset,
-                            n_partitions, residual_weight,
-                        )
-                        if scored is not None:
-                            self._add(candidates, scored)
-        if not candidates:
+        plan = build_search_plan(condition_attributes, transformation_attributes, self._config)
+        executor = select_executor(self._config)
+        ranked, stats = executor.execute(pair, target, plan, self._config)
+        if not ranked:
             raise DiscoveryError("no candidate summaries could be generated")
-        ranked = sorted(
-            candidates.values(), key=lambda scored: (-scored.score, scored.summary.size)
-        )
-        return ranked
-
-    # -- candidate generation ----------------------------------------------------
-
-    def _global_summary(
-        self, pair: SnapshotPair, target: str, transformation_subset: tuple[str, ...]
-    ) -> ScoredSummary | None:
-        """One CT with the trivial condition applied to every row."""
-        transformation = self._fit_transformation(
-            pair, target, transformation_subset, np.ones(pair.num_rows, dtype=bool)
-        )
-        if transformation is None:
-            return None
-        summary = ChangeSummary(
-            target,
-            (ConditionalTransformation(Condition.always(), transformation),),
-            identity_fallback=self._config.include_identity_fallback,
-        )
-        return self._scored(summary, pair, (), transformation_subset, 1)
-
-    def _partitioned_summary(
-        self,
-        pair: SnapshotPair,
-        target: str,
-        condition_subset: tuple[str, ...],
-        transformation_subset: tuple[str, ...],
-        n_partitions: int,
-        residual_weight: float = 1.0,
-    ) -> ScoredSummary | None:
-        partitions = discover_partitions(
-            pair, target, condition_subset, transformation_subset, n_partitions,
-            self._config, residual_weight=residual_weight,
-        )
-        if not partitions:
-            return None
-        fitted: list[tuple[Partition, LinearTransformation]] = []
-        for partition in partitions:
-            transformation = self._fit_transformation(
-                pair, target, transformation_subset, partition.mask
-            )
-            if transformation is None:
-                continue
-            fitted.append((partition, transformation))
-        fitted = self._merge_equivalent(fitted, pair, target, condition_subset,
-                                        transformation_subset)
-        if self._config.refine_partitions:
-            fitted = self._refine(fitted, pair, target, condition_subset, transformation_subset)
-        conditional_transformations = [
-            ConditionalTransformation(partition.condition, transformation)
-            for partition, transformation in fitted
-        ]
-        if not conditional_transformations:
-            return None
-        summary = ChangeSummary(
-            target,
-            tuple(conditional_transformations),
-            identity_fallback=self._config.include_identity_fallback,
-        )
-        return self._scored(
-            summary, pair, condition_subset, transformation_subset, n_partitions
-        )
-
-    def _merge_equivalent(
-        self,
-        fitted: list[tuple[Partition, LinearTransformation]],
-        pair: SnapshotPair,
-        target: str,
-        condition_subset: tuple[str, ...],
-        transformation_subset: tuple[str, ...],
-    ) -> list[tuple[Partition, LinearTransformation]]:
-        """Merge partitions whose fitted transformations are identical.
-
-        K-means sometimes splits a region that actually follows a single rule
-        (e.g. two experience bands with the same raise).  Merging such
-        partitions and re-inducing one condition over their union yields a
-        strictly more interpretable summary with the same accuracy.
-        """
-        if len(fitted) < 2:
-            return fitted
-        from repro.core.partitioning import induce_condition  # local import to avoid cycle
-
-        groups: dict[tuple, list[tuple[Partition, LinearTransformation]]] = {}
-        order: list[tuple] = []
-        for partition, transformation in fitted:
-            signature = (
-                transformation.feature_names,
-                tuple(round(c, 9) for c in transformation.coefficients),
-                round(transformation.intercept, 9),
-            )
-            if signature not in groups:
-                groups[signature] = []
-                order.append(signature)
-            groups[signature].append((partition, transformation))
-
-        merged: list[tuple[Partition, LinearTransformation]] = []
-        for signature in order:
-            members = groups[signature]
-            if len(members) == 1:
-                merged.append(members[0])
-                continue
-            union_mask = np.zeros(pair.num_rows, dtype=bool)
-            for partition, _ in members:
-                union_mask |= partition.mask
-            condition = induce_condition(
-                pair.source, np.nonzero(union_mask)[0], condition_subset, self._config
-            )
-            if condition.is_trivial and len(fitted) > len(members):
-                merged.extend(members)
-                continue
-            mask = condition.mask(pair.source)
-            transformation = self._fit_transformation(pair, target, transformation_subset, mask)
-            if transformation is None:
-                merged.extend(members)
-                continue
-            coverage = float(mask.mean()) if pair.num_rows else 0.0
-            merged.append((Partition(condition, mask, 1.0, coverage), transformation))
-        return merged
-
-    def _refine(
-        self,
-        fitted: list[tuple[Partition, LinearTransformation]],
-        pair: SnapshotPair,
-        target: str,
-        condition_subset: tuple[str, ...],
-        transformation_subset: tuple[str, ...],
-    ) -> list[tuple[Partition, LinearTransformation]]:
-        """Hierarchically re-partition partitions that are poorly explained.
-
-        When one discovered partition actually contains several sub-policies
-        (e.g. the MS group hiding an experience threshold), its single linear
-        model leaves a visible share of the change unexplained.  Refinement
-        restricts the pair to that partition, runs partition discovery again
-        inside it, and replaces the partition with the sub-partitions — whose
-        conditions are the parent condition conjoined with the sub-conditions,
-        exactly the nested structure of the paper's Fig. 2 tree.
-        """
-        config = self._config
-        refined: list[tuple[Partition, LinearTransformation]] = []
-        for partition, transformation in fitted:
-            if partition.size < 2 * config.min_refinement_rows:
-                refined.append((partition, transformation))
-                continue
-            rows = pair.source.mask(partition.mask)
-            actual_new = pair.target.numeric_column(target)[partition.mask]
-            old_values = rows.numeric_column(target)
-            unexplained = self._partition_error(transformation, rows, actual_new)
-            total_change = float(np.nansum(np.abs(actual_new - old_values)))
-            if total_change <= 0.0 or unexplained / total_change < config.refinement_error_threshold:
-                refined.append((partition, transformation))
-                continue
-            sub_pair = pair.restricted(partition.mask)
-            sub_partitions = discover_partitions(
-                sub_pair, target, condition_subset, transformation_subset, 2, config
-            )
-            if len(sub_partitions) < 2:
-                refined.append((partition, transformation))
-                continue
-            replacement: list[tuple[Partition, LinearTransformation]] = []
-            replacement_error = 0.0
-            parent_indices = np.nonzero(partition.mask)[0]
-            for sub in sub_partitions:
-                sub_mask_full = np.zeros(pair.num_rows, dtype=bool)
-                sub_mask_full[parent_indices[np.nonzero(sub.mask)[0]]] = True
-                combined = self._conjoin(partition.condition, sub.condition)
-                sub_transformation = self._fit_transformation(
-                    pair, target, transformation_subset, sub_mask_full
-                )
-                if sub_transformation is None:
-                    continue
-                sub_rows = pair.source.mask(sub_mask_full)
-                sub_actual = pair.target.numeric_column(target)[sub_mask_full]
-                replacement_error += self._partition_error(sub_transformation, sub_rows, sub_actual)
-                coverage = float(sub_mask_full.mean())
-                replacement.append(
-                    (Partition(combined, sub_mask_full, sub.fidelity, coverage), sub_transformation)
-                )
-            if len(replacement) >= 2 and replacement_error < unexplained:
-                refined.extend(replacement)
-            else:
-                refined.append((partition, transformation))
-        return refined
-
-    @staticmethod
-    def _conjoin(parent: Condition, child: Condition) -> Condition:
-        """Conjoin two conditions, dropping descriptors the parent already has."""
-        existing = set(parent.descriptors)
-        extra = tuple(d for d in child.descriptors if d not in existing)
-        return Condition(parent.descriptors + extra)
-
-    def _fit_transformation(
-        self,
-        pair: SnapshotPair,
-        target: str,
-        transformation_subset: tuple[str, ...],
-        mask: np.ndarray,
-    ) -> LinearTransformation | None:
-        """Transformation discovery for one partition, with coefficient snapping."""
-        if not mask.any():
-            return None
-        source_rows = pair.source.mask(mask)
-        actual_new = pair.target.numeric_column(target)[mask]
-        features = source_rows.numeric_matrix(list(transformation_subset))
-        try:
-            model = LinearRegression(ridge=self._config.ridge).fit(features, actual_new)
-            model = self._trimmed_refit(model, features, actual_new)
-        except ModelFitError:
-            return None
-        transformation = LinearTransformation.from_regression(
-            model, transformation_subset, target
-        )
-        if not transformation.feature_names and transformation.intercept == 0.0:
-            return None
-        baseline_error = self._partition_error(transformation, source_rows, actual_new)
-        scale = float(np.sum(np.abs(actual_new))) or 1.0
-
-        def accuracy_loss(candidate: LinearTransformation) -> float:
-            candidate_error = self._partition_error(candidate, source_rows, actual_new)
-            return (candidate_error - baseline_error) / scale
-
-        snapped = transformation.snapped(accuracy_loss, self._config.snapping_tolerance)
-        # if the partition turns out to be unchanged, prefer the explicit identity
-        identity = LinearTransformation.identity(target)
-        if self._partition_error(identity, source_rows, actual_new) <= baseline_error + 1e-9:
-            return identity
-        return snapped
-
-    def _trimmed_refit(
-        self,
-        model: LinearRegression,
-        features: np.ndarray,
-        actual_new: np.ndarray,
-    ) -> LinearRegression:
-        """Refit once without gross outliers so noisy point edits do not drag coefficients.
-
-        Rows whose absolute residual exceeds 6x the median absolute residual are
-        treated as unexplainable one-off edits; if they are few (under 20 % of
-        the partition) the model is refitted on the remaining rows, which keeps
-        the recovered coefficients on the latent policy rather than a
-        compromise between the policy and the noise.
-        """
-        residuals = np.abs(model.residuals(features, actual_new))
-        residuals = np.where(np.isnan(residuals), 0.0, residuals)
-        median = float(np.median(residuals))
-        if median <= 0.0:
-            return model
-        keep = residuals <= 6.0 * median
-        dropped = int((~keep).sum())
-        if dropped == 0 or dropped > 0.2 * keep.size or keep.sum() < 2:
-            return model
-        try:
-            return LinearRegression(ridge=self._config.ridge).fit(features[keep], actual_new[keep])
-        except ModelFitError:
-            return model
-
-    @staticmethod
-    def _partition_error(
-        transformation: LinearTransformation, source_rows: Table, actual_new: np.ndarray
-    ) -> float:
-        predictions = transformation.apply(source_rows)
-        usable = ~np.isnan(predictions) & ~np.isnan(actual_new)
-        if not usable.any():
-            return float("inf")
-        return float(np.sum(np.abs(predictions[usable] - actual_new[usable])))
-
-    # -- bookkeeping -------------------------------------------------------------
-
-    def _scored(
-        self,
-        summary: ChangeSummary,
-        pair: SnapshotPair,
-        condition_subset: tuple[str, ...],
-        transformation_subset: tuple[str, ...],
-        n_partitions: int,
-    ) -> ScoredSummary:
-        breakdown = score_summary(summary, pair, self._config)
-        return ScoredSummary(
-            summary=summary,
-            breakdown=breakdown,
-            condition_attributes=tuple(condition_subset),
-            transformation_attributes=tuple(transformation_subset),
-            n_partitions=n_partitions,
-        )
-
-    @staticmethod
-    def _add(candidates: dict[str, ScoredSummary], scored: ScoredSummary) -> None:
-        key = scored.summary.describe()
-        existing = candidates.get(key)
-        if existing is None or scored.score > existing.score:
-            candidates[key] = scored
-
-    @staticmethod
-    def _subsets(attributes: Sequence[str], max_size: int) -> list[tuple[str, ...]]:
-        """All non-empty subsets of ``attributes`` up to ``max_size``, smallest first."""
-        names = list(dict.fromkeys(attributes))
-        subsets: list[tuple[str, ...]] = []
-        for size in range(1, min(max_size, len(names)) + 1):
-            subsets.extend(combinations(names, size))
-        return subsets
+        return ranked, stats

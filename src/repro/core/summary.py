@@ -181,6 +181,24 @@ class ChangeSummary:
         actual = pair.target.numeric_column(self.target)
         return actual - predictions
 
+    def structural_key(self) -> tuple:
+        """A formatting-independent identity for candidate deduplication.
+
+        Built from the target, the ordered conditions' descriptors and each
+        transformation's :meth:`~repro.core.transformation.LinearTransformation.
+        signature` — never from rendered text, so a change to :meth:`describe`
+        can neither merge distinct summaries nor split identical ones.
+        """
+        return (
+            self.target,
+            self.identity_fallback,
+            self.label,
+            tuple(
+                (ct.condition.descriptors, ct.transformation.signature())
+                for ct in self.conditional_transformations
+            ),
+        )
+
     # -- conversion / rendering --------------------------------------------------
 
     def to_model_tree(self) -> LinearModelTree:

@@ -128,6 +128,21 @@ class LinearTransformation:
         """Absolute errors of this transformation against the actual new values."""
         return np.abs(self.apply(source) - np.asarray(actual_new_values, dtype=float))
 
+    def signature(self) -> tuple:
+        """The equivalence identity of this transformation: features plus
+        constants rounded to nine decimals.
+
+        Two transformations with equal signatures are treated as the same rule
+        everywhere equivalence matters — when merging partitions that follow
+        one rule and when deduplicating candidate summaries — so the rounding
+        precision lives here, in one place.
+        """
+        return (
+            self.feature_names,
+            tuple(round(coefficient, 9) for coefficient in self.coefficients),
+            round(self.intercept, 9),
+        )
+
     # -- interpretability inputs ----------------------------------------------
 
     @property

@@ -12,6 +12,7 @@ from repro.evaluation.harness import (
     evaluate_summary,
     run_alpha_sweep,
     run_method_comparison,
+    run_search_profile,
     standard_methods,
 )
 from repro.evaluation.metrics import (
@@ -28,6 +29,7 @@ __all__ = [
     "evaluate_summary",
     "run_method_comparison",
     "run_alpha_sweep",
+    "run_search_profile",
     "standard_methods",
     "RuleRecovery",
     "adjusted_rand_index",

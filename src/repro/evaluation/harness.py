@@ -33,6 +33,7 @@ __all__ = [
     "standard_methods",
     "run_method_comparison",
     "run_alpha_sweep",
+    "run_search_profile",
 ]
 
 
@@ -174,6 +175,47 @@ def run_method_comparison(
         elapsed = time.perf_counter() - started
         metrics = evaluate_summary(summary, pair, policy, config)
         table.add(workload=workload, method=name, seconds=elapsed, **metrics)
+    return table
+
+
+def run_search_profile(
+    pair: SnapshotPair,
+    target: str,
+    configs: Mapping[str, CharlesConfig],
+    condition_attributes: Sequence[str] | None = None,
+    transformation_attributes: Sequence[str] | None = None,
+) -> ResultTable:
+    """Profile the candidate search under several configurations.
+
+    Runs ChARLES once per named configuration (e.g. serial vs. parallel, or
+    pruning on vs. off) and tabulates the :class:`~repro.search.stats.
+    SearchStats` of each run next to the winning score, so executor and cache
+    behaviour can be compared on equal workloads.  The scaling benchmark (E6)
+    uses this to record the search subsystem's performance trajectory.
+    """
+    columns = [
+        "setting", "jobs", "seconds", "candidates", "evaluated", "pruned",
+        "cache_hit_rate", "best_score",
+    ]
+    table = ResultTable(columns, title=f"Search profile on '{target}'")
+    for name, config in configs.items():
+        result = Charles(config).summarize_pair(
+            pair,
+            target,
+            condition_attributes=condition_attributes,
+            transformation_attributes=transformation_attributes,
+        )
+        stats = result.search_stats
+        table.add(
+            setting=name,
+            jobs=stats.n_jobs if stats else config.n_jobs,
+            seconds=stats.wall_time_seconds if stats else None,
+            candidates=stats.candidates_enumerated if stats else result.total_candidates,
+            evaluated=stats.candidates_evaluated if stats else None,
+            pruned=stats.candidates_pruned if stats else None,
+            cache_hit_rate=stats.cache_hit_rate if stats else None,
+            best_score=result.best.score,
+        )
     return table
 
 

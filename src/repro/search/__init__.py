@@ -1,0 +1,94 @@
+"""The candidate search subsystem of the diff discovery engine.
+
+Search architecture
+===================
+
+Diff discovery is ChARLES's hot path: for one target attribute it must fit,
+merge, refine and score a combinatorial space of candidate summaries
+(condition subsets x transformation subsets x partition counts x residual
+weights).  This package separates *what* must be computed from *how and when*
+it is computed, in three layers:
+
+1. **Planner** (:mod:`repro.search.planner`) — enumerates the entire candidate
+   space up front as immutable :class:`~repro.search.planner.CandidateSpec`
+   records collected in a :class:`~repro.search.planner.SearchPlan`.  The plan
+   is countable and introspectable, and it groups specs into *rounds* (global
+   single-rule specs first, then partitioned specs by ascending partition
+   count) that define the synchronisation points of the search.
+
+2. **Executors** (:mod:`repro.search.executors`) — evaluate the plan.
+   :class:`~repro.search.executors.SerialExecutor` runs in process;
+   :class:`~repro.search.executors.ParallelExecutor` fans rounds out over a
+   ``ProcessPoolExecutor`` (``CharlesConfig.n_jobs`` selects between them).
+   Both produce byte-identical rankings because every input to an evaluation
+   (the top-k pruning floor, the duplicate-signature set) is frozen per round,
+   and outcomes are reduced in spec order.  Executors fill in a
+   :class:`~repro.search.stats.SearchStats` record (candidates enumerated /
+   evaluated / pruned, cache hits, wall time) that rides along with the
+   results.
+
+3. **Memo caches + pruning** (:mod:`repro.search.cache`,
+   :mod:`repro.search.evaluator`) — the
+   :class:`~repro.search.evaluator.CandidateEvaluator` performs the actual
+   partition discovery, per-partition regression fits, equivalent-partition
+   merging and hierarchical refinement, with every partition discovery and
+   per-mask fit memoised by content key (row-mask digest + attribute subset).
+   Pruning is exact, never heuristic: specs whose discovered partition
+   structure duplicates an earlier round's spec are skipped (the downstream
+   pipeline is deterministic, so the summary would be identical), and built
+   summaries whose score upper bound ``alpha + (1 - alpha) *
+   interpretability`` cannot beat the current top-k floor are dropped without
+   paying for the accuracy pass.
+
+Adding a new execution backend
+------------------------------
+
+Subclass :class:`~repro.search.executors.SearchExecutor` and implement
+``_setup`` / ``_run_round`` / ``_teardown``.  The base class owns the round
+loop, floor updates and the deterministic reduce; a backend only decides how
+the specs of one round are evaluated (threads, a job queue, a remote cluster,
+...).  The contract to preserve: evaluate every spec of the round with exactly
+the ``floor`` and ``known_signatures`` given, and return outcomes in spec
+order.  Wire the backend into
+:func:`~repro.search.executors.select_executor` (or construct it directly and
+call ``execute``).
+"""
+
+from repro.search.cache import CacheCounters, MemoCache, SearchCaches, mask_digest
+from repro.search.evaluator import CandidateEvaluator, EvaluationOutcome, ScoredSummary
+from repro.search.executors import (
+    ParallelExecutor,
+    SearchExecutor,
+    SerialExecutor,
+    select_executor,
+)
+from repro.search.planner import (
+    GLOBAL,
+    PARTITIONED,
+    CandidateSpec,
+    SearchPlan,
+    attribute_subsets,
+    build_search_plan,
+)
+from repro.search.stats import SearchStats
+
+__all__ = [
+    "GLOBAL",
+    "PARTITIONED",
+    "CandidateSpec",
+    "SearchPlan",
+    "attribute_subsets",
+    "build_search_plan",
+    "MemoCache",
+    "CacheCounters",
+    "SearchCaches",
+    "mask_digest",
+    "CandidateEvaluator",
+    "EvaluationOutcome",
+    "ScoredSummary",
+    "SearchExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "select_executor",
+    "SearchStats",
+]

@@ -1,0 +1,113 @@
+"""Memo caches for the candidate search.
+
+The search evaluates many :class:`~repro.search.planner.CandidateSpec`\\ s that
+overlap heavily: different partition counts and residual weights frequently
+collapse to the same partition masks, merging re-fits union masks that later
+specs rediscover, and hierarchical refinement re-runs partition discovery on
+the same sub-table for every spec that produced the same parent partition.
+Keying that work on content — the row mask's bytes plus the transformation
+subset — means no regression fit or partition discovery is ever computed twice
+within one executor (or one worker process, in parallel runs).
+
+Row masks are folded to a BLAKE2b digest before being used as keys, so cache
+keys stay small even for very large tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = ["MemoCache", "CacheCounters", "SearchCaches", "mask_digest"]
+
+
+def mask_digest(mask: np.ndarray) -> bytes:
+    """A compact content key for a boolean row mask."""
+    return hashlib.blake2b(np.ascontiguousarray(mask).tobytes(), digest_size=16).digest()
+
+
+class MemoCache:
+    """A dictionary-backed memo cache with hit/miss accounting.
+
+    ``None`` is a legitimate cached value (e.g. "this partition admits no
+    transformation"), so membership is tested with lookup, not sentinel
+    comparison.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and storing it on first use."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._entries[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """A snapshot of both caches' hit/miss counters (supports delta arithmetic)."""
+
+    fit_hits: int = 0
+    fit_misses: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+
+    def __sub__(self, other: "CacheCounters") -> "CacheCounters":
+        return CacheCounters(
+            fit_hits=self.fit_hits - other.fit_hits,
+            fit_misses=self.fit_misses - other.fit_misses,
+            partition_hits=self.partition_hits - other.partition_hits,
+            partition_misses=self.partition_misses - other.partition_misses,
+        )
+
+    def __add__(self, other: "CacheCounters") -> "CacheCounters":
+        return CacheCounters(
+            fit_hits=self.fit_hits + other.fit_hits,
+            fit_misses=self.fit_misses + other.fit_misses,
+            partition_hits=self.partition_hits + other.partition_hits,
+            partition_misses=self.partition_misses + other.partition_misses,
+        )
+
+
+class SearchCaches:
+    """The two memo caches one evaluator carries through a search.
+
+    * ``fits`` — per-mask transformation fits, keyed on
+      ``(transformation_subset, mask_digest)``.
+    * ``partitions`` — partition-discovery results, keyed on
+      ``(scope_digest, condition_subset, transformation_subset, n_partitions,
+      residual_weight)`` where the scope digest identifies the sub-table the
+      discovery ran on (empty for the full pair).
+    """
+
+    def __init__(self) -> None:
+        self.fits = MemoCache()
+        self.partitions = MemoCache()
+
+    def counters(self) -> CacheCounters:
+        """The current cumulative hit/miss counters of both caches."""
+        return CacheCounters(
+            fit_hits=self.fits.hits,
+            fit_misses=self.fits.misses,
+            partition_hits=self.partitions.hits,
+            partition_misses=self.partitions.misses,
+        )

@@ -1,0 +1,469 @@
+"""Evaluating one candidate spec: partitions, fits, merge, refine, score.
+
+This module holds the model-fitting heart of the diff discovery engine, moved
+out of :class:`~repro.core.discovery.DiffDiscoveryEngine` so that any executor
+— serial or parallel — can evaluate :class:`~repro.search.planner.CandidateSpec`\\ s
+through one shared, cache-aware code path.  A :class:`CandidateEvaluator` is
+bound to a single ``(pair, target, config)`` triple; every partition discovery
+and per-mask regression fit it performs is memoised in its
+:class:`~repro.search.cache.SearchCaches`, so work that recurs across specs
+(identical partition masks at different ``k``/residual weights, union masks
+re-fitted during merging, refinement re-clustering the same sub-table) is done
+once.
+
+Two kinds of pruning happen here, both exact:
+
+* **signature pruning** — if a spec's discovered partitions (conditions +
+  masks) are identical to those of a spec evaluated in an earlier round, the
+  downstream computation is fully deterministic, so the resulting summary
+  would be a byte-identical duplicate; the spec is skipped outright.
+* **score-bound pruning** — once a summary is built, its interpretability is
+  exact and its accuracy is at most 1, so ``alpha * 1 + (1 - alpha) *
+  interpretability`` is a sound upper bound on its score.  If that bound
+  cannot beat the current top-k floor the expensive accuracy pass is skipped
+  and the candidate is dropped; it provably could not have entered the top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.condition import Condition
+from repro.core.config import CharlesConfig
+from repro.core.partitioning import Partition, discover_partitions, induce_condition
+from repro.core.scoring import ScoreBreakdown, accuracy, interpretability, score_summary
+from repro.core.summary import ChangeSummary, ConditionalTransformation
+from repro.core.transformation import LinearTransformation
+from repro.exceptions import ModelFitError
+from repro.ml.linreg import LinearRegression
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.search.cache import SearchCaches, mask_digest
+from repro.search.planner import GLOBAL, CandidateSpec
+
+__all__ = ["ScoredSummary", "EvaluationOutcome", "CandidateEvaluator"]
+
+_FULL_SCOPE = b""
+
+
+@dataclass(frozen=True)
+class ScoredSummary:
+    """A generated summary together with its score and provenance."""
+
+    summary: ChangeSummary
+    breakdown: ScoreBreakdown
+    condition_attributes: tuple[str, ...]
+    transformation_attributes: tuple[str, ...]
+    n_partitions: int
+
+    @property
+    def score(self) -> float:
+        """The combined accuracy/interpretability score."""
+        return self.breakdown.score
+
+    def describe(self) -> str:
+        """The summary text followed by its score breakdown."""
+        return f"{self.summary.describe()}\n  {self.breakdown}"
+
+
+PRUNED_DUPLICATE = "duplicate"
+PRUNED_SCORE_BOUND = "score-bound"
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """What evaluating one spec produced.
+
+    ``scored`` is ``None`` when the spec yielded no candidate (infeasible) or
+    was pruned; ``signature`` identifies the discovered partition structure of
+    partitioned specs so later rounds can skip provable duplicates.
+    ``pruned_reason`` distinguishes the two prune kinds:
+    :data:`PRUNED_DUPLICATE` (identical partition structure already evaluated
+    — the summary would be a byte-identical duplicate) and
+    :data:`PRUNED_SCORE_BOUND` (a distinct summary was built but provably
+    cannot enter the top-k).
+    """
+
+    spec: CandidateSpec
+    scored: ScoredSummary | None
+    signature: tuple | None
+    pruned_reason: str | None = None
+
+    @property
+    def pruned(self) -> bool:
+        """Whether the spec was skipped or dropped rather than fully scored."""
+        return self.pruned_reason is not None
+
+
+class CandidateEvaluator:
+    """Evaluates candidate specs for one snapshot pair, target and config."""
+
+    def __init__(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        config: CharlesConfig,
+        caches: SearchCaches | None = None,
+    ):
+        self._pair = pair
+        self._target = target
+        self._config = config
+        self._full_mask = np.ones(pair.num_rows, dtype=bool)
+        self.caches = caches or SearchCaches()
+
+    # -- public API ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        spec: CandidateSpec,
+        floor: float = float("-inf"),
+        known_signatures: frozenset = frozenset(),
+    ) -> EvaluationOutcome:
+        """Evaluate one spec against the current top-k ``floor``.
+
+        ``known_signatures`` must only contain signatures of specs from
+        *earlier* rounds; the evaluator never mutates it, which keeps the
+        outcome independent of how specs within a round are ordered or
+        distributed over workers.
+        """
+        if spec.kind == GLOBAL:
+            return EvaluationOutcome(spec, self._global_summary(spec), None)
+        partitions = self._cached_partitions(
+            self._pair,
+            _FULL_SCOPE,
+            spec.condition_subset,
+            spec.transformation_subset,
+            spec.n_partitions,
+            spec.residual_weight,
+        )
+        signature = self._partition_signature(spec, partitions)
+        if signature in known_signatures:
+            return EvaluationOutcome(spec, None, signature, pruned_reason=PRUNED_DUPLICATE)
+        summary = self._partitioned_summary(spec, partitions)
+        if summary is None:
+            return EvaluationOutcome(spec, None, signature)
+        scored = self._score_or_prune(summary, spec, floor)
+        reason = PRUNED_SCORE_BOUND if scored is None else None
+        return EvaluationOutcome(spec, scored, signature, pruned_reason=reason)
+
+    def score_empty_summary(self, summary: ChangeSummary) -> ScoredSummary:
+        """Score the degenerate "no change detected" summary."""
+        breakdown = score_summary(summary, self._pair, self._config)
+        return ScoredSummary(summary, breakdown, (), (), 0)
+
+    # -- cached building blocks --------------------------------------------------
+
+    def _cached_partitions(
+        self,
+        scope_pair: SnapshotPair,
+        scope_key: bytes,
+        condition_subset: tuple[str, ...],
+        transformation_subset: tuple[str, ...],
+        n_partitions: int,
+        residual_weight: float = 1.0,
+    ) -> list[Partition]:
+        key = (scope_key, condition_subset, transformation_subset, n_partitions, residual_weight)
+        return self.caches.partitions.get_or_compute(
+            key,
+            lambda: discover_partitions(
+                scope_pair,
+                self._target,
+                condition_subset,
+                transformation_subset,
+                n_partitions,
+                self._config,
+                residual_weight=residual_weight,
+            ),
+        )
+
+    def _cached_fit(
+        self, transformation_subset: tuple[str, ...], mask: np.ndarray
+    ) -> LinearTransformation | None:
+        key = (transformation_subset, mask_digest(mask))
+        return self.caches.fits.get_or_compute(
+            key, lambda: self._fit_transformation(transformation_subset, mask)
+        )
+
+    @staticmethod
+    def _partition_signature(spec: CandidateSpec, partitions: list[Partition]) -> tuple:
+        """A content identity for the discovered partition structure.
+
+        Two specs with the same subsets and the same ordered (condition, mask)
+        lists go through an identical, deterministic fit/merge/refine pipeline,
+        so their summaries are interchangeable.  Conditions are identified by
+        their raw descriptors, not rendered text, so thresholds that differ
+        below display precision cannot be conflated.
+        """
+        return (
+            spec.condition_subset,
+            spec.transformation_subset,
+            tuple(
+                (partition.condition.descriptors, mask_digest(partition.mask))
+                for partition in partitions
+            ),
+        )
+
+    # -- candidate generation ----------------------------------------------------
+
+    def _global_summary(self, spec: CandidateSpec) -> ScoredSummary | None:
+        """One CT with the trivial condition applied to every row (the paper's R4)."""
+        transformation = self._cached_fit(spec.transformation_subset, self._full_mask)
+        if transformation is None:
+            return None
+        summary = ChangeSummary(
+            self._target,
+            (ConditionalTransformation(Condition.always(), transformation),),
+            identity_fallback=self._config.include_identity_fallback,
+        )
+        breakdown = score_summary(summary, self._pair, self._config)
+        return ScoredSummary(summary, breakdown, (), spec.transformation_subset, 1)
+
+    def _partitioned_summary(
+        self, spec: CandidateSpec, partitions: list[Partition]
+    ) -> ChangeSummary | None:
+        if not partitions:
+            return None
+        pair = self._pair
+        fitted: list[tuple[Partition, LinearTransformation]] = []
+        for partition in partitions:
+            transformation = self._cached_fit(spec.transformation_subset, partition.mask)
+            if transformation is None:
+                continue
+            fitted.append((partition, transformation))
+        fitted = self._merge_equivalent(fitted, spec.condition_subset, spec.transformation_subset)
+        if self._config.refine_partitions:
+            fitted = self._refine(fitted, spec.condition_subset, spec.transformation_subset)
+        conditional_transformations = [
+            ConditionalTransformation(partition.condition, transformation)
+            for partition, transformation in fitted
+        ]
+        if not conditional_transformations:
+            return None
+        return ChangeSummary(
+            self._target,
+            tuple(conditional_transformations),
+            identity_fallback=self._config.include_identity_fallback,
+        )
+
+    def _score_or_prune(
+        self, summary: ChangeSummary, spec: CandidateSpec, floor: float
+    ) -> ScoredSummary | None:
+        """Score a built summary, or drop it when it provably cannot reach the top-k."""
+        config = self._config
+        interpretability_value, components = interpretability(summary, self._pair, config)
+        if config.prune_search:
+            upper_bound = config.alpha * 1.0 + (1.0 - config.alpha) * interpretability_value
+            if upper_bound < floor:
+                return None
+        accuracy_value = accuracy(summary, self._pair, sharpness=config.accuracy_sharpness)
+        breakdown = ScoreBreakdown(
+            accuracy=accuracy_value,
+            interpretability=interpretability_value,
+            size_score=components["size"],
+            simplicity_score=components["simplicity"],
+            coverage_score=components["coverage"],
+            normality_score=components["normality"],
+            alpha=config.alpha,
+        )
+        return ScoredSummary(
+            summary=summary,
+            breakdown=breakdown,
+            condition_attributes=spec.condition_subset,
+            transformation_attributes=spec.transformation_subset,
+            n_partitions=spec.n_partitions,
+        )
+
+    def _merge_equivalent(
+        self,
+        fitted: list[tuple[Partition, LinearTransformation]],
+        condition_subset: tuple[str, ...],
+        transformation_subset: tuple[str, ...],
+    ) -> list[tuple[Partition, LinearTransformation]]:
+        """Merge partitions whose fitted transformations are identical.
+
+        K-means sometimes splits a region that actually follows a single rule
+        (e.g. two experience bands with the same raise).  Merging such
+        partitions and re-inducing one condition over their union yields a
+        strictly more interpretable summary with the same accuracy.
+        """
+        if len(fitted) < 2:
+            return fitted
+        pair = self._pair
+
+        groups: dict[tuple, list[tuple[Partition, LinearTransformation]]] = {}
+        order: list[tuple] = []
+        for partition, transformation in fitted:
+            signature = transformation.signature()
+            if signature not in groups:
+                groups[signature] = []
+                order.append(signature)
+            groups[signature].append((partition, transformation))
+
+        merged: list[tuple[Partition, LinearTransformation]] = []
+        for signature in order:
+            members = groups[signature]
+            if len(members) == 1:
+                merged.append(members[0])
+                continue
+            union_mask = np.zeros(pair.num_rows, dtype=bool)
+            for partition, _ in members:
+                union_mask |= partition.mask
+            condition = induce_condition(
+                pair.source, np.nonzero(union_mask)[0], condition_subset, self._config
+            )
+            if condition.is_trivial and len(fitted) > len(members):
+                merged.extend(members)
+                continue
+            mask = condition.mask(pair.source)
+            transformation = self._cached_fit(transformation_subset, mask)
+            if transformation is None:
+                merged.extend(members)
+                continue
+            coverage = float(mask.mean()) if pair.num_rows else 0.0
+            merged.append((Partition(condition, mask, 1.0, coverage), transformation))
+        return merged
+
+    def _refine(
+        self,
+        fitted: list[tuple[Partition, LinearTransformation]],
+        condition_subset: tuple[str, ...],
+        transformation_subset: tuple[str, ...],
+    ) -> list[tuple[Partition, LinearTransformation]]:
+        """Hierarchically re-partition partitions that are poorly explained.
+
+        When one discovered partition actually contains several sub-policies
+        (e.g. the MS group hiding an experience threshold), its single linear
+        model leaves a visible share of the change unexplained.  Refinement
+        restricts the pair to that partition, runs partition discovery again
+        inside it, and replaces the partition with the sub-partitions — whose
+        conditions are the parent condition conjoined with the sub-conditions,
+        exactly the nested structure of the paper's Fig. 2 tree.
+        """
+        config = self._config
+        pair = self._pair
+        target = self._target
+        refined: list[tuple[Partition, LinearTransformation]] = []
+        for partition, transformation in fitted:
+            if partition.size < 2 * config.min_refinement_rows:
+                refined.append((partition, transformation))
+                continue
+            rows = pair.source.mask(partition.mask)
+            actual_new = pair.target.numeric_column(target)[partition.mask]
+            old_values = rows.numeric_column(target)
+            unexplained = self._partition_error(transformation, rows, actual_new)
+            total_change = float(np.nansum(np.abs(actual_new - old_values)))
+            if total_change <= 0.0 or unexplained / total_change < config.refinement_error_threshold:
+                refined.append((partition, transformation))
+                continue
+            sub_pair = pair.restricted(partition.mask)
+            sub_partitions = self._cached_partitions(
+                sub_pair, mask_digest(partition.mask), condition_subset, transformation_subset, 2
+            )
+            if len(sub_partitions) < 2:
+                refined.append((partition, transformation))
+                continue
+            replacement: list[tuple[Partition, LinearTransformation]] = []
+            replacement_error = 0.0
+            parent_indices = np.nonzero(partition.mask)[0]
+            for sub in sub_partitions:
+                sub_mask_full = np.zeros(pair.num_rows, dtype=bool)
+                sub_mask_full[parent_indices[np.nonzero(sub.mask)[0]]] = True
+                combined = self._conjoin(partition.condition, sub.condition)
+                sub_transformation = self._cached_fit(transformation_subset, sub_mask_full)
+                if sub_transformation is None:
+                    continue
+                sub_rows = pair.source.mask(sub_mask_full)
+                sub_actual = pair.target.numeric_column(target)[sub_mask_full]
+                replacement_error += self._partition_error(sub_transformation, sub_rows, sub_actual)
+                coverage = float(sub_mask_full.mean())
+                replacement.append(
+                    (Partition(combined, sub_mask_full, sub.fidelity, coverage), sub_transformation)
+                )
+            if len(replacement) >= 2 and replacement_error < unexplained:
+                refined.extend(replacement)
+            else:
+                refined.append((partition, transformation))
+        return refined
+
+    @staticmethod
+    def _conjoin(parent: Condition, child: Condition) -> Condition:
+        """Conjoin two conditions, dropping descriptors the parent already has."""
+        existing = set(parent.descriptors)
+        extra = tuple(d for d in child.descriptors if d not in existing)
+        return Condition(parent.descriptors + extra)
+
+    def _fit_transformation(
+        self,
+        transformation_subset: tuple[str, ...],
+        mask: np.ndarray,
+    ) -> LinearTransformation | None:
+        """Transformation discovery for one partition, with coefficient snapping."""
+        if not mask.any():
+            return None
+        pair = self._pair
+        source_rows = pair.source.mask(mask)
+        actual_new = pair.target.numeric_column(self._target)[mask]
+        features = source_rows.numeric_matrix(list(transformation_subset))
+        try:
+            model = LinearRegression(ridge=self._config.ridge).fit(features, actual_new)
+            model = self._trimmed_refit(model, features, actual_new)
+        except ModelFitError:
+            return None
+        transformation = LinearTransformation.from_regression(
+            model, transformation_subset, self._target
+        )
+        if not transformation.feature_names and transformation.intercept == 0.0:
+            return None
+        baseline_error = self._partition_error(transformation, source_rows, actual_new)
+        scale = float(np.sum(np.abs(actual_new))) or 1.0
+
+        def accuracy_loss(candidate: LinearTransformation) -> float:
+            candidate_error = self._partition_error(candidate, source_rows, actual_new)
+            return (candidate_error - baseline_error) / scale
+
+        snapped = transformation.snapped(accuracy_loss, self._config.snapping_tolerance)
+        # if the partition turns out to be unchanged, prefer the explicit identity
+        identity = LinearTransformation.identity(self._target)
+        if self._partition_error(identity, source_rows, actual_new) <= baseline_error + 1e-9:
+            return identity
+        return snapped
+
+    def _trimmed_refit(
+        self,
+        model: LinearRegression,
+        features: np.ndarray,
+        actual_new: np.ndarray,
+    ) -> LinearRegression:
+        """Refit once without gross outliers so noisy point edits do not drag coefficients.
+
+        Rows whose absolute residual exceeds 6x the median absolute residual are
+        treated as unexplainable one-off edits; if they are few (under 20 % of
+        the partition) the model is refitted on the remaining rows, which keeps
+        the recovered coefficients on the latent policy rather than a
+        compromise between the policy and the noise.
+        """
+        residuals = np.abs(model.residuals(features, actual_new))
+        residuals = np.where(np.isnan(residuals), 0.0, residuals)
+        median = float(np.median(residuals))
+        if median <= 0.0:
+            return model
+        keep = residuals <= 6.0 * median
+        dropped = int((~keep).sum())
+        if dropped == 0 or dropped > 0.2 * keep.size or keep.sum() < 2:
+            return model
+        try:
+            return LinearRegression(ridge=self._config.ridge).fit(features[keep], actual_new[keep])
+        except ModelFitError:
+            return model
+
+    @staticmethod
+    def _partition_error(
+        transformation: LinearTransformation, source_rows: Table, actual_new: np.ndarray
+    ) -> float:
+        predictions = transformation.apply(source_rows)
+        usable = ~np.isnan(predictions) & ~np.isnan(actual_new)
+        if not usable.any():
+            return float("inf")
+        return float(np.sum(np.abs(predictions[usable] - actual_new[usable])))

@@ -1,0 +1,297 @@
+"""Executors: how and where the planned candidate space gets evaluated.
+
+An executor takes a :class:`~repro.search.planner.SearchPlan` and returns the
+deduplicated, ranked candidate list plus a
+:class:`~repro.search.stats.SearchStats` record.  The base class owns the
+round loop, the deterministic reduce (structural-key deduplication in spec
+order, then ranking) and the top-k floor used for pruning; subclasses only
+decide how the specs *within* one round are evaluated:
+
+* :class:`SerialExecutor` — one in-process evaluator whose memo caches span
+  the whole search.  The default (``CharlesConfig.n_jobs == 1``).
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` of ``n_jobs`` workers,
+  each holding its own evaluator and caches.  Selected with
+  ``CharlesConfig.n_jobs > 1``.
+
+Both executors produce byte-identical rankings.  Every quantity that affects
+an evaluation — the top-k floor and the duplicate-signature set — is frozen at
+the start of a round and only updated between rounds, so outcomes do not
+depend on evaluation order inside a round; and outcomes are reduced in spec
+order, so tie-breaking is identical no matter which worker produced a
+candidate.  (Cache *statistics* do differ: workers cannot share memo caches
+across process boundaries, so parallel runs re-fit some work a serial run
+would have cached.  That changes timings, never results — caches only ever
+memoise deterministic functions.)
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Sequence
+
+from repro.core.config import CharlesConfig
+from repro.relational.snapshot import SnapshotPair
+from repro.search.cache import CacheCounters, SearchCaches
+from repro.search.evaluator import (
+    PRUNED_DUPLICATE,
+    CandidateEvaluator,
+    EvaluationOutcome,
+    ScoredSummary,
+)
+from repro.search.planner import CandidateSpec, SearchPlan
+from repro.search.stats import SearchStats
+
+__all__ = ["SearchExecutor", "SerialExecutor", "ParallelExecutor", "select_executor"]
+
+
+def add_candidate(candidates: dict[tuple, ScoredSummary], scored: ScoredSummary) -> None:
+    """Deduplicate on the summary's structural key, keeping the higher score.
+
+    The key is structural (target, conditions, rounded coefficients) rather
+    than the rendered summary text, so formatting changes can neither merge
+    distinct summaries nor split identical ones.
+    """
+    key = scored.summary.structural_key()
+    existing = candidates.get(key)
+    if existing is None or scored.score > existing.score:
+        candidates[key] = scored
+
+
+def rank_candidates(candidates: dict[tuple, ScoredSummary]) -> list[ScoredSummary]:
+    """Rank by descending score, ties broken by smaller summaries first."""
+    return sorted(candidates.values(), key=lambda scored: (-scored.score, scored.summary.size))
+
+
+def _top_k_floor(candidates: dict[tuple, ScoredSummary], top_k: int) -> float:
+    """The k-th best score so far, or ``-inf`` while fewer than k candidates exist."""
+    if len(candidates) < top_k:
+        return float("-inf")
+    return heapq.nlargest(top_k, (scored.score for scored in candidates.values()))[-1]
+
+
+class SearchExecutor:
+    """Template for executors: the round loop and the deterministic reduce."""
+
+    n_jobs: int = 1
+
+    def execute(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        plan: SearchPlan,
+        config: CharlesConfig,
+    ) -> tuple[list[ScoredSummary], SearchStats]:
+        """Evaluate the plan and return the ranked candidates plus statistics."""
+        started = time.perf_counter()
+        stats = SearchStats(
+            candidates_enumerated=len(plan), n_jobs=self.n_jobs, rounds=plan.num_rounds
+        )
+        candidates: dict[tuple, ScoredSummary] = {}
+        signatures: set = set()
+        floor = float("-inf")
+        self._setup(pair, target, config)
+        try:
+            for round_specs in plan.rounds:
+                if not round_specs:
+                    continue
+                outcomes, delta = self._run_round(round_specs, floor, frozenset(signatures))
+                for outcome in outcomes:
+                    if outcome.signature is not None:
+                        signatures.add(outcome.signature)
+                    if outcome.pruned:
+                        if outcome.pruned_reason == PRUNED_DUPLICATE:
+                            stats.candidates_pruned_duplicates += 1
+                        else:
+                            stats.candidates_pruned_bounds += 1
+                        continue
+                    stats.candidates_evaluated += 1
+                    if outcome.scored is not None:
+                        add_candidate(candidates, outcome.scored)
+                stats.merge_cache_counts(
+                    delta.fit_hits, delta.fit_misses, delta.partition_hits, delta.partition_misses
+                )
+                floor = _top_k_floor(candidates, config.top_k)
+        finally:
+            self._teardown()
+        stats.n_jobs = self._effective_n_jobs()
+        stats.wall_time_seconds = time.perf_counter() - started
+        return rank_candidates(candidates), stats
+
+    def _effective_n_jobs(self) -> int:
+        """The parallelism the search actually ran with (see ParallelExecutor)."""
+        return self.n_jobs
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _setup(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+        raise NotImplementedError
+
+    def _run_round(
+        self,
+        specs: Sequence[CandidateSpec],
+        floor: float,
+        known_signatures: frozenset,
+    ) -> tuple[list[EvaluationOutcome], CacheCounters]:
+        raise NotImplementedError
+
+    def _teardown(self) -> None:
+        pass
+
+
+def _evaluate_specs(
+    evaluator: CandidateEvaluator,
+    specs: Sequence[CandidateSpec],
+    floor: float,
+    known_signatures: frozenset,
+) -> tuple[list[EvaluationOutcome], CacheCounters]:
+    """Evaluate a batch of specs, reporting the cache-counter delta it caused."""
+    before = evaluator.caches.counters()
+    outcomes = [evaluator.evaluate(spec, floor, known_signatures) for spec in specs]
+    return outcomes, evaluator.caches.counters() - before
+
+
+class SerialExecutor(SearchExecutor):
+    """Evaluates every spec in order, in process, with search-wide memo caches."""
+
+    n_jobs = 1
+
+    def _setup(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+        self._evaluator = CandidateEvaluator(pair, target, config, SearchCaches())
+
+    def _run_round(
+        self,
+        specs: Sequence[CandidateSpec],
+        floor: float,
+        known_signatures: frozenset,
+    ) -> tuple[list[EvaluationOutcome], CacheCounters]:
+        return _evaluate_specs(self._evaluator, specs, floor, known_signatures)
+
+    def _teardown(self) -> None:
+        self._evaluator = None
+
+
+# -- process-pool worker plumbing ------------------------------------------------
+
+_WORKER_EVALUATOR: CandidateEvaluator | None = None
+
+
+def _init_worker(pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = CandidateEvaluator(pair, target, config, SearchCaches())
+
+
+def _evaluate_batch(
+    payload: tuple[tuple[CandidateSpec, ...], float, frozenset],
+) -> tuple[list[EvaluationOutcome], CacheCounters]:
+    specs, floor, known_signatures = payload
+    assert _WORKER_EVALUATOR is not None, "worker pool was not initialised"
+    return _evaluate_specs(_WORKER_EVALUATOR, specs, floor, known_signatures)
+
+
+class ParallelExecutor(SearchExecutor):
+    """Fans each round out over a process pool; falls back to serial if pools fail.
+
+    Workers are initialised once per search with the (pickled) pair, target
+    and configuration; their evaluators — and memo caches — live for the whole
+    search, so cross-round reuse still happens within each worker.
+    """
+
+    def __init__(self, n_jobs: int):
+        if n_jobs < 2:
+            raise ValueError(f"ParallelExecutor needs n_jobs >= 2, got {n_jobs}")
+        self.n_jobs = n_jobs
+        self._pool: ProcessPoolExecutor | None = None
+        self._fallback: CandidateEvaluator | None = None
+        self._search_context: tuple[SnapshotPair, str, CharlesConfig] | None = None
+
+    def _setup(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+        self._fallback = None
+        self._search_context = (pair, target, config)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                initializer=_init_worker,
+                initargs=(pair, target, config),
+            )
+        except (OSError, PermissionError, RuntimeError) as error:
+            self._fall_back_to_serial(error)
+
+    def _fall_back_to_serial(self, error: BaseException) -> None:
+        """Abandon the pool and finish the search with an in-process evaluator.
+
+        Pool failures surface either at construction or — more commonly, since
+        workers spawn lazily — as a broken pool mid-``map`` (a worker killed by
+        the OS, an unpicklable payload).  Evaluation is pure given the round's
+        floor and signature set, so re-running the interrupted round serially
+        yields the same outcomes the workers would have produced.
+        """
+        warnings.warn(
+            f"process pool unavailable ({error!r}); falling back to serial search",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        assert self._search_context is not None
+        pair, target, config = self._search_context
+        self._fallback = CandidateEvaluator(pair, target, config, SearchCaches())
+
+    def _effective_n_jobs(self) -> int:
+        return 1 if self._fallback is not None else self.n_jobs
+
+    def _run_round(
+        self,
+        specs: Sequence[CandidateSpec],
+        floor: float,
+        known_signatures: frozenset,
+    ) -> tuple[list[EvaluationOutcome], CacheCounters]:
+        if self._pool is not None:
+            chunks = self._chunk(specs)
+            payloads = [(chunk, floor, known_signatures) for chunk in chunks]
+            outcomes: list[EvaluationOutcome] = []
+            delta = CacheCounters()
+            try:
+                # map() preserves payload order, so outcomes arrive in spec order
+                # and the reduce's tie-breaking matches the serial executor exactly
+                for chunk_outcomes, chunk_delta in self._pool.map(_evaluate_batch, payloads):
+                    outcomes.extend(chunk_outcomes)
+                    delta = delta + chunk_delta
+                return outcomes, delta
+            except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
+                self._fall_back_to_serial(error)
+        assert self._fallback is not None
+        return _evaluate_specs(self._fallback, specs, floor, known_signatures)
+
+    def _chunk(self, specs: Sequence[CandidateSpec]) -> list[tuple[CandidateSpec, ...]]:
+        """Split a round into at most ``2 * n_jobs`` contiguous, ordered chunks."""
+        n_chunks = min(len(specs), 2 * self.n_jobs)
+        if n_chunks <= 1:
+            return [tuple(specs)]
+        size, remainder = divmod(len(specs), n_chunks)
+        chunks = []
+        start = 0
+        for index in range(n_chunks):
+            end = start + size + (1 if index < remainder else 0)
+            chunks.append(tuple(specs[start:end]))
+            start = end
+        return chunks
+
+    def _teardown(self) -> None:
+        # _fallback is kept: _effective_n_jobs reads it after the round loop,
+        # and the next _setup overwrites it anyway
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def select_executor(config: CharlesConfig) -> SearchExecutor:
+    """The executor implied by ``config.n_jobs`` (1 = serial, >1 = process pool)."""
+    if config.n_jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(config.n_jobs)

@@ -1,0 +1,154 @@
+"""Planning the candidate space: what the search must evaluate, up front.
+
+The planner replaces the engine's historical quadruple-nested loop with an
+explicit, immutable enumeration: every combination of condition-attribute
+subset, transformation-attribute subset, partition count and residual weight
+becomes one :class:`CandidateSpec`, and the full space becomes a
+:class:`SearchPlan` that can be counted, inspected and handed to any executor.
+
+Specs are grouped into *rounds* that every executor must respect:
+
+* round 0 holds the global single-rule specs (one per transformation subset,
+  the paper's R4 candidates);
+* round ``i`` (``i >= 1``) holds every partitioned spec with ``n_partitions
+  == i``.
+
+Rounds serve two purposes.  Cheap, highly interpretable candidates are
+evaluated first, so the top-k score floor used for pruning tightens early; and
+because the floor is only updated *between* rounds, the pruning decisions —
+and therefore the final ranking — are identical no matter how specs inside a
+round are distributed over workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from repro.core.config import CharlesConfig
+
+__all__ = ["GLOBAL", "PARTITIONED", "CandidateSpec", "SearchPlan", "attribute_subsets", "build_search_plan"]
+
+GLOBAL = "global"
+PARTITIONED = "partitioned"
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One point of the candidate space, fully determined and immutable.
+
+    ``kind`` is :data:`GLOBAL` for the single-partition, trivial-condition
+    candidate of a transformation subset (its ``condition_subset`` is empty and
+    ``n_partitions`` is 1) and :data:`PARTITIONED` for every clustered
+    candidate.
+    """
+
+    kind: str
+    condition_subset: tuple[str, ...]
+    transformation_subset: tuple[str, ...]
+    n_partitions: int
+    residual_weight: float
+
+    def describe(self) -> str:
+        """A compact one-line rendering (for logs and debugging)."""
+        if self.kind == GLOBAL:
+            return f"global(T={list(self.transformation_subset)})"
+        return (
+            f"partitioned(C={list(self.condition_subset)}, "
+            f"T={list(self.transformation_subset)}, k={self.n_partitions}, "
+            f"w={self.residual_weight:g})"
+        )
+
+
+@dataclass(frozen=True)
+class SearchPlan:
+    """The fully enumerated candidate space, grouped into executor rounds."""
+
+    rounds: tuple[tuple[CandidateSpec, ...], ...]
+    condition_attributes: tuple[str, ...]
+    transformation_attributes: tuple[str, ...]
+
+    @property
+    def specs(self) -> tuple[CandidateSpec, ...]:
+        """Every spec of the plan, in evaluation order."""
+        return tuple(spec for round_specs in self.rounds for spec in round_specs)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of floor-synchronisation rounds."""
+        return len(self.rounds)
+
+    def __len__(self) -> int:
+        return sum(len(round_specs) for round_specs in self.rounds)
+
+    def __iter__(self) -> Iterator[CandidateSpec]:
+        return iter(self.specs)
+
+    def describe(self) -> str:
+        """A short multi-line account of the planned space."""
+        lines = [
+            f"search plan: {len(self)} candidate specs in {self.num_rounds} round(s)",
+            f"  condition attributes: {list(self.condition_attributes)}",
+            f"  transformation attributes: {list(self.transformation_attributes)}",
+        ]
+        for index, round_specs in enumerate(self.rounds):
+            label = "global" if index == 0 else f"k={index}"
+            lines.append(f"  round {index} ({label}): {len(round_specs)} spec(s)")
+        return "\n".join(lines)
+
+
+def attribute_subsets(attributes: Sequence[str], max_size: int) -> list[tuple[str, ...]]:
+    """All non-empty subsets of ``attributes`` up to ``max_size``, smallest first."""
+    names = list(dict.fromkeys(attributes))
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, min(max_size, len(names)) + 1):
+        subsets.extend(combinations(names, size))
+    return subsets
+
+
+def build_search_plan(
+    condition_attributes: Sequence[str],
+    transformation_attributes: Sequence[str],
+    config: CharlesConfig | None = None,
+) -> SearchPlan:
+    """Enumerate every candidate spec for the given shortlists and configuration.
+
+    With no condition attributes the plan contains only the global round —
+    matching the engine's historical behaviour of emitting just the
+    single-rule candidates.
+    """
+    config = config or CharlesConfig()
+    condition_subsets = attribute_subsets(
+        condition_attributes, config.max_condition_attributes
+    )
+    transformation_subsets = attribute_subsets(
+        transformation_attributes, config.max_transformation_attributes
+    )
+    rounds: list[tuple[CandidateSpec, ...]] = [
+        tuple(
+            CandidateSpec(GLOBAL, (), transformation_subset, 1, 1.0)
+            for transformation_subset in transformation_subsets
+        )
+    ]
+    if condition_subsets:
+        for n_partitions in range(1, config.max_partitions + 1):
+            rounds.append(
+                tuple(
+                    CandidateSpec(
+                        PARTITIONED,
+                        condition_subset,
+                        transformation_subset,
+                        n_partitions,
+                        residual_weight,
+                    )
+                    for transformation_subset in transformation_subsets
+                    for condition_subset in condition_subsets
+                    for residual_weight in config.residual_weights
+                )
+            )
+    return SearchPlan(
+        rounds=tuple(rounds),
+        condition_attributes=tuple(dict.fromkeys(condition_attributes)),
+        transformation_attributes=tuple(dict.fromkeys(transformation_attributes)),
+    )

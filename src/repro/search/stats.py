@@ -1,0 +1,119 @@
+"""Search statistics: what the engine did and what the caches/pruning saved.
+
+A :class:`SearchStats` record travels with every discovery run: the executors
+fill it in, :class:`~repro.core.charles.CharlesResult` carries it to callers,
+the CLI prints it, and the evaluation harness / scaling benchmark tabulate it
+so the performance trajectory of the search subsystem is measurable across
+PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one diff-discovery search run.
+
+    ``candidates_enumerated`` is the size of the planned candidate space;
+    every spec ends up either ``evaluated`` (partitions discovered, models
+    fitted, summary scored — or found infeasible) or pruned — either as a
+    provable *duplicate* of an earlier spec's partition structure, or because
+    a built summary's score upper *bound* could not beat the current top-k
+    floor.  Cache counters come from the memo caches of
+    :mod:`repro.search.cache`; in parallel runs they are aggregated across
+    worker processes (each worker has its own caches, so parallel hit rates
+    are typically lower than serial ones).
+    """
+
+    candidates_enumerated: int = 0
+    candidates_evaluated: int = 0
+    candidates_pruned_duplicates: int = 0
+    candidates_pruned_bounds: int = 0
+    fit_cache_hits: int = 0
+    fit_cache_misses: int = 0
+    partition_cache_hits: int = 0
+    partition_cache_misses: int = 0
+    wall_time_seconds: float = 0.0
+    n_jobs: int = 1
+    rounds: int = field(default=0)
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def candidates_pruned(self) -> int:
+        """Total specs skipped or dropped (duplicates + score-bound prunes)."""
+        return self.candidates_pruned_duplicates + self.candidates_pruned_bounds
+
+    @property
+    def cache_hits(self) -> int:
+        """Total memo-cache hits (fit + partition caches)."""
+        return self.fit_cache_hits + self.partition_cache_hits
+
+    @property
+    def cache_lookups(self) -> int:
+        """Total memo-cache lookups (hits + misses, both caches)."""
+        return (
+            self.fit_cache_hits
+            + self.fit_cache_misses
+            + self.partition_cache_hits
+            + self.partition_cache_misses
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups answered without recomputation, in [0, 1]."""
+        lookups = self.cache_lookups
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    # -- aggregation -----------------------------------------------------------
+
+    def merge_cache_counts(
+        self,
+        fit_hits: int,
+        fit_misses: int,
+        partition_hits: int,
+        partition_misses: int,
+    ) -> None:
+        """Absorb cache-counter deltas reported by one executor round/worker."""
+        self.fit_cache_hits += fit_hits
+        self.fit_cache_misses += fit_misses
+        self.partition_cache_hits += partition_hits
+        self.partition_cache_misses += partition_misses
+
+    # -- rendering -------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, float]:
+        """Every counter plus the derived rates, as a plain JSON-friendly dict."""
+        return {
+            "candidates_enumerated": self.candidates_enumerated,
+            "candidates_evaluated": self.candidates_evaluated,
+            "candidates_pruned": self.candidates_pruned,
+            "candidates_pruned_duplicates": self.candidates_pruned_duplicates,
+            "candidates_pruned_bounds": self.candidates_pruned_bounds,
+            "fit_cache_hits": self.fit_cache_hits,
+            "fit_cache_misses": self.fit_cache_misses,
+            "partition_cache_hits": self.partition_cache_hits,
+            "partition_cache_misses": self.partition_cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_time_seconds": self.wall_time_seconds,
+            "n_jobs": self.n_jobs,
+            "rounds": self.rounds,
+        }
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering (used by the CLI)."""
+        return (
+            f"{self.candidates_enumerated} candidates planned "
+            f"({self.candidates_evaluated} evaluated, {self.candidates_pruned} pruned), "
+            f"cache hit rate {100.0 * self.cache_hit_rate:.1f}%, "
+            f"{self.wall_time_seconds:.2f}s, jobs={self.n_jobs}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

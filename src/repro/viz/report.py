@@ -33,6 +33,10 @@ def result_to_markdown(result: CharlesResult, detailed_top: int = 3) -> str:
         f"{result.total_candidates} candidate summaries generated; "
         f"showing the top {len(result.summaries)}.*",
         "",
+    ]
+    if result.search_stats is not None:
+        lines += [f"*Search: {result.search_stats.describe()}*", ""]
+    lines += [
         "## Setup assistant",
         "",
         "| role | attribute | association | selected |",

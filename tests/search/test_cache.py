@@ -1,0 +1,103 @@
+"""Tests for the memo caches and search pruning guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CharlesConfig
+from repro.core.discovery import DiffDiscoveryEngine
+from repro.search import MemoCache, SearchCaches, mask_digest
+
+
+class TestMemoCache:
+    def test_miss_then_hit(self):
+        cache = MemoCache()
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 99) == 41
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_none_is_a_cacheable_value(self):
+        cache = MemoCache()
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1)) is None
+        assert cache.get_or_compute("k", lambda: calls.append(1)) is None
+        assert len(calls) == 1
+        assert cache.hits == 1
+
+    def test_clear_preserves_counters(self):
+        cache = MemoCache()
+        cache.get_or_compute("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.misses == 1
+        cache.get_or_compute("k", lambda: 2)
+        assert cache.misses == 2
+
+
+class TestMaskDigest:
+    def test_distinct_masks_distinct_digests(self):
+        a = np.array([True, False, True])
+        b = np.array([True, True, False])
+        assert mask_digest(a) != mask_digest(b)
+        assert mask_digest(a) == mask_digest(a.copy())
+
+    def test_non_contiguous_mask_supported(self):
+        mask = np.zeros((4, 2), dtype=bool)[:, 0]
+        assert mask_digest(mask) == mask_digest(np.zeros(4, dtype=bool))
+
+
+class TestSearchCaches:
+    def test_counters_delta_arithmetic(self):
+        caches = SearchCaches()
+        before = caches.counters()
+        caches.fits.get_or_compute("a", lambda: 1)
+        caches.fits.get_or_compute("a", lambda: 1)
+        caches.partitions.get_or_compute("p", lambda: [])
+        delta = caches.counters() - before
+        assert (delta.fit_hits, delta.fit_misses) == (1, 1)
+        assert (delta.partition_hits, delta.partition_misses) == (0, 1)
+
+
+class TestEngineCacheBehaviour:
+    def test_search_reuses_fits_across_specs(self, fig1_pair):
+        _, stats = DiffDiscoveryEngine().discover_with_stats(
+            fig1_pair, "bonus", ["edu", "exp"], ["bonus", "salary"]
+        )
+        assert stats.fit_cache_hits > 0
+        assert stats.partition_cache_misses > 0
+        assert 0.0 < stats.cache_hit_rate < 1.0
+
+    def test_stats_account_for_every_spec(self, fig1_pair):
+        _, stats = DiffDiscoveryEngine().discover_with_stats(
+            fig1_pair, "bonus", ["edu", "exp"], ["bonus"]
+        )
+        assert stats.candidates_enumerated == stats.candidates_evaluated + stats.candidates_pruned
+        assert stats.wall_time_seconds > 0.0
+        assert stats.rounds >= 2
+
+
+class TestPruningSafety:
+    @pytest.mark.parametrize("fixture_name,target,conditions,transformations", [
+        ("fig1_pair", "bonus", ["edu", "exp", "gen"], ["bonus", "salary"]),
+        ("employee_200", "bonus", ["edu", "exp"], ["bonus"]),
+    ])
+    def test_pruning_never_drops_a_topk_summary(
+        self, request, fixture_name, target, conditions, transformations
+    ):
+        pair = request.getfixturevalue(fixture_name)
+        pruned = DiffDiscoveryEngine(CharlesConfig(prune_search=True)).discover(
+            pair, target, conditions, transformations
+        )
+        complete = DiffDiscoveryEngine(CharlesConfig(prune_search=False)).discover(
+            pair, target, conditions, transformations
+        )
+        top_k = CharlesConfig().top_k
+        pruned_top = [(s.summary.structural_key(), s.score) for s in pruned[:top_k]]
+        complete_top = [(s.summary.structural_key(), s.score) for s in complete[:top_k]]
+        assert pruned_top == complete_top
+
+    def test_pruning_reduces_scored_candidates(self, fig1_pair):
+        _, with_pruning = DiffDiscoveryEngine(
+            CharlesConfig(prune_search=True)
+        ).discover_with_stats(fig1_pair, "bonus", ["edu", "exp", "gen"], ["bonus", "salary"])
+        assert with_pruning.candidates_pruned > 0

@@ -1,0 +1,102 @@
+"""Tests for the search planner: enumeration, rounds, immutability."""
+
+import pytest
+
+from repro.core.config import CharlesConfig
+from repro.exceptions import ConfigurationError
+from repro.search import (
+    GLOBAL,
+    PARTITIONED,
+    CandidateSpec,
+    attribute_subsets,
+    build_search_plan,
+)
+
+
+class TestAttributeSubsets:
+    def test_all_subsets_up_to_cap(self):
+        subsets = attribute_subsets(["a", "b", "c"], 2)
+        assert subsets == [("a",), ("b",), ("c",), ("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_duplicates_removed_order_preserved(self):
+        assert attribute_subsets(["b", "a", "b"], 1) == [("b",), ("a",)]
+
+    def test_cap_larger_than_attribute_count(self):
+        assert len(attribute_subsets(["a", "b"], 5)) == 3
+
+
+class TestBuildSearchPlan:
+    def test_counts_match_search_space(self):
+        config = CharlesConfig(
+            max_condition_attributes=2,
+            max_transformation_attributes=1,
+            max_partitions=3,
+            residual_weights=(1.0, 4.0),
+        )
+        plan = build_search_plan(["edu", "exp"], ["bonus", "salary"], config)
+        n_condition_subsets = 3  # (edu,), (exp,), (edu, exp)
+        n_transformation_subsets = 2
+        expected = n_transformation_subsets + (
+            n_condition_subsets * n_transformation_subsets * 3 * 2
+        )
+        assert len(plan) == expected
+        assert plan.num_rounds == 1 + 3
+
+    def test_first_round_is_global_specs(self):
+        plan = build_search_plan(["edu"], ["bonus", "salary"], CharlesConfig())
+        assert all(spec.kind == GLOBAL for spec in plan.rounds[0])
+        assert [spec.transformation_subset for spec in plan.rounds[0]] == [
+            ("bonus",), ("salary",), ("bonus", "salary"),
+        ]
+
+    def test_rounds_group_by_partition_count(self):
+        plan = build_search_plan(["edu"], ["bonus"], CharlesConfig(max_partitions=3))
+        for k, round_specs in enumerate(plan.rounds[1:], start=1):
+            assert round_specs, "partitioned rounds must not be empty"
+            assert all(spec.kind == PARTITIONED for spec in round_specs)
+            assert all(spec.n_partitions == k for spec in round_specs)
+
+    def test_no_condition_attributes_yields_only_global_round(self):
+        plan = build_search_plan([], ["bonus"], CharlesConfig())
+        assert plan.num_rounds == 1
+        assert len(plan) == 1
+
+    def test_specs_are_hashable_and_frozen(self):
+        plan = build_search_plan(["edu"], ["bonus"], CharlesConfig())
+        spec = plan.specs[0]
+        assert spec in set(plan.specs)
+        with pytest.raises(AttributeError):
+            spec.n_partitions = 99
+
+    def test_describe_mentions_rounds_and_counts(self):
+        plan = build_search_plan(["edu"], ["bonus"], CharlesConfig())
+        text = plan.describe()
+        assert "round 0 (global)" in text
+        assert f"{len(plan)} candidate specs" in text
+
+    def test_deterministic_enumeration(self):
+        config = CharlesConfig()
+        plan_a = build_search_plan(["edu", "exp"], ["bonus"], config)
+        plan_b = build_search_plan(["edu", "exp"], ["bonus"], config)
+        assert plan_a.specs == plan_b.specs
+
+
+class TestSpecDescribe:
+    def test_global_and_partitioned_renderings(self):
+        assert "global" in CandidateSpec(GLOBAL, (), ("bonus",), 1, 1.0).describe()
+        text = CandidateSpec(PARTITIONED, ("edu",), ("bonus",), 3, 4.0).describe()
+        assert "k=3" in text and "w=4" in text
+
+
+class TestConfigValidation:
+    def test_n_jobs_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CharlesConfig(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            CharlesConfig(n_jobs=-2)
+
+    def test_n_jobs_default_is_serial(self):
+        assert CharlesConfig().n_jobs == 1
+
+    def test_prune_search_defaults_on(self):
+        assert CharlesConfig().prune_search is True

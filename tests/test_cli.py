@@ -66,6 +66,32 @@ class TestCommands:
         assert code == 0
         assert "edu" in capsys.readouterr().out
 
+    def test_summarize_reports_search_stats(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "search:" in output and "candidates planned" in output
+
+    def test_summarize_with_parallel_jobs_matches_serial(self, example_csvs, capsys):
+        source, target = example_csvs
+        assert main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+        ]) == 0
+        serial_output = capsys.readouterr().out
+        assert main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--jobs", "2",
+        ]) == 0
+        parallel_output = capsys.readouterr().out
+        assert "jobs=2" in parallel_output
+        # everything above the search-stats line (the ranked summaries) is identical
+        assert (
+            serial_output.split("search:")[0] == parallel_output.split("search:")[0]
+        )
+
     def test_suggest_lists_candidates(self, example_csvs, capsys):
         source, target = example_csvs
         code = main(["suggest", str(source), str(target), "--key", "name", "--target", "bonus"])
