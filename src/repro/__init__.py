@@ -23,6 +23,7 @@ Package layout:
   scoring, setup assistant, partition discovery, diff discovery engine)
 * :mod:`repro.diff`        — syntactic baselines: cell diffs, update distance, drift
 * :mod:`repro.baselines`   — exhaustive / global-regression / greedy-tree baselines
+* :mod:`repro.timeline`    — versioned snapshot chains, deltas, warm engine sessions
 * :mod:`repro.workloads`   — synthetic datasets with known ground-truth policies
 * :mod:`repro.evaluation`  — recovery metrics and the experiment harness
 * :mod:`repro.viz`         — ASCII model trees, partition treemaps, markdown reports
@@ -45,11 +46,19 @@ from repro.exceptions import (
     ModelFitError,
     SchemaError,
     SnapshotAlignmentError,
+    TimelineError,
 )
 from repro.relational.csv_io import read_csv, write_csv
 from repro.relational.schema import Column, DType, Schema
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
+from repro.timeline import (
+    EngineSession,
+    TimelineHop,
+    TimelineResult,
+    TimelineStore,
+    VersionDelta,
+)
 
 __version__ = "1.0.0"
 
@@ -77,6 +86,11 @@ __all__ = [
     "SnapshotPair",
     "read_csv",
     "write_csv",
+    "TimelineStore",
+    "VersionDelta",
+    "EngineSession",
+    "TimelineHop",
+    "TimelineResult",
     "CharlesError",
     "SchemaError",
     "ExpressionError",
@@ -84,4 +98,5 @@ __all__ = [
     "ModelFitError",
     "ConfigurationError",
     "DiscoveryError",
+    "TimelineError",
 ]

@@ -9,6 +9,8 @@ summaries (Fig. 4).  The ``charles`` command exposes the same workflow:
   model tree / treemap details or a full markdown report.
 * ``charles diff``      — the syntactic view: cell diff, update distance and
   distribution drift.
+* ``charles timeline``  — the incremental view: summarize every hop of a chain
+  of three or more snapshot CSVs with one warm engine session.
 * ``charles generate``  — write the synthetic workloads (employee, montgomery,
   billionaires) to CSV, so every example is reproducible from the shell.
 """
@@ -26,6 +28,7 @@ from repro.diff import batch_update_distance, diff_snapshots, drift_report, upda
 from repro.exceptions import CharlesError
 from repro.relational.csv_io import read_csv, write_csv
 from repro.relational.snapshot import SnapshotPair
+from repro.timeline import EngineSession, TimelineStore
 from repro.viz.report import result_to_markdown
 from repro.viz.tree_render import render_summary_tree
 from repro.viz.treemap import render_partition_treemap
@@ -70,6 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
     diff = subparsers.add_parser("diff", help="syntactic diff: cells, update distance, drift")
     _add_pair_arguments(diff)
     diff.add_argument("--limit", type=int, default=20, help="max cell changes to list")
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="summarize every hop of a chain of snapshot CSVs with one warm session",
+    )
+    timeline.add_argument("versions", nargs="+", type=Path,
+                          help="two or more snapshot CSVs, oldest first")
+    timeline.add_argument("--target", required=True, help="numeric attribute to explain")
+    timeline.add_argument("--key", default=None, help="entity-identifying column")
+    timeline.add_argument("--alpha", type=float, default=0.5, help="accuracy weight (default 0.5)")
+    timeline.add_argument("--max-condition-attributes", "-c", type=int, default=3)
+    timeline.add_argument("--max-transformation-attributes", "-t", type=int, default=2)
+    timeline.add_argument("--top", type=int, default=10, help="ranked summaries kept per hop")
+    timeline.add_argument("--limit", type=int, default=1, help="summaries shown per hop")
+    timeline.add_argument("--window", type=int, default=1,
+                          help="compare each version with the one this many steps later")
+    timeline.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the candidate search (1 = serial)")
+    timeline.add_argument("--cache-capacity", type=int, default=None,
+                          help="LRU capacity of each session memo cache (default unbounded)")
+    timeline.add_argument("--cold", action="store_true",
+                          help="run every hop with a fresh cold engine (baseline for comparison)")
+    timeline.add_argument("--condition-attributes", nargs="*", default=None)
+    timeline.add_argument("--transformation-attributes", nargs="*", default=None)
 
     generate = subparsers.add_parser("generate", help="write a synthetic workload pair to CSV")
     generate.add_argument("workload", choices=["example", "employee", "montgomery", "billionaires"])
@@ -143,6 +170,60 @@ def _command_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_timeline(args: argparse.Namespace) -> int:
+    if len(args.versions) < 2:
+        print("error: a timeline needs at least two snapshot CSVs", file=sys.stderr)
+        return 2
+    config = CharlesConfig(
+        alpha=args.alpha,
+        max_condition_attributes=args.max_condition_attributes,
+        max_transformation_attributes=args.max_transformation_attributes,
+        top_k=args.top,
+        n_jobs=args.jobs,
+        search_cache_capacity=args.cache_capacity,
+        warm_start=not args.cold,
+    )
+    store = TimelineStore(key=args.key)
+    for path in args.versions:
+        store.append(path.stem, read_csv(path, primary_key=args.key))
+    if not 1 <= args.window <= len(store) - 1:
+        print(
+            f"error: --window must be between 1 and {len(store) - 1} "
+            f"for {len(store)} versions, got {args.window}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.cold:
+        # per-hop cold baseline: fresh engine (and caches) for every hop
+        for source, target_version, pair in store.windowed_pairs(args.window):
+            result = Charles(config).summarize_pair(
+                pair,
+                args.target,
+                condition_attributes=args.condition_attributes,
+                transformation_attributes=args.transformation_attributes,
+            )
+            print(f"== {source.name} -> {target_version.name} (cold) ==")
+            print(result.describe(limit=args.limit))
+            if result.search_stats is not None:
+                print(f"search: {result.search_stats.describe()}")
+            print()
+        return 0
+
+    session = EngineSession(config)
+    timeline_result = session.summarize_timeline(
+        store,
+        args.target,
+        condition_attributes=args.condition_attributes,
+        transformation_attributes=args.transformation_attributes,
+        window=args.window,
+    )
+    print(timeline_result.describe(limit=args.limit))
+    if session.warm_start_fallbacks:
+        print(f"warm-start fallbacks: {session.warm_start_fallbacks}")
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     if args.workload == "example":
         pair = example_pair()
@@ -165,6 +246,7 @@ _COMMANDS = {
     "summarize": _command_summarize,
     "suggest": _command_suggest,
     "diff": _command_diff,
+    "timeline": _command_timeline,
     "generate": _command_generate,
 }
 

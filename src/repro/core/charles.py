@@ -28,6 +28,7 @@ from repro.core.setup_assistant import SetupAssistant, SetupSuggestions
 from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
+from repro.search.cache import SearchCaches
 from repro.search.stats import SearchStats
 
 __all__ = ["Charles", "CharlesResult"]
@@ -123,6 +124,41 @@ class Charles:
         """A new ``Charles`` instance with some configuration fields replaced."""
         return Charles(self._config.replace(**changes))
 
+    def session(self):
+        """A long-lived :class:`~repro.timeline.session.EngineSession` with this config.
+
+        The session keeps memo caches and warm-start pruning floors alive
+        across runs, so summarising consecutive hops of a version chain reuses
+        every computation whose input rows are untouched.  Rankings stay
+        byte-identical to one-shot ``summarize`` calls.
+        """
+        from repro.timeline.session import EngineSession
+
+        return EngineSession(self._config)
+
+    def summarize_timeline(
+        self,
+        timeline,
+        target: str,
+        condition_attributes: Sequence[str] | None = None,
+        transformation_attributes: Sequence[str] | None = None,
+        window: int = 1,
+    ):
+        """Summarise every hop of a :class:`~repro.timeline.store.TimelineStore`.
+
+        A convenience that runs a fresh :meth:`session` over the chain; hold
+        on to a session directly when more queries will follow, so its warmth
+        carries over.  Returns a
+        :class:`~repro.timeline.result.TimelineResult`.
+        """
+        return self.session().summarize_timeline(
+            timeline,
+            target,
+            condition_attributes=condition_attributes,
+            transformation_attributes=transformation_attributes,
+            window=window,
+        )
+
     # -- the demo workflow -------------------------------------------------------
 
     def suggest_attributes(
@@ -191,15 +227,30 @@ class Charles:
         target: str,
         condition_attributes: Sequence[str] | None = None,
         transformation_attributes: Sequence[str] | None = None,
+        *,
+        caches: SearchCaches | None = None,
+        initial_floor: float = float("-inf"),
     ) -> CharlesResult:
-        """Same as :meth:`summarize` but starting from an already-aligned pair."""
+        """Same as :meth:`summarize` but starting from an already-aligned pair.
+
+        ``caches`` and ``initial_floor`` are the session hooks: an
+        :class:`~repro.timeline.session.EngineSession` passes its persistent
+        memo caches and warm-start pruning floor through here so warm and cold
+        runs share one code path (which is what makes their rankings provably
+        identical).  One-shot callers leave both at their defaults.
+        """
         suggestions = self._assistant.suggest(pair, target)
         if condition_attributes is None:
             condition_attributes = suggestions.selected_condition_attributes
         if transformation_attributes is None:
             transformation_attributes = suggestions.selected_transformation_attributes
         ranked, stats = self._engine.discover_with_stats(
-            pair, target, condition_attributes, transformation_attributes
+            pair,
+            target,
+            condition_attributes,
+            transformation_attributes,
+            caches=caches,
+            initial_floor=initial_floor,
         )
         top = tuple(ranked[: self._config.top_k])
         return CharlesResult(

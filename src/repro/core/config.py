@@ -126,6 +126,27 @@ class CharlesConfig:
         ranked top-k (score upper bound below the current k-th best score).
         Pruning never changes the top-k; disable it to rank the complete
         candidate space, e.g. for exhaustive analyses.
+    search_cache_capacity:
+        Maximum number of entries each memo cache (fits, partitions) keeps,
+        with least-recently-used eviction beyond it.  ``None`` (the default)
+        leaves the caches unbounded, which matches the one-shot behaviour;
+        long-lived :class:`~repro.timeline.session.EngineSession` deployments
+        should set a capacity so memory stays bounded across runs.  Eviction
+        never changes results — evicted work is simply recomputed on the next
+        miss.
+    warm_start:
+        Whether an :class:`~repro.timeline.session.EngineSession` may seed a
+        run's pruning floor from the previous run's k-th best score for the
+        same target.  The session verifies the seed after the run and falls
+        back to a cold floor when it proved too aggressive, so rankings stay
+        byte-identical to cold runs either way.  One-shot ``Charles`` calls
+        are unaffected (they have no previous run).
+    warm_start_margin:
+        Safety margin subtracted from the previous k-th best score before it
+        is used as a seed floor.  Scores live in ``[0, 1]`` and the k-th best
+        score routinely shifts by ~0.1 between consecutive version hops, so
+        the default leaves room for that; a smaller margin prunes more but
+        triggers verification fallbacks more often.
     """
 
     alpha: float = 0.5
@@ -150,6 +171,9 @@ class CharlesConfig:
     seed: int = 0
     n_jobs: int = 1
     prune_search: bool = True
+    search_cache_capacity: int | None = None
+    warm_start: bool = True
+    warm_start_margin: float = 0.15
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -207,6 +231,15 @@ class CharlesConfig:
             raise ConfigurationError(f"ridge must be >= 0, got {self.ridge}")
         if self.n_jobs < 1:
             raise ConfigurationError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.search_cache_capacity is not None and self.search_cache_capacity < 1:
+            raise ConfigurationError(
+                "search_cache_capacity must be >= 1 or None, got "
+                f"{self.search_cache_capacity}"
+            )
+        if self.warm_start_margin < 0.0:
+            raise ConfigurationError(
+                f"warm_start_margin must be >= 0, got {self.warm_start_margin}"
+            )
 
     def replace(self, **changes: Any) -> "CharlesConfig":
         """A copy of this configuration with the given fields replaced."""

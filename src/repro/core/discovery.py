@@ -30,6 +30,7 @@ from repro.core.config import CharlesConfig
 from repro.core.summary import ChangeSummary
 from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
+from repro.search.cache import SearchCaches
 from repro.search.evaluator import CandidateEvaluator, ScoredSummary
 from repro.search.executors import select_executor
 from repro.search.planner import build_search_plan
@@ -77,8 +78,16 @@ class DiffDiscoveryEngine:
         target: str,
         condition_attributes: Sequence[str],
         transformation_attributes: Sequence[str],
+        caches: SearchCaches | None = None,
+        initial_floor: float = float("-inf"),
     ) -> tuple[list[ScoredSummary], SearchStats]:
-        """Like :meth:`discover`, additionally returning the search statistics."""
+        """Like :meth:`discover`, additionally returning the search statistics.
+
+        ``caches`` and ``initial_floor`` exist for session-style callers
+        (:class:`~repro.timeline.session.EngineSession`) that keep memo caches
+        and pruning floors alive across runs; one-shot calls leave them at
+        their defaults and behave exactly as before.
+        """
         column = pair.schema.column(target)
         if not column.is_numeric:
             raise DiscoveryError(f"target attribute {target!r} must be numeric")
@@ -99,7 +108,9 @@ class DiffDiscoveryEngine:
 
         plan = build_search_plan(condition_attributes, transformation_attributes, self._config)
         executor = select_executor(self._config)
-        ranked, stats = executor.execute(pair, target, plan, self._config)
+        ranked, stats = executor.execute(
+            pair, target, plan, self._config, caches=caches, initial_floor=initial_floor
+        )
         if not ranked:
             raise DiscoveryError("no candidate summaries could be generated")
         return ranked, stats

@@ -9,6 +9,7 @@ utilities for inspecting snapshot pairs.
 
 from repro.diff.cell_diff import AttributeDiff, CellChange, DiffReport, diff_snapshots
 from repro.diff.drift import AttributeDrift, DriftReport, drift_report
+from repro.diff.timeline_diff import incremental_diff_report, timeline_diff, timeline_drift
 from repro.diff.update_distance import UpdateDistance, batch_update_distance, update_distance
 
 __all__ = [
@@ -22,4 +23,7 @@ __all__ = [
     "AttributeDrift",
     "DriftReport",
     "drift_report",
+    "incremental_diff_report",
+    "timeline_diff",
+    "timeline_drift",
 ]

@@ -1,0 +1,109 @@
+"""Incremental syntactic diffing over version chains.
+
+The pairwise builders in :mod:`repro.diff.cell_diff` and
+:mod:`repro.diff.drift` rescan every attribute of a pair.  Over a timeline
+that is wasteful: the :class:`~repro.timeline.delta.VersionDelta` of each hop
+already knows which attributes moved and exactly which rows, so the cell-level
+report can be assembled straight from the delta's masks — unchanged attributes
+are never rescanned, and attributes outside the delta contribute no work at
+all.  Drift, being distributional, still reads the changed attributes' full
+columns, but is likewise restricted to attributes the delta names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diff.cell_diff import AttributeDiff, CellChange, DiffReport
+from repro.diff.drift import DriftReport, drift_report
+from repro.relational.snapshot import SnapshotPair
+from repro.timeline.delta import VersionDelta
+from repro.timeline.store import TimelineStore
+
+__all__ = ["incremental_diff_report", "timeline_diff", "timeline_drift"]
+
+
+def incremental_diff_report(pair: SnapshotPair, delta: VersionDelta) -> DiffReport:
+    """A :class:`~repro.diff.cell_diff.DiffReport` built from a hop's delta.
+
+    Produces the same cell changes as
+    :func:`~repro.diff.cell_diff.diff_snapshots` restricted to the delta's
+    changed attributes, but without re-deriving any changed mask: the delta's
+    row masks drive the report directly.  Attributes the hop never touched do
+    not appear (a full report would list them with zero changes).
+    """
+    keys = pair.key_values
+    changes: list[CellChange] = []
+    attribute_diffs: list[AttributeDiff] = []
+    for name in delta.changed_attributes:
+        column = pair.schema.column(name)
+        changed_mask = delta.changed_mask(name)
+        old_values = pair.source.column(name)
+        new_values = pair.target.column(name)
+        deltas: list[float] = []
+        for index in np.nonzero(changed_mask)[0].tolist():
+            change = CellChange(keys[index], name, old_values[index], new_values[index])
+            changes.append(change)
+            if change.numeric_delta is not None:
+                deltas.append(change.numeric_delta)
+        if column.is_numeric and deltas:
+            delta_array = np.array(deltas, dtype=float)
+            attribute_diffs.append(
+                AttributeDiff(
+                    attribute=name,
+                    changed_cells=int(changed_mask.sum()),
+                    total_cells=pair.num_rows,
+                    mean_delta=float(delta_array.mean()),
+                    mean_absolute_delta=float(np.abs(delta_array).mean()),
+                    min_delta=float(delta_array.min()),
+                    max_delta=float(delta_array.max()),
+                )
+            )
+        else:
+            attribute_diffs.append(
+                AttributeDiff(
+                    attribute=name,
+                    changed_cells=int(changed_mask.sum()),
+                    total_cells=pair.num_rows,
+                    mean_delta=float("nan"),
+                    mean_absolute_delta=float("nan"),
+                    min_delta=float("nan"),
+                    max_delta=float("nan"),
+                )
+            )
+    return DiffReport(tuple(changes), tuple(attribute_diffs), pair.num_rows)
+
+
+def timeline_diff(
+    timeline: TimelineStore, window: int = 1
+) -> list[tuple[str, str, DiffReport]]:
+    """Incremental cell-level diffs for every hop of a version chain.
+
+    Returns ``(source_name, target_name, report)`` triples, oldest hop first.
+    Each report covers only the attributes that hop actually changed.
+    """
+    reports = []
+    for source, target, pair in timeline.windowed_pairs(window):
+        delta = VersionDelta.from_pair(pair, source.name, target.name)
+        reports.append((source.name, target.name, incremental_diff_report(pair, delta)))
+    return reports
+
+
+def timeline_drift(
+    timeline: TimelineStore, window: int = 1, bins: int = 10
+) -> list[tuple[str, str, DriftReport]]:
+    """Distribution drift for every hop of a version chain.
+
+    Each hop's drift is computed only over the attributes its delta names, so
+    a hop that touched two columns costs two histogram passes, not a schema's
+    worth.  Hops with an empty delta yield an empty report.
+    """
+    reports = []
+    for source, target, pair in timeline.windowed_pairs(window):
+        delta = VersionDelta.from_pair(pair, source.name, target.name)
+        if delta.is_empty:
+            report = DriftReport(drifts=())
+        else:
+            report = drift_report(pair, attributes=list(delta.changed_attributes), bins=bins)
+        reports.append((source.name, target.name, report))
+    return reports

@@ -13,6 +13,7 @@ from repro.evaluation.harness import (
     run_alpha_sweep,
     run_method_comparison,
     run_search_profile,
+    run_timeline_profile,
     standard_methods,
 )
 from repro.evaluation.metrics import (
@@ -30,6 +31,7 @@ __all__ = [
     "run_method_comparison",
     "run_alpha_sweep",
     "run_search_profile",
+    "run_timeline_profile",
     "standard_methods",
     "RuleRecovery",
     "adjusted_rand_index",

@@ -34,6 +34,7 @@ __all__ = [
     "run_method_comparison",
     "run_alpha_sweep",
     "run_search_profile",
+    "run_timeline_profile",
 ]
 
 
@@ -216,6 +217,93 @@ def run_search_profile(
             cache_hit_rate=stats.cache_hit_rate if stats else None,
             best_score=result.best.score,
         )
+    return table
+
+
+def run_timeline_profile(
+    timeline,
+    target: str,
+    config: CharlesConfig | None = None,
+    condition_attributes: Sequence[str] | None = None,
+    transformation_attributes: Sequence[str] | None = None,
+    window: int = 1,
+) -> ResultTable:
+    """Cold per-hop runs versus one warm engine session over the same chain.
+
+    For every hop of the ``timeline`` (a
+    :class:`~repro.timeline.store.TimelineStore`), runs a fresh cold
+    :class:`~repro.core.charles.Charles` and, separately, serves the whole
+    chain from one warm :class:`~repro.timeline.session.EngineSession`; the
+    table records wall time, candidate counts and cache behaviour side by
+    side, plus whether the rankings came out byte-identical (they must — it is
+    the subsystem's hard invariant, tabulated here so benchmark output shows
+    it being checked).  ``benchmarks/bench_incremental.py`` measures the same
+    cold-vs-warm contrast over a streaming-refresh workload and emits JSON;
+    this runner is the single-pass tabular counterpart for harness users.
+    """
+    from repro.timeline.session import EngineSession
+
+    config = config or CharlesConfig()
+    columns = [
+        "hop", "mode", "seconds", "candidates", "evaluated", "pruned",
+        "cache_hit_rate", "best_score", "identical",
+    ]
+    table = ResultTable(columns, title=f"Timeline profile on '{target}' ({len(timeline)} versions)")
+
+    cold_rows = []
+    for source, target_version, pair in timeline.windowed_pairs(window):
+        hop_name = f"{source.name}->{target_version.name}"
+        started = time.perf_counter()
+        result = Charles(config).summarize_pair(
+            pair,
+            target,
+            condition_attributes=condition_attributes,
+            transformation_attributes=transformation_attributes,
+        )
+        elapsed = time.perf_counter() - started
+        cold_rows.append((hop_name, elapsed, result))
+
+    session = EngineSession(config)
+    started = time.perf_counter()
+    timeline_result = session.summarize_timeline(
+        timeline,
+        target,
+        condition_attributes=condition_attributes,
+        transformation_attributes=transformation_attributes,
+        window=window,
+    )
+    warm_elapsed = time.perf_counter() - started
+
+    warm_rankings = timeline_result.rankings()
+    hop_identical = [
+        warm_rankings[index] == [(s.summary.describe(), s.score) for s in result.summaries]
+        for index, (_, _, result) in enumerate(cold_rows)
+    ]
+    for index, (hop_name, elapsed, result) in enumerate(cold_rows):
+        stats = result.search_stats
+        table.add(
+            hop=hop_name, mode="cold", seconds=elapsed,
+            candidates=stats.candidates_enumerated if stats else None,
+            evaluated=stats.candidates_evaluated if stats else None,
+            pruned=stats.candidates_pruned if stats else None,
+            cache_hit_rate=stats.cache_hit_rate if stats else None,
+            best_score=result.best.score, identical=hop_identical[index],
+        )
+    for index, hop in enumerate(timeline_result.hops):
+        stats = hop.stats
+        table.add(
+            hop=f"{hop.source_version}->{hop.target_version}", mode="warm",
+            seconds=stats.wall_time_seconds if stats else 0.0,
+            candidates=stats.candidates_enumerated if stats else None,
+            evaluated=stats.candidates_evaluated if stats else None,
+            pruned=stats.candidates_pruned if stats else None,
+            cache_hit_rate=stats.cache_hit_rate if stats else None,
+            best_score=hop.result.best.score,
+            identical=hop_identical[index],
+        )
+    table.add(hop="total", mode="warm-session", seconds=warm_elapsed,
+              cache_hit_rate=session.cache_counters().hit_rate,
+              identical=all(hop_identical))
     return table
 
 

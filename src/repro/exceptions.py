@@ -51,3 +51,12 @@ class DiscoveryError(CharlesError):
     Raised when the target attribute is missing/non-numeric or when every
     candidate attribute combination fails to produce a scorable summary.
     """
+
+
+class TimelineError(CharlesError):
+    """A version-chain operation on a :class:`~repro.timeline.store.TimelineStore` failed.
+
+    Raised for duplicate or unknown version names and for malformed windows;
+    appended versions that violate the snapshot contract itself (schema or
+    entity-set mismatches) raise :class:`SnapshotAlignmentError` as usual.
+    """

@@ -20,11 +20,14 @@ from repro.relational.table import Table
 __all__ = ["read_csv", "read_csv_text", "write_csv", "write_csv_text", "infer_column_dtype"]
 
 
-def infer_column_dtype(values: Iterable[str]) -> DType:
+def infer_column_dtype(values: Iterable[str], name: str | None = None) -> DType:
     """Infer the narrowest :class:`DType` for a column of raw CSV strings.
 
     Empty strings and common missing-value markers are ignored during
-    inference; a column that is entirely missing defaults to ``STRING``.
+    inference.  A column that is entirely missing carries no type evidence and
+    is rejected (mirroring table-level inference): silently defaulting it to
+    ``STRING`` would mistype sparse numeric columns and surface much later as
+    a confusing schema mismatch, e.g. when appending the file to a timeline.
     """
     missing = {"", "na", "n/a", "nan", "null", "none"}
     saw_value = False
@@ -51,7 +54,11 @@ def infer_column_dtype(values: Iterable[str]) -> DType:
             except ValueError:
                 could_be_int = False
     if not saw_value:
-        return DType.STRING
+        label = "the values" if name is None else f"column {name!r}"
+        raise SchemaError(
+            f"cannot infer a dtype for {label}: every value is missing; "
+            "declare an explicit schema"
+        )
     if could_be_bool:
         return DType.BOOL
     if could_be_int:
@@ -122,7 +129,9 @@ def _read(
     }
     if schema is None:
         schema = Schema(
-            tuple(Column(name, infer_column_dtype(raw_columns[name])) for name in header),
+            tuple(
+                Column(name, infer_column_dtype(raw_columns[name], name)) for name in header
+            ),
             primary_key=primary_key,
         )
     elif primary_key is not None:

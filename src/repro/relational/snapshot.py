@@ -137,11 +137,14 @@ class SnapshotPair:
         if column.is_numeric:
             old = self.source.numeric_column(attribute)
             new = self.target.numeric_column(attribute)
-            both_nan = np.isnan(old) & np.isnan(new)
+            old_missing = np.isnan(old)
+            new_missing = np.isnan(new)
             with np.errstate(invalid="ignore"):
                 changed = np.abs(old - new) > tolerance
-            changed = np.where(np.isnan(changed.astype(float)), True, changed)
-            return np.asarray(changed, dtype=bool) & ~both_nan
+            # a value appearing or disappearing is a change; NaN comparisons
+            # above are False, so mark one-sided missingness explicitly
+            changed = np.asarray(changed, dtype=bool) | (old_missing ^ new_missing)
+            return changed & ~(old_missing & new_missing)
         old_values = self.source.column(attribute)
         new_values = self.target.column(attribute)
         return np.array([o != n for o, n in zip(old_values, new_values)], dtype=bool)

@@ -27,15 +27,25 @@ __all__ = ["Table"]
 Row = dict[str, Any]
 
 
-def _infer_dtype(values: Sequence[Any]) -> DType:
-    """Infer the narrowest :class:`DType` able to hold ``values``."""
+def _infer_dtype(values: Sequence[Any], name: str | None = None) -> DType:
+    """Infer the narrowest :class:`DType` able to hold ``values``.
+
+    A column with no non-missing value carries no type evidence at all, and
+    silently defaulting it (historically to ``STRING``) mistypes sparse
+    numeric columns — a timeline append would then fail much later, on
+    schema-equivalence grounds, against the version that does carry values.
+    Such columns are rejected here instead: declare an explicit schema or
+    dtype for them.
+    """
     seen_float = False
     seen_int = False
     seen_bool = False
     seen_str = False
+    seen_any = False
     for value in values:
         if value is None:
             continue
+        seen_any = True
         if isinstance(value, bool):
             seen_bool = True
         elif isinstance(value, int):
@@ -44,6 +54,12 @@ def _infer_dtype(values: Sequence[Any]) -> DType:
             seen_float = True
         else:
             seen_str = True
+    if not seen_any:
+        label = "the values" if name is None else f"column {name!r}"
+        raise SchemaError(
+            f"cannot infer a dtype for {label}: every value is missing; "
+            "declare an explicit schema or dtype"
+        )
     if seen_str:
         return DType.STRING
     if seen_float:
@@ -97,7 +113,10 @@ class Table:
             names = list(materialised[0].keys())
             columns = {name: [row.get(name) for row in materialised] for name in names}
             schema = Schema(
-                tuple(Column(name, _infer_dtype(values)) for name, values in columns.items()),
+                tuple(
+                    Column(name, _infer_dtype(values, name))
+                    for name, values in columns.items()
+                ),
                 primary_key=primary_key,
             )
         elif primary_key is not None:
@@ -120,7 +139,10 @@ class Table:
         columns = OrderedDict((name, list(values)) for name, values in columns.items())
         if schema is None:
             schema = Schema(
-                tuple(Column(name, _infer_dtype(values)) for name, values in columns.items()),
+                tuple(
+                    Column(name, _infer_dtype(values, name))
+                    for name, values in columns.items()
+                ),
                 primary_key=primary_key,
             )
         elif primary_key is not None:
@@ -280,7 +302,7 @@ class Table:
             raise SchemaError(
                 f"new column {name!r} has {len(values)} values for {self.num_rows} rows"
             )
-        column = Column(name, dtype if dtype is not None else _infer_dtype(values))
+        column = Column(name, dtype if dtype is not None else _infer_dtype(values, name))
         schema = self.schema.with_column(column)
         data = {n: list(self._columns[n]) for n in self.schema.names if n in schema.names}
         data[name] = column.coerce_many(values)

@@ -54,7 +54,13 @@ order.  Wire the backend into
 call ``execute``).
 """
 
-from repro.search.cache import CacheCounters, MemoCache, SearchCaches, mask_digest
+from repro.search.cache import (
+    CacheCounters,
+    MemoCache,
+    PairFingerprints,
+    SearchCaches,
+    mask_digest,
+)
 from repro.search.evaluator import CandidateEvaluator, EvaluationOutcome, ScoredSummary
 from repro.search.executors import (
     ParallelExecutor,
@@ -82,6 +88,7 @@ __all__ = [
     "MemoCache",
     "CacheCounters",
     "SearchCaches",
+    "PairFingerprints",
     "mask_digest",
     "CandidateEvaluator",
     "EvaluationOutcome",

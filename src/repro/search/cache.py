@@ -1,27 +1,50 @@
-"""Memo caches for the candidate search.
+"""Memo caches for the candidate search, and the content keys that feed them.
 
 The search evaluates many :class:`~repro.search.planner.CandidateSpec`\\ s that
 overlap heavily: different partition counts and residual weights frequently
 collapse to the same partition masks, merging re-fits union masks that later
 specs rediscover, and hierarchical refinement re-runs partition discovery on
 the same sub-table for every spec that produced the same parent partition.
-Keying that work on content — the row mask's bytes plus the transformation
-subset — means no regression fit or partition discovery is ever computed twice
-within one executor (or one worker process, in parallel runs).
+Keying that work on *content* — the values the computation actually reads —
+means no regression fit or partition discovery is ever computed twice within
+one executor (or one worker process, in parallel runs).
 
-Row masks are folded to a BLAKE2b digest before being used as keys, so cache
-keys stay small even for very large tables.
+Content keys are produced by :class:`PairFingerprints`: every relevant column
+of the snapshot pair is folded into one 64-bit fingerprint per row, and a cache
+key hashes exactly the fingerprints of the rows and attributes a computation
+reads.  This has a property that matters beyond a single run: when a
+long-lived :class:`~repro.timeline.session.EngineSession` carries one
+:class:`SearchCaches` across a chain of dataset versions, entries whose input
+rows are untouched between versions keep identical keys (and are reused),
+while any touched row changes the key — so a stale entry can never be *hit*,
+it simply stops being referenced and ages out of the LRU.  Delta-driven
+invalidation falls out of the keying; no explicit invalidation pass exists or
+is needed.
+
+``MemoCache`` optionally bounds its size (``CharlesConfig.search_cache_capacity``)
+with least-recently-used eviction, so long-lived sessions cannot grow without
+limit; evictions are counted alongside hits and misses.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Sequence
 
 import numpy as np
 
-__all__ = ["MemoCache", "CacheCounters", "SearchCaches", "mask_digest"]
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+
+__all__ = [
+    "MemoCache",
+    "CacheCounters",
+    "SearchCaches",
+    "PairFingerprints",
+    "mask_digest",
+]
 
 
 def mask_digest(mask: np.ndarray) -> bytes:
@@ -30,17 +53,29 @@ def mask_digest(mask: np.ndarray) -> bytes:
 
 
 class MemoCache:
-    """A dictionary-backed memo cache with hit/miss accounting.
+    """A dictionary-backed memo cache with hit/miss/eviction accounting.
 
     ``None`` is a legitimate cached value (e.g. "this partition admits no
     transformation"), so membership is tested with lookup, not sentinel
-    comparison.
+    comparison.  With a ``capacity`` the cache evicts its least-recently-used
+    entry once the capacity is exceeded (lookups refresh recency); without one
+    it grows unboundedly, which is fine for one-shot searches but not for
+    long-lived engine sessions.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[Hashable, Any] = {}
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int | None:
+        """Maximum number of entries (``None`` = unbounded)."""
+        return self._capacity
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The cached value for ``key``, computing and storing it on first use."""
@@ -50,8 +85,12 @@ class MemoCache:
             self.misses += 1
             value = compute()
             self._entries[key] = value
+            if self._capacity is not None and len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
             return value
         self.hits += 1
+        self._entries.move_to_end(key)
         return value
 
     def __len__(self) -> int:
@@ -64,12 +103,37 @@ class MemoCache:
 
 @dataclass(frozen=True)
 class CacheCounters:
-    """A snapshot of both caches' hit/miss counters (supports delta arithmetic)."""
+    """A snapshot of both caches' counters (supports delta arithmetic)."""
 
     fit_hits: int = 0
     fit_misses: int = 0
     partition_hits: int = 0
     partition_misses: int = 0
+    fit_evictions: int = 0
+    partition_evictions: int = 0
+
+    @property
+    def evictions(self) -> int:
+        """Total evictions across both caches."""
+        return self.fit_evictions + self.partition_evictions
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both caches."""
+        return self.fit_hits + self.partition_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses across both caches."""
+        return self.fit_misses + self.partition_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered without recomputation, in [0, 1]."""
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
 
     def __sub__(self, other: "CacheCounters") -> "CacheCounters":
         return CacheCounters(
@@ -77,6 +141,8 @@ class CacheCounters:
             fit_misses=self.fit_misses - other.fit_misses,
             partition_hits=self.partition_hits - other.partition_hits,
             partition_misses=self.partition_misses - other.partition_misses,
+            fit_evictions=self.fit_evictions - other.fit_evictions,
+            partition_evictions=self.partition_evictions - other.partition_evictions,
         )
 
     def __add__(self, other: "CacheCounters") -> "CacheCounters":
@@ -85,29 +151,109 @@ class CacheCounters:
             fit_misses=self.fit_misses + other.fit_misses,
             partition_hits=self.partition_hits + other.partition_hits,
             partition_misses=self.partition_misses + other.partition_misses,
+            fit_evictions=self.fit_evictions + other.fit_evictions,
+            partition_evictions=self.partition_evictions + other.partition_evictions,
         )
 
 
 class SearchCaches:
     """The two memo caches one evaluator carries through a search.
 
-    * ``fits`` — per-mask transformation fits, keyed on
-      ``(transformation_subset, mask_digest)``.
-    * ``partitions`` — partition-discovery results, keyed on
-      ``(scope_digest, condition_subset, transformation_subset, n_partitions,
-      residual_weight)`` where the scope digest identifies the sub-table the
-      discovery ran on (empty for the full pair).
+    * ``fits`` — per-mask transformation fits, keyed on the transformation
+      subset plus a :class:`PairFingerprints` content token of the rows read.
+    * ``partitions`` — partition-discovery results, keyed on the spec
+      parameters plus the content token of the scope rows the discovery ran on.
+
+    Because the keys are content-based, one ``SearchCaches`` may safely serve
+    many searches — different targets, different snapshot pairs of the same
+    entity chain — *provided the configuration is fixed*: knobs like the
+    k-means seed or coverage thresholds change computed values without changing
+    content keys, so caches must never be shared across configurations.
+    :class:`~repro.timeline.session.EngineSession` owns exactly one config and
+    one ``SearchCaches`` for this reason.
     """
 
-    def __init__(self) -> None:
-        self.fits = MemoCache()
-        self.partitions = MemoCache()
+    def __init__(self, capacity: int | None = None) -> None:
+        self.fits = MemoCache(capacity)
+        self.partitions = MemoCache(capacity)
 
     def counters(self) -> CacheCounters:
-        """The current cumulative hit/miss counters of both caches."""
+        """The current cumulative counters of both caches."""
         return CacheCounters(
             fit_hits=self.fits.hits,
             fit_misses=self.fits.misses,
             partition_hits=self.partitions.hits,
             partition_misses=self.partitions.misses,
+            fit_evictions=self.fits.evictions,
+            partition_evictions=self.partitions.evictions,
         )
+
+
+class PairFingerprints:
+    """Per-row content fingerprints of an aligned snapshot pair.
+
+    Each column is folded into one ``uint64`` per row (the raw IEEE-754 bits
+    for numeric columns, an 8-byte BLAKE2b digest per distinct value for
+    categorical ones); a :meth:`token` then hashes exactly the fingerprints a
+    computation reads — the requested attributes plus the target attribute on
+    both sides, restricted to the rows of a boolean mask.  Two lookups receive
+    the same token if and only if (up to hash collisions) the computation
+    would read identical values, which is what makes the memo caches safe to
+    share across runs and across versions of evolving data.
+
+    Fingerprints are built lazily per column and cached for the lifetime of
+    the evaluator, so a token costs one masked gather per involved column.
+    """
+
+    def __init__(self, pair: SnapshotPair, target: str) -> None:
+        self._pair = pair
+        self._target = target
+        self._source_prints: dict[str, np.ndarray] = {}
+        self._target_print: np.ndarray | None = None
+
+    @staticmethod
+    def _column_fingerprint(table: Table, name: str) -> np.ndarray:
+        column = table.schema.column(name)
+        if column.is_numeric:
+            return np.ascontiguousarray(table.numeric_column(name)).view(np.uint64)
+        values = table.column(name)
+        codes: dict[Any, int] = {}
+        out = np.empty(len(values), dtype=np.uint64)
+        for index, value in enumerate(values):
+            code = codes.get(value)
+            if code is None:
+                token = b"\x00" if value is None else repr(value).encode("utf-8")
+                code = int.from_bytes(
+                    hashlib.blake2b(token, digest_size=8).digest(), "little"
+                )
+                codes[value] = code
+            out[index] = code
+        return out
+
+    def _source(self, name: str) -> np.ndarray:
+        print_ = self._source_prints.get(name)
+        if print_ is None:
+            print_ = self._column_fingerprint(self._pair.source, name)
+            self._source_prints[name] = print_
+        return print_
+
+    def _target_side(self) -> np.ndarray:
+        if self._target_print is None:
+            self._target_print = self._column_fingerprint(self._pair.target, self._target)
+        return self._target_print
+
+    def token(self, attributes: Sequence[str], mask: np.ndarray) -> bytes:
+        """Content token of ``attributes`` + the target attribute under ``mask``.
+
+        Covers, for the selected rows: the source-side values of every
+        requested attribute, the source-side value of the target attribute and
+        the target-side value of the target attribute — the complete input of
+        both per-mask fits and partition discovery.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for name in dict.fromkeys(attributes):
+            if name != self._target:
+                digest.update(self._source(name)[mask].tobytes())
+        digest.update(self._source(self._target)[mask].tobytes())
+        digest.update(self._target_side()[mask].tobytes())
+        return digest.digest()

@@ -40,12 +40,10 @@ from repro.exceptions import ModelFitError
 from repro.ml.linreg import LinearRegression
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
-from repro.search.cache import SearchCaches, mask_digest
+from repro.search.cache import PairFingerprints, SearchCaches, mask_digest
 from repro.search.planner import GLOBAL, CandidateSpec
 
 __all__ = ["ScoredSummary", "EvaluationOutcome", "CandidateEvaluator"]
-
-_FULL_SCOPE = b""
 
 
 @dataclass(frozen=True)
@@ -111,7 +109,8 @@ class CandidateEvaluator:
         self._target = target
         self._config = config
         self._full_mask = np.ones(pair.num_rows, dtype=bool)
-        self.caches = caches or SearchCaches()
+        self._prints = PairFingerprints(pair, target)
+        self.caches = caches or SearchCaches(config.search_cache_capacity)
 
     # -- public API ------------------------------------------------------------
 
@@ -132,7 +131,7 @@ class CandidateEvaluator:
             return EvaluationOutcome(spec, self._global_summary(spec), None)
         partitions = self._cached_partitions(
             self._pair,
-            _FULL_SCOPE,
+            self._full_mask,
             spec.condition_subset,
             spec.transformation_subset,
             spec.n_partitions,
@@ -158,13 +157,29 @@ class CandidateEvaluator:
     def _cached_partitions(
         self,
         scope_pair: SnapshotPair,
-        scope_key: bytes,
+        scope_mask: np.ndarray,
         condition_subset: tuple[str, ...],
         transformation_subset: tuple[str, ...],
         n_partitions: int,
         residual_weight: float = 1.0,
     ) -> list[Partition]:
-        key = (scope_key, condition_subset, transformation_subset, n_partitions, residual_weight)
+        """Partition discovery on ``scope_pair``, memoised by content.
+
+        ``scope_mask`` selects the scope's rows in the *full* pair (the full
+        mask for top-level discovery, the parent partition's mask during
+        refinement); the cache key hashes the values of every involved column
+        under that mask, so the entry stays valid for exactly as long as those
+        values do — including across runs of a long-lived session.
+        """
+        key = (
+            "partition",
+            self._target,
+            condition_subset,
+            transformation_subset,
+            n_partitions,
+            residual_weight,
+            self._prints.token(condition_subset + transformation_subset, scope_mask),
+        )
         return self.caches.partitions.get_or_compute(
             key,
             lambda: discover_partitions(
@@ -181,7 +196,12 @@ class CandidateEvaluator:
     def _cached_fit(
         self, transformation_subset: tuple[str, ...], mask: np.ndarray
     ) -> LinearTransformation | None:
-        key = (transformation_subset, mask_digest(mask))
+        key = (
+            "fit",
+            self._target,
+            transformation_subset,
+            self._prints.token(transformation_subset, mask),
+        )
         return self.caches.fits.get_or_compute(
             key, lambda: self._fit_transformation(transformation_subset, mask)
         )
@@ -359,7 +379,7 @@ class CandidateEvaluator:
                 continue
             sub_pair = pair.restricted(partition.mask)
             sub_partitions = self._cached_partitions(
-                sub_pair, mask_digest(partition.mask), condition_subset, transformation_subset, 2
+                sub_pair, partition.mask, condition_subset, transformation_subset, 2
             )
             if len(sub_partitions) < 2:
                 refined.append((partition, transformation))

@@ -85,16 +85,36 @@ class SearchExecutor:
         target: str,
         plan: SearchPlan,
         config: CharlesConfig,
+        caches: SearchCaches | None = None,
+        initial_floor: float = float("-inf"),
     ) -> tuple[list[ScoredSummary], SearchStats]:
-        """Evaluate the plan and return the ranked candidates plus statistics."""
+        """Evaluate the plan and return the ranked candidates plus statistics.
+
+        ``caches`` lets a long-lived caller (an
+        :class:`~repro.timeline.session.EngineSession`) supply memo caches that
+        outlive one search; in-process executors use them directly, the
+        process-pool executor ignores them (workers cannot share in-process
+        caches) except on its serial fallback path.
+
+        ``initial_floor`` seeds the top-k pruning floor before round 0.  The
+        floor only ever *rises* above the seed (``max`` with the running
+        k-th-best score), so a seed of ``-inf`` reproduces the cold behaviour
+        exactly.  Callers seeding a finite floor own the soundness obligation:
+        the final ranking equals the cold ranking iff the seed does not exceed
+        this run's true k-th-best score — which is what the session's
+        verify-or-fallback protocol checks.
+        """
         started = time.perf_counter()
         stats = SearchStats(
-            candidates_enumerated=len(plan), n_jobs=self.n_jobs, rounds=plan.num_rounds
+            candidates_enumerated=len(plan),
+            n_jobs=self.n_jobs,
+            rounds=plan.num_rounds,
+            warm_start_floor=initial_floor if initial_floor != float("-inf") else None,
         )
         candidates: dict[tuple, ScoredSummary] = {}
         signatures: set = set()
-        floor = float("-inf")
-        self._setup(pair, target, config)
+        floor = initial_floor
+        self._setup(pair, target, config, caches)
         try:
             for round_specs in plan.rounds:
                 if not round_specs:
@@ -112,10 +132,8 @@ class SearchExecutor:
                     stats.candidates_evaluated += 1
                     if outcome.scored is not None:
                         add_candidate(candidates, outcome.scored)
-                stats.merge_cache_counts(
-                    delta.fit_hits, delta.fit_misses, delta.partition_hits, delta.partition_misses
-                )
-                floor = _top_k_floor(candidates, config.top_k)
+                stats.merge_cache_counters(delta)
+                floor = max(initial_floor, _top_k_floor(candidates, config.top_k))
         finally:
             self._teardown()
         stats.n_jobs = self._effective_n_jobs()
@@ -128,7 +146,13 @@ class SearchExecutor:
 
     # -- subclass hooks ----------------------------------------------------------
 
-    def _setup(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+    def _setup(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        config: CharlesConfig,
+        caches: SearchCaches | None = None,
+    ) -> None:
         raise NotImplementedError
 
     def _run_round(
@@ -160,8 +184,16 @@ class SerialExecutor(SearchExecutor):
 
     n_jobs = 1
 
-    def _setup(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
-        self._evaluator = CandidateEvaluator(pair, target, config, SearchCaches())
+    def _setup(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        config: CharlesConfig,
+        caches: SearchCaches | None = None,
+    ) -> None:
+        if caches is None:
+            caches = SearchCaches(config.search_cache_capacity)
+        self._evaluator = CandidateEvaluator(pair, target, config, caches)
 
     def _run_round(
         self,
@@ -182,7 +214,9 @@ _WORKER_EVALUATOR: CandidateEvaluator | None = None
 
 def _init_worker(pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
     global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = CandidateEvaluator(pair, target, config, SearchCaches())
+    _WORKER_EVALUATOR = CandidateEvaluator(
+        pair, target, config, SearchCaches(config.search_cache_capacity)
+    )
 
 
 def _evaluate_batch(
@@ -208,10 +242,19 @@ class ParallelExecutor(SearchExecutor):
         self._pool: ProcessPoolExecutor | None = None
         self._fallback: CandidateEvaluator | None = None
         self._search_context: tuple[SnapshotPair, str, CharlesConfig] | None = None
+        self._session_caches: SearchCaches | None = None
 
-    def _setup(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+    def _setup(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        config: CharlesConfig,
+        caches: SearchCaches | None = None,
+    ) -> None:
         self._fallback = None
         self._search_context = (pair, target, config)
+        # workers cannot share in-process caches; kept only for the serial fallback
+        self._session_caches = caches
         try:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_jobs,
@@ -240,7 +283,8 @@ class ParallelExecutor(SearchExecutor):
             self._pool = None
         assert self._search_context is not None
         pair, target, config = self._search_context
-        self._fallback = CandidateEvaluator(pair, target, config, SearchCaches())
+        caches = self._session_caches or SearchCaches(config.search_cache_capacity)
+        self._fallback = CandidateEvaluator(pair, target, config, caches)
 
     def _effective_n_jobs(self) -> int:
         return 1 if self._fallback is not None else self.n_jobs

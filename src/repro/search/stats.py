@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.search.cache import CacheCounters
+
 __all__ = ["SearchStats"]
 
 
@@ -27,6 +29,12 @@ class SearchStats:
     :mod:`repro.search.cache`; in parallel runs they are aggregated across
     worker processes (each worker has its own caches, so parallel hit rates
     are typically lower than serial ones).
+
+    Warm-started runs (see :class:`~repro.timeline.session.EngineSession`)
+    record the seeded pruning floor in ``warm_start_floor``;
+    ``warm_start_fallback`` marks runs where the seed proved too aggressive
+    and the search was transparently re-run with an open floor (the recorded
+    wall time then covers both attempts).
     """
 
     candidates_enumerated: int = 0
@@ -37,9 +45,12 @@ class SearchStats:
     fit_cache_misses: int = 0
     partition_cache_hits: int = 0
     partition_cache_misses: int = 0
+    cache_evictions: int = 0
     wall_time_seconds: float = 0.0
     n_jobs: int = 1
     rounds: int = field(default=0)
+    warm_start_floor: float | None = None
+    warm_start_fallback: bool = False
 
     # -- derived ---------------------------------------------------------------
 
@@ -71,20 +82,20 @@ class SearchStats:
             return 0.0
         return self.cache_hits / lookups
 
+    @property
+    def warm_started(self) -> bool:
+        """Whether this run was seeded with a pruning floor from a previous run."""
+        return self.warm_start_floor is not None
+
     # -- aggregation -----------------------------------------------------------
 
-    def merge_cache_counts(
-        self,
-        fit_hits: int,
-        fit_misses: int,
-        partition_hits: int,
-        partition_misses: int,
-    ) -> None:
-        """Absorb cache-counter deltas reported by one executor round/worker."""
-        self.fit_cache_hits += fit_hits
-        self.fit_cache_misses += fit_misses
-        self.partition_cache_hits += partition_hits
-        self.partition_cache_misses += partition_misses
+    def merge_cache_counters(self, counters: CacheCounters) -> None:
+        """Absorb a cache-counter delta reported by one executor round/worker."""
+        self.fit_cache_hits += counters.fit_hits
+        self.fit_cache_misses += counters.fit_misses
+        self.partition_cache_hits += counters.partition_hits
+        self.partition_cache_misses += counters.partition_misses
+        self.cache_evictions += counters.evictions
 
     # -- rendering -------------------------------------------------------------
 
@@ -100,20 +111,28 @@ class SearchStats:
             "fit_cache_misses": self.fit_cache_misses,
             "partition_cache_hits": self.partition_cache_hits,
             "partition_cache_misses": self.partition_cache_misses,
+            "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "wall_time_seconds": self.wall_time_seconds,
             "n_jobs": self.n_jobs,
             "rounds": self.rounds,
+            "warm_started": self.warm_started,
+            "warm_start_floor": self.warm_start_floor,
+            "warm_start_fallback": self.warm_start_fallback,
         }
 
     def describe(self) -> str:
         """A one-line human-readable rendering (used by the CLI)."""
-        return (
+        text = (
             f"{self.candidates_enumerated} candidates planned "
             f"({self.candidates_evaluated} evaluated, {self.candidates_pruned} pruned), "
             f"cache hit rate {100.0 * self.cache_hit_rate:.1f}%, "
             f"{self.wall_time_seconds:.2f}s, jobs={self.n_jobs}"
         )
+        if self.warm_started:
+            suffix = " (fell back to a cold floor)" if self.warm_start_fallback else ""
+            text += f", warm floor {self.warm_start_floor:.3f}{suffix}"
+        return text
 
     def __str__(self) -> str:
         return self.describe()

@@ -13,6 +13,8 @@ pair to ChARLES or a baseline, and compare what comes back against the policy.
   demo schema, cost-of-living policies.
 * :mod:`~repro.workloads.billionaires` — synthetic wealth list, market-year
   policy.
+* :mod:`~repro.workloads.streaming` — multi-version chains with per-hop
+  policies, for the timeline subsystem.
 """
 
 from repro.workloads.billionaires import (
@@ -37,6 +39,7 @@ from repro.workloads.montgomery import (
     overtime_policy,
 )
 from repro.workloads.policies import Policy, apply_policy, evolve_pair
+from repro.workloads.streaming import streaming_bonus_policies, streaming_employee_timeline
 
 __all__ = [
     "Policy",
@@ -57,4 +60,6 @@ __all__ = [
     "generate_billionaires",
     "wealth_policy",
     "billionaires_pair",
+    "streaming_bonus_policies",
+    "streaming_employee_timeline",
 ]

@@ -117,3 +117,63 @@ class TestDrift:
 
     def test_unknown_attribute_returns_none(self, fig1_pair):
         assert drift_report(fig1_pair).for_attribute("nonexistent") is None
+
+
+class TestTimelineDiff:
+    def _store(self):
+        from repro.relational.table import Table
+        from repro.timeline import TimelineStore
+
+        v1 = Table.from_rows(
+            [
+                {"id": "a", "dept": "ops", "pay": 100.0, "bonus": 10.0},
+                {"id": "b", "dept": "ops", "pay": 200.0, "bonus": 20.0},
+                {"id": "c", "dept": "eng", "pay": 300.0, "bonus": 30.0},
+            ],
+            primary_key="id",
+        )
+        v2 = v1.with_column("pay", [110.0, 220.0, 300.0])
+        v3 = v2.with_column("bonus", [10.0, 20.0, 33.0])
+        store = TimelineStore()
+        for name, table in [("v1", v1), ("v2", v2), ("v3", v3)]:
+            store.append(name, table)
+        return store
+
+    def test_incremental_report_matches_full_diff_on_changed_attributes(self):
+        from repro.diff import diff_snapshots, incremental_diff_report
+        from repro.timeline import VersionDelta
+
+        store = self._store()
+        pair = store.pair("v1", "v2")
+        delta = VersionDelta.from_pair(pair, "v1", "v2")
+        incremental = incremental_diff_report(pair, delta)
+        full = diff_snapshots(pair, attributes=["pay"])
+        assert [str(c) for c in incremental.changes] == [str(c) for c in full.changes]
+        assert incremental.attribute_diffs == full.attribute_diffs
+        # unchanged attributes are entirely absent, not zero-count rows
+        assert [d.attribute for d in incremental.attribute_diffs] == ["pay"]
+
+    def test_timeline_diff_covers_every_hop(self):
+        from repro.diff import timeline_diff
+
+        reports = timeline_diff(self._store())
+        assert [(s, t) for s, t, _ in reports] == [("v1", "v2"), ("v2", "v3")]
+        first, second = reports[0][2], reports[1][2]
+        assert first.changed_attributes == ["pay"]
+        assert second.changed_attributes == ["bonus"]
+        assert first.num_changes == 2 and second.num_changes == 1
+
+    def test_timeline_drift_restricted_to_changed_attributes(self):
+        from repro.diff import timeline_drift
+
+        reports = timeline_drift(self._store())
+        assert [d.attribute for d in reports[0][2].drifts] == ["pay"]
+        assert [d.attribute for d in reports[1][2].drifts] == ["bonus"]
+
+    def test_timeline_drift_empty_hop(self):
+        from repro.diff import timeline_drift
+
+        store = self._store()
+        store.append("v4", store.checkout("v3"))
+        reports = timeline_drift(store)
+        assert reports[-1][2].drifts == ()

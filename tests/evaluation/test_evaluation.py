@@ -162,3 +162,23 @@ class TestHarness:
         assert accuracies[-1] >= accuracies[0]
         assert interpretabilities[0] >= interpretabilities[-1]
         assert len(table.rows) == 3
+
+
+class TestTimelineProfile:
+    def test_cold_and_warm_rows_tabulated_and_identical(self):
+        from repro.core import CharlesConfig
+        from repro.evaluation import run_timeline_profile
+        from repro.workloads import streaming_employee_timeline
+
+        store, _ = streaming_employee_timeline(60, num_versions=3, seed=21)
+        table = run_timeline_profile(
+            store, "bonus",
+            config=CharlesConfig(max_partitions=2, max_condition_attributes=2, top_k=3),
+            condition_attributes=["edu", "exp"],
+            transformation_attributes=["bonus"],
+        )
+        modes = table.column("mode")
+        assert modes.count("cold") == 2 and modes.count("warm") == 2
+        assert modes[-1] == "warm-session"
+        assert all(row["identical"] for row in table.rows)
+        assert table.rows[-1]["cache_hit_rate"] > 0

@@ -24,12 +24,21 @@ class TestTypeInference:
             (["true", "false"], DType.BOOL),
             (["yes", "no"], DType.BOOL),
             (["abc", "1"], DType.STRING),
-            (["", "NA"], DType.STRING),
             (["1", ""], DType.INT),
         ],
     )
     def test_infer_column_dtype(self, values, expected):
         assert infer_column_dtype(values) is expected
+
+    def test_all_missing_column_rejected(self):
+        with pytest.raises(SchemaError, match="every value is missing"):
+            infer_column_dtype(["", "NA"])
+        with pytest.raises(SchemaError, match="column 'pay'"):
+            read_csv_text("id,pay\na,\nb,NA\n")
+        # an explicit schema keeps entirely-missing columns loadable
+        schema = Schema.of({"id": DType.STRING, "pay": DType.FLOAT})
+        table = read_csv_text("id,pay\na,\nb,NA\n", schema=schema)
+        assert table.column("pay") == [None, None]
 
 
 class TestReadCsv:

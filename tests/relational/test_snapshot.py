@@ -122,3 +122,38 @@ class TestChangeInspection:
     def test_len_and_key_values(self, pair):
         assert len(pair) == 3
         assert pair.key_values == ["a", "b", "c"]
+
+
+class TestChangedMaskMissingness:
+    def _pair(self, old, new):
+        from repro.relational.schema import DType, Schema
+        from repro.relational.table import Table
+
+        schema = Schema.of({"id": DType.STRING, "pay": DType.FLOAT}, primary_key="id")
+        source = Table.from_rows(
+            [{"id": str(i), "pay": v} for i, v in enumerate(old)], schema=schema
+        )
+        target = Table.from_rows(
+            [{"id": str(i), "pay": v} for i, v in enumerate(new)], schema=schema
+        )
+        return SnapshotPair.align(source, target, key="id")
+
+    def test_value_to_missing_counts_as_change(self):
+        pair = self._pair([5000.0, 1.0], [None, 1.0])
+        assert pair.changed_mask("pay").tolist() == [True, False]
+
+    def test_missing_to_value_counts_as_change(self):
+        pair = self._pair([None, 1.0], [7.5, 1.0])
+        assert pair.changed_mask("pay").tolist() == [True, False]
+
+    def test_missing_on_both_sides_is_unchanged(self):
+        pair = self._pair([None, 2.0], [None, 2.5])
+        assert pair.changed_mask("pay").tolist() == [False, True]
+
+    def test_timeline_delta_sees_value_to_missing_edits(self):
+        from repro.timeline import VersionDelta
+
+        pair = self._pair([5000.0, 1.0], [None, 1.0])
+        delta = VersionDelta.from_pair(pair)
+        assert delta.changed_attributes == ("pay",)
+        assert delta.num_changed_cells == 1

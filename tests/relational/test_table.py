@@ -38,6 +38,32 @@ class TestConstruction:
         with pytest.raises(SchemaError):
             Table(Schema.of({"a": DType.INT, "b": DType.INT}), {"a": [1], "b": [1, 2]})
 
+    def test_all_missing_column_inference_rejected(self):
+        # an all-None column carries no type evidence; silently inferring
+        # STRING used to mistype sparse numeric columns
+        with pytest.raises(SchemaError, match="column 'b'.*every value is missing"):
+            Table.from_rows([{"a": 1, "b": None}, {"a": 2, "b": None}])
+        with pytest.raises(SchemaError, match="every value is missing"):
+            Table.from_columns({"a": [None, None]})
+
+    def test_all_missing_column_allowed_with_explicit_dtype(self):
+        schema = Schema.of({"a": DType.INT, "b": DType.FLOAT})
+        table = Table.from_rows([{"a": 1, "b": None}, {"a": 2, "b": None}], schema=schema)
+        assert table.column("b") == [None, None]
+        assert table.schema.column("b").dtype is DType.FLOAT
+
+    def test_with_column_all_missing_requires_dtype(self, small_table):
+        with pytest.raises(SchemaError, match="every value is missing"):
+            small_table.with_column("note", [None] * small_table.num_rows)
+        explicit = small_table.with_column(
+            "note", [None] * small_table.num_rows, dtype=DType.STRING
+        )
+        assert explicit.column("note") == [None] * small_table.num_rows
+
+    def test_partially_missing_column_still_inferred(self):
+        table = Table.from_rows([{"a": None}, {"a": 2.5}])
+        assert table.schema.column("a").dtype is DType.FLOAT
+
     def test_missing_column_data_rejected(self):
         with pytest.raises(SchemaError):
             Table(Schema.of({"a": DType.INT, "b": DType.INT}), {"a": [1]})

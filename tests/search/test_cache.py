@@ -5,7 +5,9 @@ import pytest
 
 from repro.core.config import CharlesConfig
 from repro.core.discovery import DiffDiscoveryEngine
-from repro.search import MemoCache, SearchCaches, mask_digest
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.search import MemoCache, PairFingerprints, SearchCaches, mask_digest
 
 
 class TestMemoCache:
@@ -32,6 +34,109 @@ class TestMemoCache:
         assert len(cache) == 0 and cache.misses == 1
         cache.get_or_compute("k", lambda: 2)
         assert cache.misses == 2
+
+
+class TestMemoCacheLRU:
+    def test_capacity_evicts_least_recently_used(self):
+        cache = MemoCache(capacity=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh "a"; "b" is now LRU
+        cache.get_or_compute("c", lambda: 3)  # evicts "b"
+        assert len(cache) == 2 and cache.evictions == 1
+        calls = []
+        assert cache.get_or_compute("a", lambda: calls.append(1) or 9) == 1
+        assert calls == []  # "a" survived
+        cache.get_or_compute("b", lambda: calls.append(1) or 9)
+        assert calls == [1]  # "b" was recomputed
+
+    def test_unbounded_by_default(self):
+        cache = MemoCache()
+        for index in range(1000):
+            cache.get_or_compute(index, lambda: index)
+        assert len(cache) == 1000 and cache.evictions == 0
+        assert cache.capacity is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoCache(capacity=0)
+
+    def test_config_threads_capacity_and_counts_evictions(self, fig1_pair):
+        config = CharlesConfig(search_cache_capacity=4)
+        _, stats = DiffDiscoveryEngine(config).discover_with_stats(
+            fig1_pair, "bonus", ["edu", "exp"], ["bonus", "salary"]
+        )
+        assert stats.cache_evictions > 0
+        # eviction never changes results, only recomputation counts
+        unbounded, _ = DiffDiscoveryEngine(CharlesConfig()).discover_with_stats(
+            fig1_pair, "bonus", ["edu", "exp"], ["bonus", "salary"]
+        )
+        bounded, _ = DiffDiscoveryEngine(config).discover_with_stats(
+            fig1_pair, "bonus", ["edu", "exp"], ["bonus", "salary"]
+        )
+        assert [(s.summary.structural_key(), s.score) for s in bounded] == [
+            (s.summary.structural_key(), s.score) for s in unbounded
+        ]
+
+    def test_invalid_config_capacity_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CharlesConfig(search_cache_capacity=0)
+
+
+class TestPairFingerprints:
+    def _pair(self, bonuses_old, bonuses_new, cities=("x", "y", "z")):
+        source = Table.from_rows(
+            [
+                {"id": str(i), "city": cities[i], "bonus": bonuses_old[i]}
+                for i in range(3)
+            ],
+            primary_key="id",
+        )
+        target = source.with_column("bonus", list(bonuses_new))
+        return SnapshotPair.align(source, target, key="id")
+
+    def test_identical_content_same_token(self):
+        pair_a = self._pair([1.0, 2.0, 3.0], [1.5, 2.0, 3.0])
+        pair_b = self._pair([1.0, 2.0, 3.0], [1.5, 2.0, 3.0])
+        mask = np.array([True, True, False])
+        token_a = PairFingerprints(pair_a, "bonus").token(("bonus",), mask)
+        token_b = PairFingerprints(pair_b, "bonus").token(("bonus",), mask)
+        assert token_a == token_b
+
+    def test_changing_a_masked_row_changes_the_token(self):
+        pair_a = self._pair([1.0, 2.0, 3.0], [1.5, 2.0, 3.0])
+        pair_b = self._pair([1.0, 2.0, 3.0], [9.9, 2.0, 3.0])
+        mask = np.array([True, True, False])
+        prints_a = PairFingerprints(pair_a, "bonus")
+        prints_b = PairFingerprints(pair_b, "bonus")
+        assert prints_a.token(("bonus",), mask) != prints_b.token(("bonus",), mask)
+
+    def test_changing_an_unmasked_row_keeps_the_token(self):
+        # the delta-invalidation property: entries over untouched rows survive
+        pair_a = self._pair([1.0, 2.0, 3.0], [1.0, 2.0, 3.5])
+        pair_b = self._pair([1.0, 2.0, 3.0], [1.0, 2.0, 9.9])
+        mask = np.array([True, True, False])
+        prints_a = PairFingerprints(pair_a, "bonus")
+        prints_b = PairFingerprints(pair_b, "bonus")
+        assert prints_a.token(("bonus",), mask) == prints_b.token(("bonus",), mask)
+
+    def test_categorical_and_missing_values_distinguished(self):
+        pair_a = self._pair([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], cities=("x", "y", "z"))
+        pair_b = self._pair([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], cities=("x", "y", "w"))
+        mask = np.ones(3, dtype=bool)
+        token_a = PairFingerprints(pair_a, "bonus").token(("city", "bonus"), mask)
+        token_b = PairFingerprints(pair_b, "bonus").token(("city", "bonus"), mask)
+        assert token_a != token_b
+
+    def test_attribute_order_and_duplicates_normalised(self):
+        pair = self._pair([1.0, 2.0, 3.0], [1.5, 2.0, 3.0])
+        prints = PairFingerprints(pair, "bonus")
+        mask = np.ones(3, dtype=bool)
+        assert prints.token(("city", "bonus"), mask) == prints.token(
+            ("city", "bonus", "city"), mask
+        )
 
 
 class TestMaskDigest:

@@ -5,7 +5,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Charles, CharlesConfig, DiffDiscoveryEngine
-from repro.search import ParallelExecutor, SerialExecutor, build_search_plan, select_executor
+from repro.search import (
+    ParallelExecutor,
+    SearchCaches,
+    SerialExecutor,
+    build_search_plan,
+    select_executor,
+)
 from repro.workloads import employee_pair
 
 
@@ -115,8 +121,8 @@ class TestParallelFallback:
         executor = ParallelExecutor(2)
         original_setup = executor._setup
 
-        def broken_setup(pair, target, cfg):
-            original_setup(pair, target, cfg)
+        def broken_setup(pair, target, cfg, caches=None):
+            original_setup(pair, target, cfg, caches)
             with pytest.warns(RuntimeWarning):
                 executor._fall_back_to_serial(RuntimeError("simulated pool loss"))
 
@@ -124,6 +130,51 @@ class TestParallelFallback:
         ranked, stats = executor.execute(fig1_pair, "bonus", plan, config)
         assert ranked
         assert stats.n_jobs == 1
+
+
+class TestInitialFloor:
+    """The warm-start seed: a sound floor must not change the top-k."""
+
+    def _execute(self, pair, config, initial_floor, caches=None):
+        plan = build_search_plan(["edu", "exp"], ["bonus", "salary"], config)
+        executor = SerialExecutor()
+        return executor.execute(
+            pair, "bonus", plan, config, caches=caches, initial_floor=initial_floor
+        )
+
+    def test_sound_seed_preserves_topk_and_prunes_more(self, fig1_pair):
+        config = CharlesConfig()
+        cold_ranked, cold_stats = self._execute(fig1_pair, config, float("-inf"))
+        kth = cold_ranked[: config.top_k][-1].score
+        seeded_ranked, seeded_stats = self._execute(fig1_pair, config, kth - 1e-9)
+        cold_top = [(s.summary.structural_key(), s.score) for s in cold_ranked[: config.top_k]]
+        seeded_top = [
+            (s.summary.structural_key(), s.score) for s in seeded_ranked[: config.top_k]
+        ]
+        assert seeded_top == cold_top
+        assert seeded_stats.candidates_pruned_bounds >= cold_stats.candidates_pruned_bounds
+        assert seeded_stats.warm_started and seeded_stats.warm_start_floor == kth - 1e-9
+        assert not cold_stats.warm_started
+
+    def test_seeded_floor_never_drops_below_seed(self, fig1_pair):
+        # every ranked survivor scored at least as well as its round's floor
+        # allowed; the seed bounds what can appear at the very bottom
+        config = CharlesConfig(top_k=3)
+        ranked, _ = self._execute(fig1_pair, config, 0.99)
+        assert all(s.score >= 0.0 for s in ranked)
+
+    def test_shared_caches_are_used_by_serial_executor(self, fig1_pair):
+        config = CharlesConfig()
+        caches = SearchCaches()
+        self._execute(fig1_pair, config, float("-inf"), caches=caches)
+        first = caches.counters()
+        assert first.fit_misses > 0
+        # the same search again: all lookups must hit the shared caches
+        self._execute(fig1_pair, config, float("-inf"), caches=caches)
+        second = caches.counters()
+        assert second.fit_misses == first.fit_misses
+        assert second.partition_misses == first.partition_misses
+        assert second.fit_hits > first.fit_hits
 
 
 class TestSearchStatsThreading:

@@ -125,3 +125,66 @@ class TestCommands:
         code = main(["summarize", str(source), str(target), "--key", "name", "--target", "edu"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTimelineCommand:
+    @pytest.fixture()
+    def chain_csvs(self, tmp_path):
+        from repro.workloads import streaming_employee_timeline
+
+        store, _ = streaming_employee_timeline(60, num_versions=3, seed=11)
+        paths = []
+        for version in store:
+            path = tmp_path / f"{version.name}.csv"
+            write_csv(version.table, path)
+            paths.append(path)
+        return paths
+
+    def test_timeline_parser_registered(self):
+        args = build_parser().parse_args(["timeline", "a.csv", "b.csv", "c.csv", "--target", "x"])
+        assert args.command == "timeline"
+        assert len(args.versions) == 3
+
+    def test_timeline_prints_per_hop_summaries(self, chain_csvs, capsys):
+        code = main([
+            "timeline", *[str(p) for p in chain_csvs],
+            "--key", "name", "--target", "bonus", "-c", "2", "--top", "3",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "v1 -> v2" in output and "v2 -> v3" in output
+        assert "total:" in output
+
+    def test_timeline_cold_baseline(self, chain_csvs, capsys):
+        code = main([
+            "timeline", *[str(p) for p in chain_csvs],
+            "--key", "name", "--target", "bonus", "-c", "2", "--top", "3", "--cold",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "(cold)" in output
+
+    def test_timeline_needs_two_versions(self, chain_csvs, capsys):
+        code = main(["timeline", str(chain_csvs[0]), "--target", "bonus"])
+        assert code == 2
+        assert "at least two" in capsys.readouterr().err
+
+    def test_timeline_misaligned_versions_reports_error(self, chain_csvs, tmp_path, capsys):
+        from repro.workloads import generate_employees
+
+        other = tmp_path / "other.csv"
+        write_csv(generate_employees(10, seed=1), other)
+        code = main([
+            "timeline", str(chain_csvs[0]), str(other),
+            "--key", "name", "--target", "bonus",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_timeline_window_out_of_range_rejected(self, chain_csvs, capsys):
+        code = main([
+            "timeline", *[str(p) for p in chain_csvs],
+            "--key", "name", "--target", "bonus", "--window", "5",
+        ])
+        assert code == 2
+        assert "--window must be between 1 and 2" in capsys.readouterr().err

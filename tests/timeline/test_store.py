@@ -1,0 +1,148 @@
+"""Tests for the versioned timeline store: alignment, validation, pairing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, SnapshotAlignmentError, TimelineError
+from repro.relational.schema import DType, Schema
+from repro.relational.table import Table
+from repro.timeline import TimelineStore
+from repro.workloads import example_snapshots
+
+
+def _table(rows, primary_key="id"):
+    return Table.from_rows(rows, primary_key=primary_key)
+
+
+@pytest.fixture()
+def v1():
+    return _table(
+        [
+            {"id": "a", "grade": "junior", "pay": 100.0},
+            {"id": "b", "grade": "senior", "pay": 200.0},
+            {"id": "c", "grade": "senior", "pay": 300.0},
+        ]
+    )
+
+
+class TestAppend:
+    def test_append_and_checkout(self, v1):
+        store = TimelineStore()
+        store.append("v1", v1)
+        assert store.names == ["v1"]
+        assert store.key == "id"
+        assert store.checkout("v1") is v1
+        assert "v1" in store and "v2" not in store
+        assert store.latest.name == "v1"
+
+    def test_appended_versions_are_realigned_to_chain_order(self, v1):
+        shuffled = v1.take([2, 0, 1]).with_column("pay", [330.0, 110.0, 220.0])
+        store = TimelineStore()
+        store.append("v1", v1)
+        store.append("v2", shuffled)
+        assert store.checkout("v2").column("id") == ["a", "b", "c"]
+        assert store.checkout("v2").column("pay") == [110.0, 220.0, 330.0]
+
+    def test_duplicate_name_rejected(self, v1):
+        store = TimelineStore()
+        store.append("v1", v1)
+        with pytest.raises(TimelineError, match="already in the timeline"):
+            store.append("v1", v1)
+
+    def test_schema_mismatch_rejected(self, v1):
+        store = TimelineStore()
+        store.append("v1", v1)
+        with pytest.raises(SnapshotAlignmentError):
+            store.append("v2", v1.drop(["grade"]))
+
+    def test_entity_set_change_rejected(self, v1):
+        store = TimelineStore()
+        store.append("v1", v1)
+        with pytest.raises(SnapshotAlignmentError, match="same entities"):
+            store.append("v2", v1.take([0, 1]).concat(_table([{"id": "z", "grade": "junior", "pay": 1.0}])))
+
+    def test_keyless_chain_requires_equal_row_counts(self):
+        keyless = Table.from_rows([{"x": 1.0}, {"x": 2.0}])
+        store = TimelineStore()
+        store.append("v1", keyless)
+        assert store.key is None
+        with pytest.raises(SnapshotAlignmentError):
+            store.append("v2", Table.from_rows([{"x": 1.0}]))
+        store.append("v3", Table.from_rows([{"x": 3.0}, {"x": 4.0}]))
+        assert store.checkout("v3").column("x") == [3.0, 4.0]
+
+    def test_sparse_all_missing_column_fails_loudly_at_table_construction(self, v1):
+        # the satellite contract: a timeline append with an all-missing column
+        # must fail at schema inference, not silently become a STRING column
+        with pytest.raises(SchemaError, match="every value is missing"):
+            Table.from_rows(
+                [
+                    {"id": "a", "grade": "junior", "pay": None},
+                    {"id": "b", "grade": "senior", "pay": None},
+                    {"id": "c", "grade": "senior", "pay": None},
+                ]
+            )
+        explicit = Table.from_rows(
+            [
+                {"id": "a", "grade": "junior", "pay": None},
+                {"id": "b", "grade": "senior", "pay": None},
+                {"id": "c", "grade": "senior", "pay": None},
+            ],
+            schema=Schema.of(
+                {"id": DType.STRING, "grade": DType.STRING, "pay": DType.FLOAT},
+                primary_key="id",
+            ),
+        )
+        store = TimelineStore()
+        store.append("v1", v1)
+        store.append("v2", explicit)
+        assert store.checkout("v2").column("pay") == [None, None, None]
+
+
+class TestPairs:
+    def test_pair_between_any_versions(self, v1):
+        v2 = v1.with_column("pay", [110.0, 220.0, 330.0])
+        v3 = v2.with_column("pay", [120.0, 220.0, 330.0])
+        store = TimelineStore()
+        for name, table in [("v1", v1), ("v2", v2), ("v3", v3)]:
+            store.append(name, table)
+        pair = store.pair("v1", "v3")
+        assert pair.key == "id"
+        assert pair.source.column("pay") == [100.0, 200.0, 300.0]
+        assert pair.target.column("pay") == [120.0, 220.0, 330.0]
+        backwards = store.pair("v3", "v1")
+        assert backwards.target.column("pay") == [100.0, 200.0, 300.0]
+
+    def test_pair_with_itself_rejected(self, v1):
+        store = TimelineStore()
+        store.append("v1", v1)
+        with pytest.raises(TimelineError, match="itself"):
+            store.pair("v1", "v1")
+
+    def test_unknown_version_rejected(self, v1):
+        store = TimelineStore()
+        store.append("v1", v1)
+        with pytest.raises(TimelineError, match="unknown version"):
+            store.checkout("v9")
+
+    def test_windowed_pairs(self, v1):
+        v2 = v1.with_column("pay", [110.0, 220.0, 330.0])
+        v3 = v2.with_column("pay", [120.0, 230.0, 330.0])
+        store = TimelineStore()
+        for name, table in [("v1", v1), ("v2", v2), ("v3", v3)]:
+            store.append(name, table)
+        consecutive = store.consecutive_pairs()
+        assert [(s.name, t.name) for s, t, _ in consecutive] == [("v1", "v2"), ("v2", "v3")]
+        wide = store.windowed_pairs(2)
+        assert [(s.name, t.name) for s, t, _ in wide] == [("v1", "v3")]
+        with pytest.raises(TimelineError):
+            store.windowed_pairs(0)
+
+    def test_example_snapshots_timeline(self):
+        source, target = example_snapshots()
+        store = TimelineStore(key="name")
+        store.append("2016", source)
+        store.append("2017", target)
+        pair = store.pair("2016", "2017")
+        assert pair.changed_attributes() == ["exp", "bonus"]

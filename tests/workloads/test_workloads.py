@@ -163,3 +163,54 @@ class TestGenerators:
     def test_billionaires_pair_age_advances(self, billionaires_300):
         delta_age = billionaires_300.delta("age")
         assert np.allclose(delta_age, 1.0)
+
+
+class TestStreamingWorkload:
+    def test_chain_shape_and_policies(self):
+        from repro.workloads import streaming_employee_timeline
+
+        store, policies = streaming_employee_timeline(60, num_versions=5, seed=3)
+        assert store.names == ["v1", "v2", "v3", "v4", "v5"]
+        assert len(policies) == 4
+        assert [p.target for p in policies] == ["bonus", "bonus", "bonus", "salary"]
+        assert store.key == "name"
+
+    def test_hops_are_localised_to_policy_groups(self):
+        from repro.workloads import streaming_employee_timeline
+
+        store, policies = streaming_employee_timeline(80, num_versions=3, seed=3)
+        # hop 1 is the PhD wave: only PhD rows' bonuses move
+        delta = store.delta("v1", "v2")
+        assert delta.changed_attributes == ("bonus",)
+        changed = delta.changed_mask("bonus")
+        education = store.checkout("v1").column("edu")
+        assert all(education[i] == "PhD" for i in range(len(education)) if changed[i])
+
+    def test_condition_attributes_stay_stable_across_versions(self):
+        from repro.workloads import streaming_employee_timeline
+
+        store, _ = streaming_employee_timeline(50, num_versions=4, seed=9)
+        for attribute in ("edu", "exp", "gen"):
+            assert store.checkout("v1").column(attribute) == store.checkout("v4").column(attribute)
+
+    def test_policy_recovery_over_one_hop(self):
+        from repro.core import Charles
+        from repro.workloads import streaming_employee_timeline
+
+        store, policies = streaming_employee_timeline(150, num_versions=2, seed=3)
+        result = Charles().summarize_pair(
+            store.pair("v1", "v2"), "bonus",
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+        )
+        best = result.best.summary.describe()
+        assert "PhD" in best
+
+    def test_invalid_parameters_rejected(self):
+        import pytest
+
+        from repro.workloads import streaming_bonus_policies, streaming_employee_timeline
+
+        with pytest.raises(ValueError):
+            streaming_employee_timeline(10, num_versions=1)
+        with pytest.raises(ValueError):
+            streaming_bonus_policies(0)
