@@ -1,10 +1,24 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
-offline environments (legacy editable installs do not require the ``wheel``
-package to be present).
+A plain ``setup.py`` (no ``pyproject.toml``) so that ``pip install -e .``
+works in fully offline environments — legacy editable installs do not require
+the ``wheel`` package to be present.  Installing provides the ``charles``
+console command; without installing, ``PYTHONPATH=src python -m repro.cli``
+is equivalent.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="charles-repro",
+    version="1.0.0",
+    description=(
+        "ChARLES reproduction: change-aware recovery of latent evolution "
+        "semantics in relational data"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["charles=repro.cli:main"]},
+)

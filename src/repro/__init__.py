@@ -24,6 +24,7 @@ Package layout:
 * :mod:`repro.diff`        — syntactic baselines: cell diffs, update distance, drift
 * :mod:`repro.baselines`   — exhaustive / global-regression / greedy-tree baselines
 * :mod:`repro.timeline`    — versioned snapshot chains, deltas, warm engine sessions
+* :mod:`repro.cachestore`  — pluggable cache stores (in-process, shared-memory, disk)
 * :mod:`repro.workloads`   — synthetic datasets with known ground-truth policies
 * :mod:`repro.evaluation`  — recovery metrics and the experiment harness
 * :mod:`repro.viz`         — ASCII model trees, partition treemaps, markdown reports

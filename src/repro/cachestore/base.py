@@ -1,0 +1,175 @@
+"""The cache-backend contract: what every physical store must provide.
+
+The search subsystem's memo caches (:mod:`repro.search.cache`) are *logical*
+caches: they know what a key means and when to compute a value.  A
+:class:`CacheBackend` is the *physical* store behind one of them — where the
+entries actually live (a process-local dict, a cross-process shared dict, an
+on-disk SQLite file) and what happens when the store fills up.  Separating the
+two lets the same content-keyed memoisation survive process boundaries
+(parallel workers) and interpreter restarts (warm sessions) without the search
+layer knowing or caring.
+
+The contract is deliberately small:
+
+* :meth:`~CacheBackend.get` returns the stored value or the :data:`MISSING`
+  sentinel (``None`` is a legitimate cached value, so absence needs its own
+  token);
+* :meth:`~CacheBackend.put` stores a value, possibly evicting under a
+  capacity bound (eviction policy is backend-specific — LRU in process, FIFO
+  on disk, insert-rejection in the shared dict);
+* ``__len__`` / :meth:`~CacheBackend.clear` expose and drop the stored
+  entries (clearing preserves counters);
+* :meth:`~CacheBackend.counters` / :meth:`~CacheBackend.breakdown` snapshot
+  the backend's own hit/miss/eviction accounting, per physical layer.
+
+Backends whose storage can serve several processes at once additionally
+report ``shareable = True`` and export a picklable :class:`BackendHandle`
+via :meth:`~CacheBackend.handle`; a worker process calls
+:meth:`BackendHandle.attach` to obtain its own backend instance over the
+*same* underlying storage (counters are always process-local — the stats
+layer aggregates them, exactly as it already does for parallel workers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.exceptions import CacheStoreError
+
+__all__ = [
+    "MISSING",
+    "BackendCounters",
+    "CacheBackend",
+    "BackendHandle",
+    "key_digest",
+]
+
+
+class _Missing:
+    """Sentinel for "no entry stored" (``None`` is a cacheable value)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
+
+def key_digest(key: Hashable) -> bytes:
+    """A stable 16-byte digest of a memo-cache key, for out-of-process stores.
+
+    Memo keys are tuples of primitives (strings, ints, floats, bytes tokens,
+    nested tuples), whose ``repr`` is deterministic across processes and
+    interpreter restarts — unlike ``hash()``, which is salted per process.
+    The digest is what shared and on-disk backends index by, so two processes
+    (or two sessions, days apart) looking up the same logical key reach the
+    same physical entry.
+    """
+    return hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).digest()
+
+
+@dataclass(frozen=True)
+class BackendCounters:
+    """Hit/miss/eviction counts of one physical cache layer (delta-friendly)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups answered (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store, in [0, 1]."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __add__(self, other: "BackendCounters") -> "BackendCounters":
+        return BackendCounters(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def __sub__(self, other: "BackendCounters") -> "BackendCounters":
+        return BackendCounters(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+        )
+
+
+class BackendHandle(ABC):
+    """A picklable token that reconnects a worker process to a shared store."""
+
+    @abstractmethod
+    def attach(self) -> "CacheBackend":
+        """A new backend instance over the same underlying storage."""
+
+
+class CacheBackend(ABC):
+    """One physical store behind a logical memo cache."""
+
+    #: short identifier of the storage kind ("memory", "shared", "disk", ...)
+    kind: str = "backend"
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- storage ---------------------------------------------------------------
+
+    @abstractmethod
+    def get(self, key: Hashable) -> Any:
+        """The stored value for ``key``, or :data:`MISSING` (counts hit/miss)."""
+
+    @abstractmethod
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting if a capacity bound demands it."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int | None:
+        """Maximum number of entries (``None`` = unbounded)."""
+        return None
+
+    def counters(self) -> BackendCounters:
+        """This process's cumulative hit/miss/eviction counts for the backend."""
+        return BackendCounters(hits=self.hits, misses=self.misses, evictions=self.evictions)
+
+    def breakdown(self) -> dict[str, BackendCounters]:
+        """Counters per physical layer (tiered backends report each tier)."""
+        return {self.kind: self.counters()}
+
+    # -- sharing & lifecycle -----------------------------------------------------
+
+    @property
+    def shareable(self) -> bool:
+        """Whether other processes can attach to this backend's storage."""
+        return False
+
+    def handle(self) -> BackendHandle:
+        """A picklable handle a worker passes to :meth:`BackendHandle.attach`."""
+        raise CacheStoreError(f"{self.kind!r} cache backend cannot be shared across processes")
+
+    def close(self) -> None:
+        """Release process-level resources (connections, manager processes)."""

@@ -1,0 +1,193 @@
+"""The on-disk backend: content-keyed entries in a SQLite file.
+
+A :class:`DiskBackend` makes memo entries outlive the interpreter: a second
+process (or a session started days later) pointed at the same ``cache_dir``
+reads the fits and partition discoveries the first one computed.  This is
+sound for the same reason sharing across workers is — cache keys hash the
+exact column values a computation reads, so an entry can only ever be hit by
+a lookup whose inputs are byte-identical; stale data simply stops being
+referenced.
+
+Storage details:
+
+* keys are the 16-byte :func:`~repro.cachestore.base.key_digest` of the memo
+  key; values are pickled — both live in one ``entries`` table;
+* every write is wrapped in a SQLite transaction, so concurrent readers and
+  writers (e.g. parallel workers attached to the same file) see complete
+  entries or nothing — never a torn write;
+* connections are opened lazily *per process*: a backend that crosses a
+  ``fork``/``spawn`` boundary (through a :class:`DiskHandle` or directly)
+  re-opens its own connection on first use rather than sharing one unsafely;
+* an optional ``capacity`` bounds the entry count with FIFO eviction (oldest
+  ``rowid`` first) — recency tracking on disk would cost a write per read;
+* a persistent cache must *degrade, never abort*: entries written by an older
+  release (the store carries a format stamp in ``PRAGMA user_version`` and
+  drops everything on mismatch), a blob that no longer unpickles, or a
+  corrupt/locked database all surface as misses — the work is recomputed and
+  the bad entry discarded.  Only an unusable location at construction raises.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Hashable
+
+from repro.cachestore.base import MISSING, BackendHandle, CacheBackend, key_digest
+from repro.exceptions import CacheStoreError
+
+__all__ = ["DiskBackend", "DiskHandle"]
+
+# bump when the on-disk layout or the pickled value types change shape; a
+# store stamped with a different version is dropped wholesale at open time
+_FORMAT_VERSION = 1
+
+# everything pickle.loads can raise on a stale or damaged blob (missing
+# classes after an upgrade, truncated payloads, bogus opcodes)
+_UNPICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    EOFError,
+    TypeError,
+    ValueError,
+)
+
+
+@dataclass(frozen=True)
+class DiskHandle(BackendHandle):
+    """Reconnects a worker to an on-disk store (it opens its own connection)."""
+
+    path: str
+    capacity: int | None
+
+    def attach(self) -> "DiskBackend":
+        return DiskBackend(self.path, capacity=self.capacity)
+
+
+class DiskBackend(CacheBackend):
+    """A content-keyed persistent store in a single SQLite file."""
+
+    kind = "disk"
+
+    def __init__(self, path: str | Path, capacity: int | None = None) -> None:
+        super().__init__()
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self._path = Path(path)
+        self._capacity = capacity
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+        self._connection()  # fail fast on an unusable location
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None or self._pid != os.getpid():
+            try:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                conn = sqlite3.connect(self._path, timeout=30.0)
+                # WAL lets concurrent processes read while one writes; harmless
+                # (and silently refused) on filesystems that cannot support it
+                conn.execute("PRAGMA journal_mode=WAL")
+                (stamp,) = conn.execute("PRAGMA user_version").fetchone()
+                if stamp not in (0, _FORMAT_VERSION):
+                    conn.execute("DROP TABLE IF EXISTS entries")
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    "key BLOB PRIMARY KEY, value BLOB NOT NULL)"
+                )
+                conn.execute(f"PRAGMA user_version = {_FORMAT_VERSION}")
+                conn.commit()
+            except (sqlite3.Error, OSError) as error:
+                raise CacheStoreError(
+                    f"cannot open on-disk cache at {self._path}: {error}"
+                ) from error
+            self._conn = conn
+            self._pid = os.getpid()
+        return self._conn
+
+    @property
+    def path(self) -> Path:
+        """Location of the SQLite file."""
+        return self._path
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    def get(self, key: Hashable) -> Any:
+        digest = key_digest(key)
+        try:
+            row = (
+                self._connection()
+                .execute("SELECT value FROM entries WHERE key = ?", (digest,))
+                .fetchone()
+            )
+            if row is not None:
+                value = pickle.loads(row[0])
+                self.hits += 1
+                return value
+        except (sqlite3.Error, CacheStoreError):
+            pass
+        except _UNPICKLE_ERRORS:
+            self._discard(digest)
+        self.misses += 1
+        return MISSING
+
+    def _discard(self, digest: bytes) -> None:
+        """Best-effort removal of an entry that no longer unpickles."""
+        try:
+            conn = self._connection()
+            with conn:
+                conn.execute("DELETE FROM entries WHERE key = ?", (digest,))
+        except (sqlite3.Error, CacheStoreError):
+            pass
+
+    def put(self, key: Hashable, value: Any) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            conn = self._connection()
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries (key, value) VALUES (?, ?)",
+                    (key_digest(key), payload),
+                )
+                if self._capacity is not None:
+                    (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+                    excess = count - self._capacity
+                    if excess > 0:
+                        conn.execute(
+                            "DELETE FROM entries WHERE rowid IN ("
+                            "SELECT rowid FROM entries ORDER BY rowid LIMIT ?)",
+                            (excess,),
+                        )
+                        self.evictions += excess
+        except (sqlite3.Error, CacheStoreError):
+            # a cache write is an optimisation; a full or locked disk must not
+            # abort the search — the entry is simply recomputed next time
+            pass
+
+    def __len__(self) -> int:
+        (count,) = self._connection().execute("SELECT COUNT(*) FROM entries").fetchone()
+        return count
+
+    def clear(self) -> None:
+        conn = self._connection()
+        with conn:
+            conn.execute("DELETE FROM entries")
+
+    @property
+    def shareable(self) -> bool:
+        return True
+
+    def handle(self) -> DiskHandle:
+        return DiskHandle(path=str(self._path), capacity=self._capacity)
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._pid = None

@@ -1,0 +1,71 @@
+"""Backend selection: from configuration values to a pair of stores.
+
+The search layer carries two memo caches (per-mask fits and partition
+discoveries), so the factory always builds backends in pairs — one physical
+region per cache, sharing a manager process (shared kinds) or a cache
+directory (disk kinds) between them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cachestore.base import CacheBackend
+from repro.cachestore.disk import DiskBackend
+from repro.cachestore.memory import InProcessBackend
+from repro.cachestore.shared import create_shared_backends
+from repro.cachestore.tiered import TieredBackend
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BACKEND_CHOICES", "build_search_backends"]
+
+#: the cache-backend kinds ``CharlesConfig.cache_backend`` accepts
+BACKEND_CHOICES = ("memory", "shared", "disk", "tiered-shared", "tiered-disk")
+
+
+def build_search_backends(
+    kind: str,
+    capacity: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> tuple[CacheBackend, CacheBackend]:
+    """The ``(fits, partitions)`` backend pair for one configuration.
+
+    * ``memory`` — two process-local LRU stores (the default; today's
+      behaviour exactly).
+    * ``shared`` — two regions of one cross-process manager store, so
+      parallel workers read and publish each other's entries.
+    * ``disk`` — two SQLite files under ``cache_dir``, so entries survive
+      interpreter restarts.
+    * ``tiered-shared`` / ``tiered-disk`` — the same, fronted by a private
+      in-process LRU (L1) per attached process.
+
+    ``capacity`` is applied to every constructed layer; the disk kinds
+    require ``cache_dir``.
+    """
+    if kind not in BACKEND_CHOICES:
+        raise ConfigurationError(
+            f"cache_backend must be one of {BACKEND_CHOICES}, got {kind!r}"
+        )
+    if kind == "memory":
+        return InProcessBackend(capacity), InProcessBackend(capacity)
+    if kind in ("shared", "tiered-shared"):
+        fits, partitions = create_shared_backends(2, capacity)
+        if kind == "shared":
+            return fits, partitions
+        return (
+            TieredBackend(InProcessBackend(capacity), fits),
+            TieredBackend(InProcessBackend(capacity), partitions),
+        )
+    if cache_dir is None:
+        raise ConfigurationError(
+            f"cache_backend {kind!r} needs a cache_dir to store its entries in"
+        )
+    directory = Path(cache_dir)
+    fits = DiskBackend(directory / "fits.sqlite", capacity)
+    partitions = DiskBackend(directory / "partitions.sqlite", capacity)
+    if kind == "disk":
+        return fits, partitions
+    return (
+        TieredBackend(InProcessBackend(capacity), fits),
+        TieredBackend(InProcessBackend(capacity), partitions),
+    )

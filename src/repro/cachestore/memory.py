@@ -1,0 +1,58 @@
+"""The in-process backend: today's LRU dictionary, behind the backend ABC."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.cachestore.base import MISSING, CacheBackend
+
+__all__ = ["InProcessBackend"]
+
+
+class InProcessBackend(CacheBackend):
+    """A process-local ``OrderedDict`` store with least-recently-used eviction.
+
+    This is the default backend and reproduces the original ``MemoCache``
+    storage semantics exactly: lookups refresh recency, a ``capacity`` bound
+    evicts the least-recently-used entry past the bound, and without one the
+    store grows without limit (fine for one-shot searches, not for long-lived
+    sessions).  Entries are stored by their original tuple keys — no
+    serialisation, no digesting — so hits cost one dict lookup.
+    """
+
+    kind = "memory"
+
+    def __init__(self, capacity: int | None = None) -> None:
+        super().__init__()
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    def get(self, key: Hashable) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return MISSING
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self._capacity is not None and len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

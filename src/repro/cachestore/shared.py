@@ -1,0 +1,115 @@
+"""The shared-memory backend: one store served to every worker process.
+
+A :class:`SharedBackend` keeps its entries in a ``multiprocessing.Manager``
+dictionary — a proxy to a small server process that any worker can talk to.
+The parent process creates the store (owning the manager); the
+:class:`~repro.search.executors.ParallelExecutor` passes picklable
+:class:`SharedHandle`\\ s to its workers, whose attached backends read and
+publish entries against the *same* dictionary.  A partition discovery done by
+worker 1 is a hit for worker 2, which is exactly the cross-process reuse a
+serial search gets for free and parallel searches previously lost.
+
+Sharing is safe by construction: memo keys are content keys
+(:class:`~repro.search.cache.PairFingerprints`), and the cached functions are
+deterministic, so the worst a put/put race can do is store the same value
+twice.  Counters are process-local; the stats layer aggregates them across
+workers exactly as it does for private caches.
+
+The capacity bound is an *insert-rejecting* one, not LRU: tracking recency
+through a proxy would cost a round-trip per lookup, so once the store is full
+new entries are simply dropped (and counted as evictions).  Use a
+:class:`~repro.cachestore.tiered.TieredBackend` with an LRU L1 when
+process-local recency matters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.cachestore.base import MISSING, BackendHandle, CacheBackend, key_digest
+
+__all__ = ["SharedBackend", "SharedHandle", "create_shared_backends"]
+
+
+@dataclass(frozen=True)
+class SharedHandle(BackendHandle):
+    """Reconnects a worker to a shared store (the proxy pickles by address)."""
+
+    entries: Any
+    capacity: int | None
+
+    def attach(self) -> "SharedBackend":
+        return SharedBackend(self.entries, capacity=self.capacity)
+
+
+class SharedBackend(CacheBackend):
+    """A cross-process store over a ``multiprocessing.Manager`` dictionary."""
+
+    kind = "shared"
+
+    def __init__(self, entries, capacity: int | None = None, manager=None) -> None:
+        super().__init__()
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self._entries = entries
+        self._capacity = capacity
+        # only the creating process owns (and may shut down) the manager;
+        # attached workers hold a bare proxy
+        self._manager = manager
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    def get(self, key: Hashable) -> Any:
+        try:
+            value = self._entries[key_digest(key)]
+        except KeyError:
+            self.misses += 1
+            return MISSING
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        digest = key_digest(key)
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            if digest not in self._entries:
+                self.evictions += 1
+                return
+        self._entries[digest] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def shareable(self) -> bool:
+        return True
+
+    def handle(self) -> SharedHandle:
+        return SharedHandle(entries=self._entries, capacity=self._capacity)
+
+    def close(self) -> None:
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+
+def create_shared_backends(
+    count: int, capacity: int | None = None
+) -> tuple[SharedBackend, ...]:
+    """``count`` shared backends served by one manager process.
+
+    The first backend owns the manager: closing it shuts the server down for
+    all of them, which matches how :class:`~repro.search.cache.SearchCaches`
+    closes its backends in order.
+    """
+    manager = multiprocessing.Manager()
+    backends = [SharedBackend(manager.dict(), capacity=capacity, manager=manager)]
+    for _ in range(count - 1):
+        backends.append(SharedBackend(manager.dict(), capacity=capacity))
+    return tuple(backends)

@@ -1,0 +1,90 @@
+"""The tiered backend: a fast private L1 over a shared or persistent L2.
+
+Going through a manager proxy or SQLite for *every* lookup taxes the hit
+path; a :class:`TieredBackend` restores in-process speed by fronting the slow
+layer with an :class:`~repro.cachestore.memory.InProcessBackend`.  Lookups
+try L1 first; an L2 hit is promoted into L1 so repeated use stays local;
+writes go to both layers, so other processes (shared L2) or future sessions
+(disk L2) still see every entry.
+
+Handles rebuild the tier on the worker side: the L2 handle reattaches to the
+shared storage while each worker gets its own fresh, empty L1 — private
+recency, shared truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.cachestore.base import MISSING, BackendCounters, BackendHandle, CacheBackend
+from repro.cachestore.memory import InProcessBackend
+
+__all__ = ["TieredBackend", "TieredHandle"]
+
+
+@dataclass(frozen=True)
+class TieredHandle(BackendHandle):
+    """Rebuilds a tier in a worker: fresh private L1 over the attached L2."""
+
+    l2_handle: BackendHandle
+    l1_capacity: int | None
+
+    def attach(self) -> "TieredBackend":
+        return TieredBackend(InProcessBackend(self.l1_capacity), self.l2_handle.attach())
+
+
+class TieredBackend(CacheBackend):
+    """An L1 in-process cache composed over a slower shared/persistent L2."""
+
+    def __init__(self, l1: CacheBackend, l2: CacheBackend) -> None:
+        super().__init__()
+        self.l1 = l1
+        self.l2 = l2
+        self.kind = f"tiered({l1.kind}+{l2.kind})"
+
+    @property
+    def capacity(self) -> int | None:
+        return self.l2.capacity
+
+    def get(self, key: Hashable) -> Any:
+        value = self.l1.get(key)
+        if value is not MISSING:
+            return value
+        value = self.l2.get(key)
+        if value is MISSING:
+            return MISSING
+        self.l1.put(key, value)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self.l1.put(key, value)
+        self.l2.put(key, value)
+
+    def __len__(self) -> int:
+        # L2 is the layer of record (L1 holds a recently-used subset of it)
+        return len(self.l2)
+
+    def clear(self) -> None:
+        self.l1.clear()
+        self.l2.clear()
+
+    def counters(self) -> BackendCounters:
+        return self.l1.counters() + self.l2.counters()
+
+    def breakdown(self) -> dict[str, BackendCounters]:
+        return {
+            f"l1-{self.l1.kind}": self.l1.counters(),
+            f"l2-{self.l2.kind}": self.l2.counters(),
+        }
+
+    @property
+    def shareable(self) -> bool:
+        return self.l2.shareable
+
+    def handle(self) -> TieredHandle:
+        return TieredHandle(l2_handle=self.l2.handle(), l1_capacity=self.l1.capacity)
+
+    def close(self) -> None:
+        self.l1.close()
+        self.l2.close()

@@ -21,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.cachestore import BACKEND_CHOICES
 from repro.core.charles import Charles
 from repro.core.config import CharlesConfig
 from repro.core.sql import summary_to_sql_update
@@ -59,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--top", type=int, default=10, help="number of summaries to show")
     summarize.add_argument("--jobs", type=int, default=1,
                            help="worker processes for the candidate search (1 = serial)")
+    _add_cache_arguments(summarize)
     summarize.add_argument("--condition-attributes", nargs="*", default=None)
     summarize.add_argument("--transformation-attributes", nargs="*", default=None)
     summarize.add_argument("--details", action="store_true", help="show tree and treemap for the best summary")
@@ -93,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the candidate search (1 = serial)")
     timeline.add_argument("--cache-capacity", type=int, default=None,
                           help="LRU capacity of each session memo cache (default unbounded)")
+    _add_cache_arguments(timeline)
     timeline.add_argument("--cold", action="store_true",
                           help="run every hop with a fresh cold engine (baseline for comparison)")
     timeline.add_argument("--condition-attributes", nargs="*", default=None)
@@ -113,6 +116,16 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--key", default=None, help="entity-identifying column")
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-backend", choices=BACKEND_CHOICES, default="memory",
+                        help="where memo-cache entries live: 'memory' (private LRU), "
+                             "'shared' (one store for all --jobs workers), 'disk' "
+                             "(persists under --cache-dir across runs), or the "
+                             "tiered-* combinations (default: memory)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for the on-disk cache (required by the disk backends)")
+
+
 def _load_pair(args: argparse.Namespace) -> SnapshotPair:
     source = read_csv(args.source, primary_key=args.key)
     target = read_csv(args.target_file, primary_key=args.key)
@@ -126,6 +139,8 @@ def _command_summarize(args: argparse.Namespace) -> int:
         max_transformation_attributes=args.max_transformation_attributes,
         top_k=args.top,
         n_jobs=args.jobs,
+        cache_backend=args.cache_backend,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
     )
     pair = _load_pair(args)
     result = Charles(config).summarize_pair(
@@ -181,6 +196,8 @@ def _command_timeline(args: argparse.Namespace) -> int:
         top_k=args.top,
         n_jobs=args.jobs,
         search_cache_capacity=args.cache_capacity,
+        cache_backend=args.cache_backend,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         warm_start=not args.cold,
     )
     store = TimelineStore(key=args.key)
@@ -210,17 +227,17 @@ def _command_timeline(args: argparse.Namespace) -> int:
             print()
         return 0
 
-    session = EngineSession(config)
-    timeline_result = session.summarize_timeline(
-        store,
-        args.target,
-        condition_attributes=args.condition_attributes,
-        transformation_attributes=args.transformation_attributes,
-        window=args.window,
-    )
-    print(timeline_result.describe(limit=args.limit))
-    if session.warm_start_fallbacks:
-        print(f"warm-start fallbacks: {session.warm_start_fallbacks}")
+    with EngineSession(config) as session:
+        timeline_result = session.summarize_timeline(
+            store,
+            args.target,
+            condition_attributes=args.condition_attributes,
+            transformation_attributes=args.transformation_attributes,
+            window=args.window,
+        )
+        print(timeline_result.describe(limit=args.limit))
+        if session.warm_start_fallbacks:
+            print(f"warm-start fallbacks: {session.warm_start_fallbacks}")
     return 0
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.cachestore import BACKEND_CHOICES
 from repro.exceptions import ConfigurationError
 
 __all__ = ["CharlesConfig", "InterpretabilityWeights"]
@@ -134,6 +135,19 @@ class CharlesConfig:
         should set a capacity so memory stays bounded across runs.  Eviction
         never changes results — evicted work is simply recomputed on the next
         miss.
+    cache_backend:
+        Which physical store the search memo caches use (see
+        :mod:`repro.cachestore`).  ``"memory"`` (the default) is a
+        process-local LRU dict; ``"shared"`` is a cross-process store every
+        parallel worker attaches to, recovering the serial hit rate at
+        ``n_jobs > 1``; ``"disk"`` is a content-keyed SQLite store under
+        ``cache_dir`` that survives interpreter restarts; ``"tiered-shared"``
+        and ``"tiered-disk"`` front those with a private in-process L1.
+        Backends change where entries live, never what a search returns —
+        rankings are byte-identical across all of them.
+    cache_dir:
+        Directory holding the on-disk cache files.  Required by the
+        ``"disk"``/``"tiered-disk"`` backends, ignored by the others.
     warm_start:
         Whether an :class:`~repro.timeline.session.EngineSession` may seed a
         run's pruning floor from the previous run's k-th best score for the
@@ -172,6 +186,8 @@ class CharlesConfig:
     n_jobs: int = 1
     prune_search: bool = True
     search_cache_capacity: int | None = None
+    cache_backend: str = "memory"
+    cache_dir: str | None = None
     warm_start: bool = True
     warm_start_margin: float = 0.15
 
@@ -235,6 +251,14 @@ class CharlesConfig:
             raise ConfigurationError(
                 "search_cache_capacity must be >= 1 or None, got "
                 f"{self.search_cache_capacity}"
+            )
+        if self.cache_backend not in BACKEND_CHOICES:
+            raise ConfigurationError(
+                f"cache_backend must be one of {BACKEND_CHOICES}, got {self.cache_backend!r}"
+            )
+        if self.cache_backend in ("disk", "tiered-disk") and self.cache_dir is None:
+            raise ConfigurationError(
+                f"cache_backend {self.cache_backend!r} requires cache_dir"
             )
         if self.warm_start_margin < 0.0:
             raise ConfigurationError(

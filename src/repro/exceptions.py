@@ -53,6 +53,15 @@ class DiscoveryError(CharlesError):
     """
 
 
+class CacheStoreError(CharlesError):
+    """A cache backend could not serve or share its storage.
+
+    Raised when a non-shareable backend is asked for a cross-process handle,
+    when an on-disk store cannot be opened, or when a backend is constructed
+    with an invalid capacity or location.
+    """
+
+
 class TimelineError(CharlesError):
     """A version-chain operation on a :class:`~repro.timeline.store.TimelineStore` failed.
 

@@ -33,6 +33,11 @@ it is computed, in three layers:
    partition discovery, per-partition regression fits, equivalent-partition
    merging and hierarchical refinement, with every partition discovery and
    per-mask fit memoised by content key (row-mask digest + attribute subset).
+   The caches are logical only: where entries physically live is a pluggable
+   :class:`~repro.cachestore.base.CacheBackend` selected by
+   ``CharlesConfig.cache_backend`` — in process (default), in a cross-process
+   shared store that parallel workers attach to, or on disk so entries
+   survive interpreter restarts (see :mod:`repro.cachestore`).
    Pruning is exact, never heuristic: specs whose discovered partition
    structure duplicates an earlier round's spec are skipped (the downstream
    pipeline is deterministic, so the summary would be identical), and built
@@ -40,18 +45,26 @@ it is computed, in three layers:
    interpretability`` cannot beat the current top-k floor are dropped without
    paying for the accuracy pass.
 
-Adding a new execution backend
-------------------------------
+Adding a new backend
+--------------------
 
-Subclass :class:`~repro.search.executors.SearchExecutor` and implement
-``_setup`` / ``_run_round`` / ``_teardown``.  The base class owns the round
-loop, floor updates and the deterministic reduce; a backend only decides how
-the specs of one round are evaluated (threads, a job queue, a remote cluster,
-...).  The contract to preserve: evaluate every spec of the round with exactly
-the ``floor`` and ``known_signatures`` given, and return outcomes in spec
-order.  Wire the backend into
-:func:`~repro.search.executors.select_executor` (or construct it directly and
-call ``execute``).
+*Execution backends.*  Subclass
+:class:`~repro.search.executors.SearchExecutor` and implement ``_setup`` /
+``_run_round`` / ``_teardown``.  The base class owns the round loop, floor
+updates and the deterministic reduce; a backend only decides how the specs of
+one round are evaluated (threads, a job queue, a remote cluster, ...).  The
+contract to preserve: evaluate every spec of the round with exactly the
+``floor`` and ``known_signatures`` given, and return outcomes in spec order.
+Wire the backend into :func:`~repro.search.executors.select_executor` (or
+construct it directly and call ``execute``).
+
+*Cache backends.*  Where the memo caches store their entries is equally
+pluggable: subclass :class:`~repro.cachestore.base.CacheBackend`
+(``get``/``put``/``__len__``/``clear`` + counter snapshots; a picklable
+handle if other processes may attach) and register the kind in
+:func:`~repro.cachestore.factory.build_search_backends` — see the
+:mod:`repro.cachestore` package docstring for the full recipe.  Execution and
+cache backends compose freely: any executor works against any store.
 """
 
 from repro.search.cache import (

@@ -24,23 +24,38 @@ is needed.
 ``MemoCache`` optionally bounds its size (``CharlesConfig.search_cache_capacity``)
 with least-recently-used eviction, so long-lived sessions cannot grow without
 limit; evictions are counted alongside hits and misses.
+
+Since PR 3 the caches are *logical* only: where entries physically live is a
+pluggable :class:`~repro.cachestore.base.CacheBackend` (process-local LRU by
+default; cross-process shared memory or an on-disk SQLite store via
+``CharlesConfig.cache_backend``).  ``MemoCache`` counts logical hits and
+misses; the backend counts per-layer physical traffic, and both travel in
+:class:`CacheCounters`.
 """
 
 from __future__ import annotations
 
 import hashlib
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Sequence
 
 import numpy as np
 
+from repro.cachestore import (
+    MISSING,
+    BackendCounters,
+    BackendHandle,
+    CacheBackend,
+    InProcessBackend,
+    build_search_backends,
+)
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 
 __all__ = [
     "MemoCache",
     "CacheCounters",
+    "BackendCounters",
     "SearchCaches",
     "PairFingerprints",
     "mask_digest",
@@ -53,57 +68,91 @@ def mask_digest(mask: np.ndarray) -> bytes:
 
 
 class MemoCache:
-    """A dictionary-backed memo cache with hit/miss/eviction accounting.
+    """A backend-backed memo cache with hit/miss/eviction accounting.
 
     ``None`` is a legitimate cached value (e.g. "this partition admits no
     transformation"), so membership is tested with lookup, not sentinel
-    comparison.  With a ``capacity`` the cache evicts its least-recently-used
-    entry once the capacity is exceeded (lookups refresh recency); without one
-    it grows unboundedly, which is fine for one-shot searches but not for
-    long-lived engine sessions.
+    comparison.  Storage lives in a :class:`~repro.cachestore.base.CacheBackend`
+    — an in-process LRU dict by default (``capacity`` bounds it; lookups
+    refresh recency; without one it grows unboundedly, which is fine for
+    one-shot searches but not for long-lived engine sessions), or any shared /
+    persistent backend from :mod:`repro.cachestore`.
+
+    ``hits``/``misses`` here are *logical* (did the lookup avoid a
+    recomputation, wherever the entry came from); the backend's own counters
+    break the traffic down per physical layer.
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
-        if capacity is not None and capacity < 1:
-            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
-        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
-        self._capacity = capacity
+    def __init__(
+        self, capacity: int | None = None, backend: CacheBackend | None = None
+    ) -> None:
+        if backend is not None and capacity is not None:
+            raise ValueError("pass capacity or a ready backend, not both")
+        self._backend = backend if backend is not None else InProcessBackend(capacity)
         self.hits = 0
         self.misses = 0
-        self.evictions = 0
+
+    @property
+    def backend(self) -> CacheBackend:
+        """The physical store behind this cache."""
+        return self._backend
 
     @property
     def capacity(self) -> int | None:
         """Maximum number of entries (``None`` = unbounded)."""
-        return self._capacity
+        return self._backend.capacity
+
+    @property
+    def evictions(self) -> int:
+        """Entries the backend dropped under its capacity bound (all layers)."""
+        return self._backend.counters().evictions
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The cached value for ``key``, computing and storing it on first use."""
-        try:
-            value = self._entries[key]
-        except KeyError:
+        value = self._backend.get(key)
+        if value is MISSING:
             self.misses += 1
             value = compute()
-            self._entries[key] = value
-            if self._capacity is not None and len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._backend.put(key, value)
             return value
         self.hits += 1
-        self._entries.move_to_end(key)
         return value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._backend)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        self._backend.clear()
+
+    def close(self) -> None:
+        """Release the backend's process-level resources."""
+        self._backend.close()
+
+
+def _merge_backend_counters(
+    left: tuple[tuple[str, BackendCounters], ...],
+    right: tuple[tuple[str, BackendCounters], ...],
+    sign: int,
+) -> tuple[tuple[str, BackendCounters], ...]:
+    """Keywise sum/difference of two per-backend breakdowns, sorted by layer."""
+    merged = dict(left)
+    for name, counters in right:
+        base = merged.get(name, BackendCounters())
+        merged[name] = base + counters if sign > 0 else base - counters
+    return tuple(sorted(merged.items()))
 
 
 @dataclass(frozen=True)
 class CacheCounters:
-    """A snapshot of both caches' counters (supports delta arithmetic)."""
+    """A snapshot of both caches' counters (supports delta arithmetic).
+
+    The ``fit_*``/``partition_*`` fields count *logical* cache traffic (did a
+    lookup avoid recomputation); ``backends`` breaks the same activity down
+    per physical layer — e.g. a tiered store reports its in-process L1 and its
+    shared or disk L2 separately — as a sorted ``(layer name, counters)``
+    mapping that survives the same ``+``/``-`` arithmetic.
+    """
 
     fit_hits: int = 0
     fit_misses: int = 0
@@ -111,6 +160,7 @@ class CacheCounters:
     partition_misses: int = 0
     fit_evictions: int = 0
     partition_evictions: int = 0
+    backends: tuple[tuple[str, BackendCounters], ...] = ()
 
     @property
     def evictions(self) -> int:
@@ -135,6 +185,11 @@ class CacheCounters:
             return 0.0
         return self.hits / lookups
 
+    @property
+    def by_backend(self) -> dict[str, BackendCounters]:
+        """The per-layer breakdown as a plain dictionary."""
+        return dict(self.backends)
+
     def __sub__(self, other: "CacheCounters") -> "CacheCounters":
         return CacheCounters(
             fit_hits=self.fit_hits - other.fit_hits,
@@ -143,6 +198,7 @@ class CacheCounters:
             partition_misses=self.partition_misses - other.partition_misses,
             fit_evictions=self.fit_evictions - other.fit_evictions,
             partition_evictions=self.partition_evictions - other.partition_evictions,
+            backends=_merge_backend_counters(self.backends, other.backends, -1),
         )
 
     def __add__(self, other: "CacheCounters") -> "CacheCounters":
@@ -153,6 +209,7 @@ class CacheCounters:
             partition_misses=self.partition_misses + other.partition_misses,
             fit_evictions=self.fit_evictions + other.fit_evictions,
             partition_evictions=self.partition_evictions + other.partition_evictions,
+            backends=_merge_backend_counters(self.backends, other.backends, +1),
         )
 
 
@@ -171,11 +228,61 @@ class SearchCaches:
     content keys, so caches must never be shared across configurations.
     :class:`~repro.timeline.session.EngineSession` owns exactly one config and
     one ``SearchCaches`` for this reason.
+
+    Physical storage is pluggable: :meth:`from_config` builds the backend pair
+    ``CharlesConfig.cache_backend`` selects, and for shareable backends
+    (shared memory, disk) :meth:`handles` / :meth:`attach` let parallel worker
+    processes join the same store.
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
-        self.fits = MemoCache(capacity)
-        self.partitions = MemoCache(capacity)
+    def __init__(
+        self,
+        capacity: int | None = None,
+        backends: tuple[CacheBackend, CacheBackend] | None = None,
+    ) -> None:
+        if backends is None:
+            backends = (InProcessBackend(capacity), InProcessBackend(capacity))
+        elif capacity is not None:
+            raise ValueError("pass capacity or ready backends, not both")
+        fit_backend, partition_backend = backends
+        self.fits = MemoCache(backend=fit_backend)
+        self.partitions = MemoCache(backend=partition_backend)
+
+    @classmethod
+    def from_config(cls, config) -> "SearchCaches":
+        """The caches ``config`` asks for (backend kind, capacity, directory).
+
+        ``config`` is duck-typed (any object with ``cache_backend``,
+        ``search_cache_capacity`` and ``cache_dir``), so the cache layer does
+        not depend on :mod:`repro.core`.
+        """
+        return cls(
+            backends=build_search_backends(
+                getattr(config, "cache_backend", "memory"),
+                config.search_cache_capacity,
+                getattr(config, "cache_dir", None),
+            )
+        )
+
+    @property
+    def backend_kind(self) -> str:
+        """The physical-store kind of both caches (e.g. ``"tiered(memory+disk)"``)."""
+        return self.fits.backend.kind
+
+    @property
+    def shareable(self) -> bool:
+        """Whether worker processes can attach to these caches' storage."""
+        return self.fits.backend.shareable and self.partitions.backend.shareable
+
+    def handles(self) -> tuple[BackendHandle, BackendHandle]:
+        """Picklable handles for :meth:`attach` in another process."""
+        return (self.fits.backend.handle(), self.partitions.backend.handle())
+
+    @classmethod
+    def attach(cls, handles: tuple[BackendHandle, BackendHandle]) -> "SearchCaches":
+        """Caches over the same physical stores as the handles' originals."""
+        fit_handle, partition_handle = handles
+        return cls(backends=(fit_handle.attach(), partition_handle.attach()))
 
     def counters(self) -> CacheCounters:
         """The current cumulative counters of both caches."""
@@ -186,7 +293,17 @@ class SearchCaches:
             partition_misses=self.partitions.misses,
             fit_evictions=self.fits.evictions,
             partition_evictions=self.partitions.evictions,
+            backends=_merge_backend_counters(
+                tuple(sorted(self.fits.backend.breakdown().items())),
+                tuple(sorted(self.partitions.backend.breakdown().items())),
+                +1,
+            ),
         )
+
+    def close(self) -> None:
+        """Release backend resources (disk connections, manager processes)."""
+        self.fits.close()
+        self.partitions.close()
 
 
 class PairFingerprints:

@@ -18,10 +18,14 @@ an evaluation — the top-k floor and the duplicate-signature set — is frozen 
 the start of a round and only updated between rounds, so outcomes do not
 depend on evaluation order inside a round; and outcomes are reduced in spec
 order, so tie-breaking is identical no matter which worker produced a
-candidate.  (Cache *statistics* do differ: workers cannot share memo caches
-across process boundaries, so parallel runs re-fit some work a serial run
-would have cached.  That changes timings, never results — caches only ever
-memoise deterministic functions.)
+candidate.  (Cache *statistics* may differ: with the default in-process
+backend, workers cannot share memo caches across process boundaries, so
+parallel runs re-fit some work a serial run would have cached.  A shareable
+``CharlesConfig.cache_backend`` — shared memory or disk, see
+:mod:`repro.cachestore` — closes that gap: ``_init_worker`` attaches every
+worker to the same store, so one worker's partition discovery is the next
+worker's hit.  Either way statistics change timings, never results — caches
+only ever memoise deterministic functions.)
 """
 
 from __future__ import annotations
@@ -92,9 +96,11 @@ class SearchExecutor:
 
         ``caches`` lets a long-lived caller (an
         :class:`~repro.timeline.session.EngineSession`) supply memo caches that
-        outlive one search; in-process executors use them directly, the
-        process-pool executor ignores them (workers cannot share in-process
-        caches) except on its serial fallback path.
+        outlive one search; in-process executors use them directly, and the
+        process-pool executor attaches its workers to them when their backend
+        is shareable (shared memory, disk).  With the default in-process
+        backend the pool executor can only use them on its serial fallback
+        path — workers then keep private caches, exactly as before.
 
         ``initial_floor`` seeds the top-k pruning floor before round 0.  The
         floor only ever *rises* above the seed (``max`` with the running
@@ -115,6 +121,7 @@ class SearchExecutor:
         signatures: set = set()
         floor = initial_floor
         self._setup(pair, target, config, caches)
+        stats.cache_backend = self._cache_backend_kind()
         try:
             for round_specs in plan.rounds:
                 if not round_specs:
@@ -143,6 +150,10 @@ class SearchExecutor:
     def _effective_n_jobs(self) -> int:
         """The parallelism the search actually ran with (see ParallelExecutor)."""
         return self.n_jobs
+
+    def _cache_backend_kind(self) -> str:
+        """The physical cache-store kind this search runs against."""
+        return "memory"
 
     # -- subclass hooks ----------------------------------------------------------
 
@@ -191,9 +202,23 @@ class SerialExecutor(SearchExecutor):
         config: CharlesConfig,
         caches: SearchCaches | None = None,
     ) -> None:
+        self._owned_caches: SearchCaches | None = None
         if caches is None:
-            caches = SearchCaches(config.search_cache_capacity)
+            if config.cache_backend in ("disk", "tiered-disk"):
+                # honour a persistent backend even one-shot: the store outlives
+                # the run and makes the *next* process's identical search warm
+                caches = SearchCaches.from_config(config)
+                self._owned_caches = caches
+            else:
+                # shared kinds have nothing to share here: with no session and
+                # no workers, the store would die at teardown having only added
+                # a proxy round-trip per lookup — use plain in-process caches
+                # (a session-provided `caches` of any kind is always honoured)
+                caches = SearchCaches(config.search_cache_capacity)
         self._evaluator = CandidateEvaluator(pair, target, config, caches)
+
+    def _cache_backend_kind(self) -> str:
+        return self._evaluator.caches.backend_kind
 
     def _run_round(
         self,
@@ -205,6 +230,9 @@ class SerialExecutor(SearchExecutor):
 
     def _teardown(self) -> None:
         self._evaluator = None
+        if self._owned_caches is not None:
+            self._owned_caches.close()
+            self._owned_caches = None
 
 
 # -- process-pool worker plumbing ------------------------------------------------
@@ -212,11 +240,27 @@ class SerialExecutor(SearchExecutor):
 _WORKER_EVALUATOR: CandidateEvaluator | None = None
 
 
-def _init_worker(pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
+def _init_worker(
+    pair: SnapshotPair,
+    target: str,
+    config: CharlesConfig,
+    cache_handles: tuple | None = None,
+) -> None:
+    """Build this worker's evaluator, attached to the shared store if one exists.
+
+    ``cache_handles`` are the picklable :class:`~repro.cachestore.base.
+    BackendHandle` pair of the parent's shareable caches; attaching gives the
+    worker its own counter-local view over the *same* physical entries, so
+    partition discoveries and per-mask fits published by any worker (or by the
+    parent's earlier serial runs) are hits here.  Without handles the worker
+    keeps a private in-process cache, exactly the pre-shared behaviour.
+    """
     global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = CandidateEvaluator(
-        pair, target, config, SearchCaches(config.search_cache_capacity)
-    )
+    if cache_handles is not None:
+        caches = SearchCaches.attach(cache_handles)
+    else:
+        caches = SearchCaches(config.search_cache_capacity)
+    _WORKER_EVALUATOR = CandidateEvaluator(pair, target, config, caches)
 
 
 def _evaluate_batch(
@@ -230,9 +274,11 @@ def _evaluate_batch(
 class ParallelExecutor(SearchExecutor):
     """Fans each round out over a process pool; falls back to serial if pools fail.
 
-    Workers are initialised once per search with the (pickled) pair, target
-    and configuration; their evaluators — and memo caches — live for the whole
-    search, so cross-round reuse still happens within each worker.
+    Workers are initialised once per search with the (pickled) pair, target,
+    configuration and — when the caches' backend is shareable — the cache
+    handles; their evaluators live for the whole search, so cross-round reuse
+    happens within each worker, and with a shared/disk backend across workers
+    and searches too.
     """
 
     def __init__(self, n_jobs: int):
@@ -243,6 +289,7 @@ class ParallelExecutor(SearchExecutor):
         self._fallback: CandidateEvaluator | None = None
         self._search_context: tuple[SnapshotPair, str, CharlesConfig] | None = None
         self._session_caches: SearchCaches | None = None
+        self._owned_caches: SearchCaches | None = None
 
     def _setup(
         self,
@@ -253,16 +300,31 @@ class ParallelExecutor(SearchExecutor):
     ) -> None:
         self._fallback = None
         self._search_context = (pair, target, config)
-        # workers cannot share in-process caches; kept only for the serial fallback
+        self._owned_caches = None
+        if caches is None and config.cache_backend != "memory":
+            # a one-shot parallel run with a shareable backend still profits:
+            # the workers publish into one store instead of n_jobs private ones
+            caches = SearchCaches.from_config(config)
+            self._owned_caches = caches
+        # shareable caches are handed to the workers below; in-process caches
+        # cannot cross the boundary and serve only the serial fallback path
         self._session_caches = caches
+        handles = None
+        if caches is not None and caches.shareable:
+            handles = caches.handles()
         try:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_jobs,
                 initializer=_init_worker,
-                initargs=(pair, target, config),
+                initargs=(pair, target, config, handles),
             )
         except (OSError, PermissionError, RuntimeError) as error:
             self._fall_back_to_serial(error)
+
+    def _cache_backend_kind(self) -> str:
+        if self._session_caches is not None:
+            return self._session_caches.backend_kind
+        return "memory"
 
     def _fall_back_to_serial(self, error: BaseException) -> None:
         """Abandon the pool and finish the search with an in-process evaluator.
@@ -332,6 +394,9 @@ class ParallelExecutor(SearchExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._owned_caches is not None:
+            self._owned_caches.close()
+            self._owned_caches = None
 
 
 def select_executor(config: CharlesConfig) -> SearchExecutor:

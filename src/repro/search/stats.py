@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cachestore import BackendCounters
 from repro.search.cache import CacheCounters
 
 __all__ = ["SearchStats"]
@@ -27,8 +28,13 @@ class SearchStats:
     a built summary's score upper *bound* could not beat the current top-k
     floor.  Cache counters come from the memo caches of
     :mod:`repro.search.cache`; in parallel runs they are aggregated across
-    worker processes (each worker has its own caches, so parallel hit rates
-    are typically lower than serial ones).
+    worker processes.  With the default in-process backend each worker has
+    private caches, so parallel hit rates are typically lower than serial
+    ones; a shared or disk ``cache_backend`` lets workers serve each other's
+    entries and recovers the serial rate.  ``backend_counters`` breaks the
+    same traffic down per physical layer (e.g. a tiered store's in-process L1
+    versus its shared L2), and ``cache_backend`` records which store kind the
+    run used.
 
     Warm-started runs (see :class:`~repro.timeline.session.EngineSession`)
     record the seeded pruning floor in ``warm_start_floor``;
@@ -46,6 +52,8 @@ class SearchStats:
     partition_cache_hits: int = 0
     partition_cache_misses: int = 0
     cache_evictions: int = 0
+    cache_backend: str = "memory"
+    backend_counters: dict[str, BackendCounters] = field(default_factory=dict)
     wall_time_seconds: float = 0.0
     n_jobs: int = 1
     rounds: int = field(default=0)
@@ -96,6 +104,10 @@ class SearchStats:
         self.partition_cache_hits += counters.partition_hits
         self.partition_cache_misses += counters.partition_misses
         self.cache_evictions += counters.evictions
+        for layer, delta in counters.backends:
+            self.backend_counters[layer] = (
+                self.backend_counters.get(layer, BackendCounters()) + delta
+            )
 
     # -- rendering -------------------------------------------------------------
 
@@ -113,6 +125,16 @@ class SearchStats:
             "partition_cache_misses": self.partition_cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_backend": self.cache_backend,
+            "backend_counters": {
+                layer: {
+                    "hits": counters.hits,
+                    "misses": counters.misses,
+                    "evictions": counters.evictions,
+                    "hit_rate": counters.hit_rate,
+                }
+                for layer, counters in sorted(self.backend_counters.items())
+            },
             "wall_time_seconds": self.wall_time_seconds,
             "n_jobs": self.n_jobs,
             "rounds": self.rounds,
@@ -129,6 +151,8 @@ class SearchStats:
             f"cache hit rate {100.0 * self.cache_hit_rate:.1f}%, "
             f"{self.wall_time_seconds:.2f}s, jobs={self.n_jobs}"
         )
+        if self.cache_backend != "memory":
+            text += f", cache={self.cache_backend}"
         if self.warm_started:
             suffix = " (fell back to a cold floor)" if self.warm_start_fallback else ""
             text += f", warm floor {self.warm_start_floor:.3f}{suffix}"

@@ -16,6 +16,10 @@ Two mechanisms make warm runs cheaper, neither of which may change results:
   untouched in the new pair — delta-driven invalidation with zero bookkeeping.
   Stale entries cannot be hit (their keys are never requested again) and age
   out of the LRU when ``CharlesConfig.search_cache_capacity`` is set.
+  Where entries live follows ``CharlesConfig.cache_backend``: in process by
+  default, in a cross-process shared store so parallel workers reuse each
+  other's work, or on disk (``cache_dir``) so a session started in a fresh
+  interpreter begins warm from its predecessor's entries.
 
 * **Warm-started pruning floors.**  The score-bound pruning of the search
   normally starts from ``-inf`` and tightens as candidates accumulate.  A
@@ -58,10 +62,25 @@ class EngineSession:
     def __init__(self, config: CharlesConfig | None = None):
         self._config = config or CharlesConfig()
         self._charles = Charles(self._config)
-        self._caches = SearchCaches(self._config.search_cache_capacity)
+        self._caches = SearchCaches.from_config(self._config)
         self._floors: dict[str, float] = {}
         self.runs_completed = 0
         self.warm_start_fallbacks = 0
+
+    def close(self) -> None:
+        """Release the caches' backend resources (disk connections, managers).
+
+        Entries in persistent backends survive: a future session with the same
+        ``cache_dir`` starts warm.  Sessions are also context managers, so
+        ``with Charles(config).session() as session: ...`` closes for you.
+        """
+        self._caches.close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,254 @@
+"""Conformance tests every cache backend must pass, plus backend-specific ones."""
+
+import multiprocessing
+
+import pytest
+
+from repro.cachestore import (
+    BACKEND_CHOICES,
+    MISSING,
+    BackendCounters,
+    DiskBackend,
+    InProcessBackend,
+    SharedBackend,
+    TieredBackend,
+    build_search_backends,
+    create_shared_backends,
+    key_digest,
+)
+from repro.exceptions import CacheStoreError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def manager():
+    with multiprocessing.Manager() as manager:
+        yield manager
+
+
+@pytest.fixture(
+    params=["memory", "disk", "tiered-disk", "shared"],
+)
+def backend(request, tmp_path, manager):
+    if request.param == "memory":
+        yield InProcessBackend()
+    elif request.param == "disk":
+        yield DiskBackend(tmp_path / "cache.sqlite")
+    elif request.param == "tiered-disk":
+        yield TieredBackend(InProcessBackend(), DiskBackend(tmp_path / "cache.sqlite"))
+    else:
+        yield SharedBackend(manager.dict())
+
+
+class TestBackendConformance:
+    def test_get_miss_then_put_then_hit(self, backend):
+        key = ("fit", "bonus", ("salary",), b"token")
+        assert backend.get(key) is MISSING
+        backend.put(key, {"value": 42})
+        assert backend.get(key) == {"value": 42}
+        counters = backend.counters()
+        assert counters.misses >= 1 and counters.hits >= 1
+
+    def test_none_is_a_cacheable_value(self, backend):
+        backend.put("none-key", None)
+        assert backend.get("none-key") is None
+
+    def test_len_and_clear_preserve_counters(self, backend):
+        backend.put("a", 1)
+        backend.put("b", 2)
+        assert len(backend) >= 2
+        before = backend.counters()
+        backend.clear()
+        assert len(backend) == 0
+        assert backend.get("a") is MISSING
+        # a tiered store counts the miss once per layer, flat stores once
+        assert backend.counters().misses > before.misses
+
+    def test_overwrite_keeps_single_entry(self, backend):
+        backend.put("k", 1)
+        backend.put("k", 2)
+        assert backend.get("k") == 2
+
+    def test_breakdown_sums_to_counters(self, backend):
+        backend.get("absent")
+        backend.put("k", 1)
+        backend.get("k")
+        total = BackendCounters()
+        for counters in backend.breakdown().values():
+            total = total + counters
+        assert total == backend.counters()
+
+
+class TestInProcessBackend:
+    def test_lru_eviction_order(self):
+        backend = InProcessBackend(capacity=2)
+        backend.put("a", 1)
+        backend.put("b", 2)
+        backend.get("a")  # refresh: "b" is now least recently used
+        backend.put("c", 3)
+        assert backend.get("b") is MISSING
+        assert backend.get("a") == 1 and backend.get("c") == 3
+        assert backend.evictions == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            InProcessBackend(capacity=0)
+
+    def test_not_shareable(self):
+        with pytest.raises(CacheStoreError):
+            InProcessBackend().handle()
+
+
+class TestSharedBackend:
+    def test_attached_backend_sees_entries(self, manager):
+        first = SharedBackend(manager.dict())
+        first.put(("partition", 1), [1, 2, 3])
+        second = first.handle().attach()
+        assert second.get(("partition", 1)) == [1, 2, 3]
+        # counters are process/instance-local
+        assert second.counters().hits == 1 and first.counters().hits == 0
+
+    def test_full_store_rejects_new_entries(self, manager):
+        backend = SharedBackend(manager.dict(), capacity=1)
+        backend.put("a", 1)
+        backend.put("b", 2)  # rejected: the store is full
+        assert backend.get("a") == 1
+        assert backend.get("b") is MISSING
+        assert backend.evictions == 1
+        backend.put("a", 3)  # overwriting an existing key is always allowed
+        assert backend.get("a") == 3
+
+    def test_create_shared_backends_one_manager(self):
+        fits, partitions = create_shared_backends(2)
+        try:
+            fits.put("k", 1)
+            assert partitions.get("k") is MISSING  # distinct regions
+            partitions.put("k", 2)
+            assert fits.get("k") == 1 and partitions.get("k") == 2
+        finally:
+            fits.close()
+            partitions.close()
+
+
+class TestDiskBackend:
+    def test_entries_survive_a_new_backend_instance(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        first = DiskBackend(path)
+        first.put(("fit", "bonus", b"tok"), [1.5, None, "x"])
+        first.close()
+        second = DiskBackend(path)
+        assert second.get(("fit", "bonus", b"tok")) == [1.5, None, "x"]
+        assert second.counters().hits == 1
+
+    def test_handle_attach_shares_the_file(self, tmp_path):
+        first = DiskBackend(tmp_path / "cache.sqlite")
+        first.put("k", {"a": 1})
+        second = first.handle().attach()
+        assert second.get("k") == {"a": 1}
+
+    def test_capacity_fifo_eviction(self, tmp_path):
+        backend = DiskBackend(tmp_path / "cache.sqlite", capacity=2)
+        backend.put("a", 1)
+        backend.put("b", 2)
+        backend.put("c", 3)
+        assert len(backend) == 2
+        assert backend.get("a") is MISSING  # oldest entry went first
+        assert backend.get("c") == 3
+        assert backend.evictions == 1
+
+    def test_corrupt_entry_degrades_to_miss_and_is_discarded(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "cache.sqlite"
+        backend = DiskBackend(path)
+        backend.put("k", [1, 2])
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE entries SET value = ?", (b"not a pickle",))
+        assert backend.get("k") is MISSING  # degrade, never abort
+        assert len(backend) == 0  # the damaged entry was discarded
+        backend.put("k", [3])
+        assert backend.get("k") == [3]
+
+    def test_format_version_mismatch_drops_the_store(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "cache.sqlite"
+        first = DiskBackend(path)
+        first.put("k", 1)
+        first.close()
+        with sqlite3.connect(path) as conn:
+            conn.execute("PRAGMA user_version = 999")  # a future/foreign layout
+        second = DiskBackend(path)
+        assert second.get("k") is MISSING
+        second.put("k", 2)
+        assert second.get("k") == 2
+
+    def test_unusable_location_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(CacheStoreError):
+            DiskBackend(blocker / "cache.sqlite")
+
+
+class TestTieredBackend:
+    def test_l2_hit_promotes_into_l1(self, tmp_path):
+        l2 = DiskBackend(tmp_path / "cache.sqlite")
+        l2.put("k", 7)
+        tiered = TieredBackend(InProcessBackend(), l2)
+        assert tiered.get("k") == 7  # L1 miss, L2 hit, promotion
+        assert tiered.get("k") == 7  # now served by L1
+        breakdown = tiered.breakdown()
+        assert breakdown["l1-memory"].hits == 1 and breakdown["l1-memory"].misses == 1
+        assert breakdown["l2-disk"].hits == 1 and breakdown["l2-disk"].misses == 0
+
+    def test_put_reaches_both_layers(self, tmp_path):
+        l2 = DiskBackend(tmp_path / "cache.sqlite")
+        tiered = TieredBackend(InProcessBackend(), l2)
+        tiered.put("k", 1)
+        assert l2.get("k") == 1
+        assert tiered.shareable
+
+    def test_handle_rebuilds_fresh_l1_over_same_l2(self, tmp_path):
+        tiered = TieredBackend(InProcessBackend(), DiskBackend(tmp_path / "cache.sqlite"))
+        tiered.put("k", 9)
+        attached = tiered.handle().attach()
+        assert len(attached.l1) == 0  # private, empty L1
+        assert attached.get("k") == 9  # served from the shared L2
+
+
+class TestKeyDigest:
+    def test_stable_and_type_distinguishing(self):
+        key = ("partition", "bonus", ("edu",), 3, 0.5, b"\x01\x02")
+        assert key_digest(key) == key_digest(("partition", "bonus", ("edu",), 3, 0.5, b"\x01\x02"))
+        assert key_digest(("1",)) != key_digest((1,))
+        assert key_digest(("a", "b")) != key_digest(("ab",))
+
+
+class TestFactory:
+    def test_memory_default(self):
+        fits, partitions = build_search_backends("memory", capacity=5)
+        assert isinstance(fits, InProcessBackend) and isinstance(partitions, InProcessBackend)
+        assert fits.capacity == 5 and fits is not partitions
+
+    def test_disk_requires_cache_dir(self):
+        with pytest.raises(ConfigurationError):
+            build_search_backends("disk")
+
+    def test_disk_pair_uses_distinct_files(self, tmp_path):
+        fits, partitions = build_search_backends("disk", cache_dir=tmp_path)
+        assert fits.path != partitions.path
+        fits.put("k", 1)
+        assert partitions.get("k") is MISSING
+
+    def test_tiered_disk_composes(self, tmp_path):
+        fits, _ = build_search_backends("tiered-disk", cache_dir=tmp_path)
+        assert isinstance(fits, TieredBackend)
+        assert fits.kind == "tiered(memory+disk)"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_search_backends("redis")
+
+    def test_choices_cover_every_kind(self):
+        assert set(BACKEND_CHOICES) == {
+            "memory", "shared", "disk", "tiered-shared", "tiered-disk"
+        }

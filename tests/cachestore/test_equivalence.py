@@ -1,0 +1,142 @@
+"""Backends change where entries live, never what a search returns."""
+
+import pytest
+
+from repro.core import Charles, CharlesConfig
+from repro.search.cache import SearchCaches
+from repro.timeline import EngineSession
+
+
+def _ranking(result):
+    """Byte-exact identity of a ranked result: text, scores and provenance."""
+    return [
+        (
+            scored.summary.describe(),
+            scored.score,
+            scored.condition_attributes,
+            scored.transformation_attributes,
+            scored.n_partitions,
+        )
+        for scored in result.summaries
+    ]
+
+
+def _summarize(pair, config):
+    return Charles(config).summarize_pair(
+        pair,
+        "bonus",
+        condition_attributes=["edu", "exp"],
+        transformation_attributes=["bonus", "salary"],
+    )
+
+
+@pytest.fixture(scope="module")
+def memory_ranking(fig1_pair):
+    return _ranking(_summarize(fig1_pair, CharlesConfig()))
+
+
+class TestRankingsAcrossBackends:
+    def test_disk_backend_identical(self, fig1_pair, memory_ranking, tmp_path):
+        config = CharlesConfig(cache_backend="disk", cache_dir=str(tmp_path))
+        result = _summarize(fig1_pair, config)
+        assert _ranking(result) == memory_ranking
+        assert result.search_stats.cache_backend == "disk"
+
+    def test_tiered_disk_backend_identical(self, fig1_pair, memory_ranking, tmp_path):
+        config = CharlesConfig(cache_backend="tiered-disk", cache_dir=str(tmp_path))
+        result = _summarize(fig1_pair, config)
+        assert _ranking(result) == memory_ranking
+        assert result.search_stats.cache_backend == "tiered(memory+disk)"
+
+    def test_shared_backend_identical(self, fig1_pair, memory_ranking):
+        config = CharlesConfig(cache_backend="shared")
+        with EngineSession(config) as session:
+            result = session.summarize_pair(
+                fig1_pair,
+                "bonus",
+                condition_attributes=["edu", "exp"],
+                transformation_attributes=["bonus", "salary"],
+            )
+        assert _ranking(result) == memory_ranking
+        assert result.search_stats.cache_backend == "shared"
+
+    def test_one_shot_serial_ignores_shared_backend(self, fig1_pair, memory_ranking):
+        # with no session and no workers a shared store could not outlive the
+        # run, so the serial executor quietly uses in-process caches instead
+        result = _summarize(fig1_pair, CharlesConfig(cache_backend="shared"))
+        assert _ranking(result) == memory_ranking
+        assert result.search_stats.cache_backend == "memory"
+
+    def test_parallel_workers_attached_to_shared_store_identical(
+        self, employee_200, tmp_path
+    ):
+        serial = Charles(CharlesConfig()).summarize_pair(
+            employee_200, "bonus",
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+        )
+        shared = Charles(
+            CharlesConfig(n_jobs=2, cache_backend="shared")
+        ).summarize_pair(
+            employee_200, "bonus",
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"],
+        )
+        assert _ranking(serial) == _ranking(shared)
+        assert shared.search_stats.cache_backend == "shared"
+
+
+class TestDiskWarmStart:
+    def test_second_run_is_fully_warm(self, fig1_pair, tmp_path):
+        config = CharlesConfig(cache_backend="disk", cache_dir=str(tmp_path))
+        first = _summarize(fig1_pair, config)
+        # a brand-new Charles (fresh engine, fresh caches object) over the same
+        # cache_dir: every lookup must come off the file the first run wrote
+        second = _summarize(fig1_pair, config)
+        assert _ranking(second) == _ranking(first)
+        stats = second.search_stats
+        assert stats.cache_hits > 0
+        assert stats.fit_cache_misses == 0 and stats.partition_cache_misses == 0
+
+    def test_fresh_session_starts_warm_from_disk(self, fig1_pair, tmp_path):
+        config = CharlesConfig(cache_backend="disk", cache_dir=str(tmp_path))
+        with EngineSession(config) as session:
+            cold = session.summarize_pair(fig1_pair, "bonus")
+        with EngineSession(config) as session:
+            warm = session.summarize_pair(fig1_pair, "bonus")
+            counters = session.cache_counters()
+        assert _ranking(warm) == _ranking(cold)
+        assert counters.hits > 0 and counters.misses == 0
+
+    def test_per_backend_breakdown_travels_in_stats(self, fig1_pair, tmp_path):
+        config = CharlesConfig(cache_backend="tiered-disk", cache_dir=str(tmp_path))
+        _summarize(fig1_pair, config)
+        stats = _summarize(fig1_pair, config).search_stats
+        assert set(stats.backend_counters) == {"l1-memory", "l2-disk"}
+        # the second run's first lookups of each key come off the disk L2,
+        # later repeats off the promoted L1 copies
+        assert stats.backend_counters["l2-disk"].hits > 0
+        payload = stats.as_dict()
+        assert payload["cache_backend"] == "tiered(memory+disk)"
+        assert payload["backend_counters"]["l2-disk"]["hits"] > 0
+
+
+class TestSearchCachesFromConfig:
+    def test_attach_shares_physical_storage(self, tmp_path):
+        config = CharlesConfig(cache_backend="disk", cache_dir=str(tmp_path))
+        caches = SearchCaches.from_config(config)
+        assert caches.shareable and caches.backend_kind == "disk"
+        caches.fits.get_or_compute("k", lambda: 41)
+        attached = SearchCaches.attach(caches.handles())
+        assert attached.fits.get_or_compute("k", lambda: 99) == 41
+        caches.close()
+
+    def test_memory_caches_are_not_shareable(self):
+        caches = SearchCaches.from_config(CharlesConfig())
+        assert not caches.shareable and caches.backend_kind == "memory"
+
+    def test_config_rejects_disk_without_dir(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CharlesConfig(cache_backend="disk")
+        with pytest.raises(ConfigurationError):
+            CharlesConfig(cache_backend="memcached")

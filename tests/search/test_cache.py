@@ -3,11 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.cachestore import BackendCounters
 from repro.core.config import CharlesConfig
 from repro.core.discovery import DiffDiscoveryEngine
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 from repro.search import MemoCache, PairFingerprints, SearchCaches, mask_digest
+from repro.search.cache import CacheCounters
 
 
 class TestMemoCache:
@@ -60,6 +62,36 @@ class TestMemoCacheLRU:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             MemoCache(capacity=0)
+
+    def test_capacity_one_keeps_only_the_last_entry(self):
+        cache = MemoCache(capacity=1)
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        assert cache.get_or_compute("b", lambda: 2) == 2  # evicts "a"
+        assert len(cache) == 1 and cache.evictions == 1
+        calls = []
+        assert cache.get_or_compute("b", lambda: calls.append(1) or 9) == 2
+        assert calls == []  # "b" survived as the sole entry
+        cache.get_or_compute("a", lambda: calls.append(1) or 3)
+        assert calls == [1] and cache.evictions == 2  # "a" recomputed, "b" evicted
+
+    def test_re_access_resets_eviction_order(self):
+        cache = MemoCache(capacity=3)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda k=key: k)
+        # touch in reverse: eviction order must follow recency, not insertion
+        cache.get_or_compute("b", lambda: None)
+        cache.get_or_compute("a", lambda: None)
+        cache.get_or_compute("d", lambda: "d")  # evicts "c", the true LRU
+        cache.get_or_compute("e", lambda: "e")  # then "b"
+        assert cache.evictions == 2
+        # the survivors hit without recomputation (hits do not evict)
+        recomputed = []
+        for key in ("a", "d", "e"):
+            cache.get_or_compute(key, lambda k=key: recomputed.append(k) or k)
+        assert recomputed == []
+        # the evicted keys were really gone
+        cache.get_or_compute("c", lambda: recomputed.append("c") or "c")
+        assert recomputed == ["c"]
 
     def test_config_threads_capacity_and_counts_evictions(self, fig1_pair):
         config = CharlesConfig(search_cache_capacity=4)
@@ -149,6 +181,44 @@ class TestMaskDigest:
     def test_non_contiguous_mask_supported(self):
         mask = np.zeros((4, 2), dtype=bool)[:, 0]
         assert mask_digest(mask) == mask_digest(np.zeros(4, dtype=bool))
+
+
+class TestCacheCountersArithmetic:
+    def _counters(self, scale):
+        return CacheCounters(
+            fit_hits=1 * scale,
+            fit_misses=2 * scale,
+            partition_hits=3 * scale,
+            partition_misses=4 * scale,
+            fit_evictions=5 * scale,
+            partition_evictions=6 * scale,
+            backends=(("memory", BackendCounters(7 * scale, 8 * scale, 9 * scale)),),
+        )
+
+    def test_add_is_fieldwise(self):
+        total = self._counters(1) + self._counters(2)
+        assert total == self._counters(3)
+        assert total.hits == 3 + 9 and total.misses == 6 + 12
+        assert total.evictions == 15 + 18
+
+    def test_sub_inverts_add(self):
+        assert self._counters(3) - self._counters(2) == self._counters(1)
+        assert self._counters(1) - self._counters(1) == self._counters(0)
+
+    def test_add_merges_distinct_backend_layers(self):
+        left = CacheCounters(backends=(("l1-memory", BackendCounters(1, 2, 0)),))
+        right = CacheCounters(backends=(("l2-disk", BackendCounters(3, 4, 5)),))
+        merged = (left + right).by_backend
+        assert merged == {
+            "l1-memory": BackendCounters(1, 2, 0),
+            "l2-disk": BackendCounters(3, 4, 5),
+        }
+
+    def test_hit_rate_bounds(self):
+        assert CacheCounters().hit_rate == 0.0
+        assert CacheCounters(fit_hits=3, fit_misses=1).hit_rate == 0.75
+        assert BackendCounters().hit_rate == 0.0
+        assert BackendCounters(hits=1, misses=3).hit_rate == 0.25
 
 
 class TestSearchCaches:

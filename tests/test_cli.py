@@ -92,6 +92,32 @@ class TestCommands:
             serial_output.split("search:")[0] == parallel_output.split("search:")[0]
         )
 
+    def test_summarize_disk_cache_warm_second_invocation(self, example_csvs, tmp_path, capsys):
+        source, target = example_csvs
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--cache-backend", "disk", "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first_output = capsys.readouterr().out
+        assert "cache=disk" in first_output
+        assert (cache_dir / "fits.sqlite").exists()
+        # the second invocation builds a brand-new engine over the same store
+        assert main(argv) == 0
+        second_output = capsys.readouterr().out
+        assert "cache hit rate 100.0%" in second_output
+        assert first_output.split("search:")[0] == second_output.split("search:")[0]
+
+    def test_summarize_rejects_disk_cache_without_dir(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--cache-backend", "disk",
+        ])
+        assert code == 2
+        assert "cache_dir" in capsys.readouterr().err
+
     def test_suggest_lists_candidates(self, example_csvs, capsys):
         source, target = example_csvs
         code = main(["suggest", str(source), str(target), "--key", "name", "--target", "bonus"])
@@ -180,6 +206,27 @@ class TestTimelineCommand:
         ])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_timeline_shared_cache_backend_matches_default(self, chain_csvs, capsys):
+        argv = [
+            "timeline", *[str(p) for p in chain_csvs],
+            "--key", "name", "--target", "bonus", "-c", "2", "--top", "3",
+        ]
+        assert main(argv) == 0
+        default_output = capsys.readouterr().out
+        assert main(argv + ["--cache-backend", "shared"]) == 0
+        shared_output = capsys.readouterr().out
+
+        def summaries_only(text):
+            # drop the stats lines: wall times and the cache label differ
+            return [
+                line
+                for line in text.splitlines()
+                if "jobs=" not in line and "search time" not in line
+            ]
+
+        assert summaries_only(default_output) == summaries_only(shared_output)
+        assert "cache=shared" in shared_output
 
     def test_timeline_window_out_of_range_rejected(self, chain_csvs, capsys):
         code = main([
