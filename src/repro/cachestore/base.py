@@ -16,7 +16,7 @@ The contract is deliberately small:
   token);
 * :meth:`~CacheBackend.put` stores a value, possibly evicting under a
   capacity bound (eviction policy is backend-specific — LRU in process, FIFO
-  on disk, insert-rejection in the shared dict);
+  on disk and in the shared dict);
 * ``__len__`` / :meth:`~CacheBackend.clear` expose and drop the stored
   entries (clearing preserves counters);
 * :meth:`~CacheBackend.counters` / :meth:`~CacheBackend.breakdown` snapshot

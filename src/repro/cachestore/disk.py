@@ -8,10 +8,20 @@ exact column values a computation reads, so an entry can only ever be hit by
 a lookup whose inputs are byte-identical; stale data simply stops being
 referenced.
 
+Content keys are blind to *configuration*, though: knobs like the k-means
+seed or coverage thresholds change computed values without changing the data
+a computation reads.  In-process and shared stores never outlive their single
+owning configuration, but a disk store does — so every key is additionally
+folded with a ``namespace`` (``CharlesConfig.cache_fingerprint()`` of the
+result-affecting fields, threaded through the factory).  Two differently
+configured runs pointed at the same ``cache_dir`` therefore read and write
+disjoint entries instead of silently reusing wrong-config fits.
+
 Storage details:
 
-* keys are the 16-byte :func:`~repro.cachestore.base.key_digest` of the memo
-  key; values are pickled — both live in one ``entries`` table;
+* keys are the 16-byte :func:`~repro.cachestore.base.key_digest` of the
+  ``(namespace, memo key)`` pair; values are pickled — both live in one
+  ``entries`` table;
 * every write is wrapped in a SQLite transaction, so concurrent readers and
   writers (e.g. parallel workers attached to the same file) see complete
   entries or nothing — never a torn write;
@@ -24,7 +34,14 @@ Storage details:
   release (the store carries a format stamp in ``PRAGMA user_version`` and
   drops everything on mismatch), a blob that no longer unpickles, or a
   corrupt/locked database all surface as misses — the work is recomputed and
-  the bad entry discarded.  Only an unusable location at construction raises.
+  the bad entry discarded; ``__len__`` and :meth:`~DiskBackend.clear` degrade
+  the same way (0 entries / no-op).  Only an unusable location at
+  construction raises;
+* values are deserialised with :mod:`pickle`, so whoever can write the file
+  can execute code in the search process.  New stores are created owner-only
+  (``0600``, atomically at open) as a guard; pre-existing files keep their
+  permissions, so ``cache_dir`` must live somewhere trusted — never a
+  world-writable location.
 """
 
 from __future__ import annotations
@@ -64,9 +81,10 @@ class DiskHandle(BackendHandle):
 
     path: str
     capacity: int | None
+    namespace: bytes = b""
 
     def attach(self) -> "DiskBackend":
-        return DiskBackend(self.path, capacity=self.capacity)
+        return DiskBackend(self.path, capacity=self.capacity, namespace=self.namespace)
 
 
 class DiskBackend(CacheBackend):
@@ -74,12 +92,18 @@ class DiskBackend(CacheBackend):
 
     kind = "disk"
 
-    def __init__(self, path: str | Path, capacity: int | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        capacity: int | None = None,
+        namespace: bytes = b"",
+    ) -> None:
         super().__init__()
         if capacity is not None and capacity < 1:
             raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
         self._path = Path(path)
         self._capacity = capacity
+        self._namespace = namespace
         self._conn: sqlite3.Connection | None = None
         self._pid: int | None = None
         self._connection()  # fail fast on an unusable location
@@ -88,6 +112,12 @@ class DiskBackend(CacheBackend):
         if self._conn is None or self._pid != os.getpid():
             try:
                 self._path.parent.mkdir(parents=True, exist_ok=True)
+                # the store holds pickles: create it owner-only atomically
+                # (0600 at open, no chmod window; WAL/journal side files
+                # inherit these bits).  A pre-existing file keeps its
+                # permissions — it may belong to another trusted user, and
+                # tightening it would fail for a non-owner anyway.
+                os.close(os.open(self._path, os.O_CREAT | os.O_RDWR, 0o600))
                 conn = sqlite3.connect(self._path, timeout=30.0)
                 # WAL lets concurrent processes read while one writes; harmless
                 # (and silently refused) on filesystems that cannot support it
@@ -118,8 +148,19 @@ class DiskBackend(CacheBackend):
     def capacity(self) -> int | None:
         return self._capacity
 
+    @property
+    def namespace(self) -> bytes:
+        """Configuration fingerprint folded into every key (b"" = unnamespaced)."""
+        return self._namespace
+
+    def _digest(self, key: Hashable) -> bytes:
+        """The physical key: the logical key folded with this store's namespace."""
+        if not self._namespace:
+            return key_digest(key)
+        return key_digest((self._namespace, key))
+
     def get(self, key: Hashable) -> Any:
-        digest = key_digest(key)
+        digest = self._digest(key)
         try:
             row = (
                 self._connection()
@@ -153,7 +194,7 @@ class DiskBackend(CacheBackend):
             with conn:
                 conn.execute(
                     "INSERT OR REPLACE INTO entries (key, value) VALUES (?, ?)",
-                    (key_digest(key), payload),
+                    (self._digest(key), payload),
                 )
                 if self._capacity is not None:
                     (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
@@ -171,20 +212,32 @@ class DiskBackend(CacheBackend):
             pass
 
     def __len__(self) -> int:
-        (count,) = self._connection().execute("SELECT COUNT(*) FROM entries").fetchone()
-        return count
+        # counts every entry in the file, across namespaces; degrades to 0
+        # on a locked/corrupt store, like get/put degrade to misses
+        try:
+            (count,) = (
+                self._connection().execute("SELECT COUNT(*) FROM entries").fetchone()
+            )
+            return count
+        except (sqlite3.Error, CacheStoreError):
+            return 0
 
     def clear(self) -> None:
-        conn = self._connection()
-        with conn:
-            conn.execute("DELETE FROM entries")
+        try:
+            conn = self._connection()
+            with conn:
+                conn.execute("DELETE FROM entries")
+        except (sqlite3.Error, CacheStoreError):
+            pass
 
     @property
     def shareable(self) -> bool:
         return True
 
     def handle(self) -> DiskHandle:
-        return DiskHandle(path=str(self._path), capacity=self._capacity)
+        return DiskHandle(
+            path=str(self._path), capacity=self._capacity, namespace=self._namespace
+        )
 
     def close(self) -> None:
         if self._conn is not None and self._pid == os.getpid():

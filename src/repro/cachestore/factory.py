@@ -27,6 +27,7 @@ def build_search_backends(
     kind: str,
     capacity: int | None = None,
     cache_dir: str | Path | None = None,
+    namespace: bytes = b"",
 ) -> tuple[CacheBackend, CacheBackend]:
     """The ``(fits, partitions)`` backend pair for one configuration.
 
@@ -40,7 +41,11 @@ def build_search_backends(
       in-process LRU (L1) per attached process.
 
     ``capacity`` is applied to every constructed layer; the disk kinds
-    require ``cache_dir``.
+    require ``cache_dir`` and fold ``namespace`` — a fingerprint of the
+    result-affecting configuration fields — into every key, so differently
+    configured runs sharing a directory never serve each other's entries
+    (in-process and shared stores die with their single owning config, so
+    they need no namespace).
     """
     if kind not in BACKEND_CHOICES:
         raise ConfigurationError(
@@ -61,8 +66,10 @@ def build_search_backends(
             f"cache_backend {kind!r} needs a cache_dir to store its entries in"
         )
     directory = Path(cache_dir)
-    fits = DiskBackend(directory / "fits.sqlite", capacity)
-    partitions = DiskBackend(directory / "partitions.sqlite", capacity)
+    fits = DiskBackend(directory / "fits.sqlite", capacity, namespace=namespace)
+    partitions = DiskBackend(
+        directory / "partitions.sqlite", capacity, namespace=namespace
+    )
     if kind == "disk":
         return fits, partitions
     return (

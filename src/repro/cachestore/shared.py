@@ -15,11 +15,17 @@ deterministic, so the worst a put/put race can do is store the same value
 twice.  Counters are process-local; the stats layer aggregates them across
 workers exactly as it does for private caches.
 
-The capacity bound is an *insert-rejecting* one, not LRU: tracking recency
-through a proxy would cost a round-trip per lookup, so once the store is full
-new entries are simply dropped (and counted as evictions).  Use a
-:class:`~repro.cachestore.tiered.TieredBackend` with an LRU L1 when
-process-local recency matters.
+The capacity bound is FIFO, not LRU: tracking recency through a proxy would
+cost an extra round-trip per lookup, so a full store drops its oldest inserts
+(manager dictionaries preserve insertion order) to admit the newcomer — the
+store keeps learning for the whole session, it just forgets its oldest
+entries first.  Reading the insertion order marshals the full key list out of
+the manager process, so eviction works in batches (a tenth of capacity at a
+time): the fetch is paid once per batch, not once per put, and each pass also
+reclaims any overshoot racing writers left behind.  Concurrent evictors are
+tolerated — a key already removed by another worker is simply skipped (and
+not counted).  Use a :class:`~repro.cachestore.tiered.TieredBackend` with an
+LRU L1 when process-local recency matters.
 """
 
 from __future__ import annotations
@@ -74,11 +80,31 @@ class SharedBackend(CacheBackend):
 
     def put(self, key: Hashable, value: Any) -> None:
         digest = key_digest(key)
-        if self._capacity is not None and len(self._entries) >= self._capacity:
-            if digest not in self._entries:
-                self.evictions += 1
-                return
+        if (
+            self._capacity is not None
+            and len(self._entries) >= self._capacity
+            and digest not in self._entries
+        ):
+            # overwrites of an existing key replace in place and never evict
+            self._make_room()
         self._entries[digest] = value
+
+    def _make_room(self) -> None:
+        """Evict the oldest inserts until the store is strictly under capacity.
+
+        ``keys()`` marshals the full key list out of the manager process, so
+        one fetch evicts a whole batch — at least a tenth of capacity — and
+        also drains any overshoot left by racing writers, keeping the
+        amortised IPC cost of a put O(1) and the bound self-correcting.
+        """
+        keys = list(self._entries.keys())
+        drop = max(len(keys) - self._capacity + 1, self._capacity // 10, 1)
+        for key in keys[:drop]:
+            try:
+                self._entries.pop(key)
+            except KeyError:
+                continue  # a racing evictor removed it first; not ours to count
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -12,13 +12,32 @@ tuning path of the demo are covered by one object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from repro.cachestore import BACKEND_CHOICES
 from repro.exceptions import ConfigurationError
 
 __all__ = ["CharlesConfig", "InterpretabilityWeights"]
+
+#: fields that choose *where and how* a search runs, never what it computes —
+#: the cache fingerprint ignores them so that e.g. changing ``n_jobs`` or the
+#: backend kind keeps a persistent cache warm, while any knob that can change
+#: a fitted model or a discovered partition (seed, thresholds, weights, ...)
+#: rotates the namespace
+_RESULT_NEUTRAL_FIELDS = frozenset(
+    {
+        "n_jobs",
+        "top_k",
+        "prune_search",
+        "search_cache_capacity",
+        "cache_backend",
+        "cache_dir",
+        "warm_start",
+        "warm_start_margin",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -147,7 +166,11 @@ class CharlesConfig:
         rankings are byte-identical across all of them.
     cache_dir:
         Directory holding the on-disk cache files.  Required by the
-        ``"disk"``/``"tiered-disk"`` backends, ignored by the others.
+        ``"disk"``/``"tiered-disk"`` backends, ignored by the others.  Cached
+        values are deserialised with :mod:`pickle`, so the directory must be
+        private to trusted users (files are created owner-only); different
+        configurations may safely share one directory — entries are
+        namespaced by :meth:`cache_fingerprint`.
     warm_start:
         Whether an :class:`~repro.timeline.session.EngineSession` may seed a
         run's pruning floor from the previous run's k-th best score for the
@@ -268,3 +291,25 @@ class CharlesConfig:
     def replace(self, **changes: Any) -> "CharlesConfig":
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **changes)
+
+    def cache_fingerprint(self) -> bytes:
+        """A 16-byte digest of every result-affecting field.
+
+        Memo-cache keys hash the data a computation reads and the candidate
+        spec's parameters, but not the configuration — knobs like the k-means
+        ``seed`` or ``min_partition_coverage`` change computed values without
+        changing keys.  In-process and shared stores die with the run (one
+        config per owner), but a persistent store must not serve a second run
+        configured differently, so :class:`~repro.cachestore.disk.DiskBackend`
+        folds this fingerprint into every key: two configs sharing a
+        ``cache_dir`` read and write disjoint namespaces.  Fields that only
+        pick the execution strategy (``n_jobs``, backend selection, pruning
+        and warm-start knobs) are excluded — they are documented never to
+        change results, so flipping them keeps the cache warm.
+        """
+        relevant = tuple(
+            (spec.name, repr(getattr(self, spec.name)))
+            for spec in fields(self)
+            if spec.name not in _RESULT_NEUTRAL_FIELDS
+        )
+        return hashlib.blake2b(repr(relevant).encode("utf-8"), digest_size=16).digest()

@@ -227,7 +227,10 @@ class SearchCaches:
     k-means seed or coverage thresholds change computed values without changing
     content keys, so caches must never be shared across configurations.
     :class:`~repro.timeline.session.EngineSession` owns exactly one config and
-    one ``SearchCaches`` for this reason.
+    one ``SearchCaches`` for this reason; persistent backends, whose files
+    outlive any single owner, additionally namespace every key with the
+    config's ``cache_fingerprint()`` so a differently configured later run
+    cannot reuse their entries (see :meth:`from_config`).
 
     Physical storage is pluggable: :meth:`from_config` builds the backend pair
     ``CharlesConfig.cache_backend`` selects, and for shareable backends
@@ -254,13 +257,17 @@ class SearchCaches:
 
         ``config`` is duck-typed (any object with ``cache_backend``,
         ``search_cache_capacity`` and ``cache_dir``), so the cache layer does
-        not depend on :mod:`repro.core`.
+        not depend on :mod:`repro.core`.  A ``cache_fingerprint()`` method, if
+        present, namespaces persistent backends so that runs configured
+        differently never reuse each other's on-disk entries.
         """
+        fingerprint = getattr(config, "cache_fingerprint", None)
         return cls(
             backends=build_search_backends(
                 getattr(config, "cache_backend", "memory"),
                 config.search_cache_capacity,
                 getattr(config, "cache_dir", None),
+                namespace=fingerprint() if callable(fingerprint) else b"",
             )
         )
 

@@ -122,6 +122,7 @@ class SearchExecutor:
         floor = initial_floor
         self._setup(pair, target, config, caches)
         stats.cache_backend = self._cache_backend_kind()
+        stats.cache_backend_requested = self._cache_backend_requested()
         try:
             for round_specs in plan.rounds:
                 if not round_specs:
@@ -154,6 +155,10 @@ class SearchExecutor:
     def _cache_backend_kind(self) -> str:
         """The physical cache-store kind this search runs against."""
         return "memory"
+
+    def _cache_backend_requested(self) -> str | None:
+        """The configured backend kind, when the run could not honour it."""
+        return None
 
     # -- subclass hooks ----------------------------------------------------------
 
@@ -203,6 +208,7 @@ class SerialExecutor(SearchExecutor):
         caches: SearchCaches | None = None,
     ) -> None:
         self._owned_caches: SearchCaches | None = None
+        self._requested_backend: str | None = None
         if caches is None:
             if config.cache_backend in ("disk", "tiered-disk"):
                 # honour a persistent backend even one-shot: the store outlives
@@ -213,12 +219,18 @@ class SerialExecutor(SearchExecutor):
                 # shared kinds have nothing to share here: with no session and
                 # no workers, the store would die at teardown having only added
                 # a proxy round-trip per lookup — use plain in-process caches
+                # and record the substitution in the stats so it is visible
                 # (a session-provided `caches` of any kind is always honoured)
+                if config.cache_backend != "memory":
+                    self._requested_backend = config.cache_backend
                 caches = SearchCaches(config.search_cache_capacity)
         self._evaluator = CandidateEvaluator(pair, target, config, caches)
 
     def _cache_backend_kind(self) -> str:
         return self._evaluator.caches.backend_kind
+
+    def _cache_backend_requested(self) -> str | None:
+        return self._requested_backend
 
     def _run_round(
         self,

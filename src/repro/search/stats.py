@@ -34,7 +34,10 @@ class SearchStats:
     entries and recovers the serial rate.  ``backend_counters`` breaks the
     same traffic down per physical layer (e.g. a tiered store's in-process L1
     versus its shared L2), and ``cache_backend`` records which store kind the
-    run used.
+    run used.  When that differs from what the configuration asked for — a
+    one-shot serial run quietly substitutes in-process caches for a ``shared``
+    backend that would have nothing to share — the configured kind is kept in
+    ``cache_backend_requested`` so the substitution is visible, not silent.
 
     Warm-started runs (see :class:`~repro.timeline.session.EngineSession`)
     record the seeded pruning floor in ``warm_start_floor``;
@@ -53,6 +56,7 @@ class SearchStats:
     partition_cache_misses: int = 0
     cache_evictions: int = 0
     cache_backend: str = "memory"
+    cache_backend_requested: str | None = None
     backend_counters: dict[str, BackendCounters] = field(default_factory=dict)
     wall_time_seconds: float = 0.0
     n_jobs: int = 1
@@ -126,6 +130,7 @@ class SearchStats:
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "cache_backend": self.cache_backend,
+            "cache_backend_requested": self.cache_backend_requested,
             "backend_counters": {
                 layer: {
                     "hits": counters.hits,
@@ -153,6 +158,11 @@ class SearchStats:
         )
         if self.cache_backend != "memory":
             text += f", cache={self.cache_backend}"
+        if self.cache_backend_requested is not None:
+            text += (
+                f", cache_backend {self.cache_backend_requested!r} not used"
+                " (nothing to share in a one-shot serial run)"
+            )
         if self.warm_started:
             suffix = " (fell back to a cold floor)" if self.warm_start_fallback else ""
             text += f", warm floor {self.warm_start_floor:.3f}{suffix}"

@@ -107,15 +107,44 @@ class TestSharedBackend:
         # counters are process/instance-local
         assert second.counters().hits == 1 and first.counters().hits == 0
 
-    def test_full_store_rejects_new_entries(self, manager):
+    def test_full_store_evicts_oldest_insert(self, manager):
+        backend = SharedBackend(manager.dict(), capacity=2)
+        backend.put("a", 1)
+        backend.put("b", 2)
+        backend.put("c", 3)  # full: "a" (the oldest insert) makes room
+        assert backend.get("a") is MISSING
+        assert backend.get("b") == 2 and backend.get("c") == 3
+        assert backend.evictions == 1
+        assert len(backend) == 2
+
+    def test_overwrite_of_a_full_store_never_evicts(self, manager):
         backend = SharedBackend(manager.dict(), capacity=1)
         backend.put("a", 1)
-        backend.put("b", 2)  # rejected: the store is full
-        assert backend.get("a") == 1
-        assert backend.get("b") is MISSING
-        assert backend.evictions == 1
-        backend.put("a", 3)  # overwriting an existing key is always allowed
-        assert backend.get("a") == 3
+        backend.put("a", 2)  # replaces in place; nothing needs to go
+        assert backend.get("a") == 2
+        assert backend.evictions == 0
+
+    def test_full_store_keeps_admitting_new_entries(self, manager):
+        # a long-lived session must keep learning once the store fills up —
+        # the newest entry is always admitted, at the cost of the oldest
+        backend = SharedBackend(manager.dict(), capacity=2)
+        for index in range(5):
+            backend.put(f"k{index}", index)
+        assert backend.get("k4") == 4
+        assert backend.get("k0") is MISSING
+        assert backend.evictions == 3
+
+    def test_eviction_pass_reclaims_overshoot(self, manager):
+        entries = manager.dict()
+        backend = SharedBackend(entries, capacity=10)
+        for index in range(14):  # as racing writers could leave behind
+            entries[key_digest(f"raw{index}")] = index
+        backend.put("new", 1)
+        # one pass drains the overshoot plus room for the newcomer, oldest first
+        assert len(backend) == 10
+        assert backend.evictions == 5
+        assert backend.get("new") == 1
+        assert backend.get("raw0") is MISSING and backend.get("raw13") == 13
 
     def test_create_shared_backends_one_manager(self):
         fits, partitions = create_shared_backends(2)
@@ -188,6 +217,33 @@ class TestDiskBackend:
         with pytest.raises(CacheStoreError):
             DiskBackend(blocker / "cache.sqlite")
 
+    def test_namespaces_partition_one_file(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        first = DiskBackend(path, namespace=b"config-a")
+        first.put("k", 1)
+        second = DiskBackend(path, namespace=b"config-b")
+        assert second.get("k") is MISSING  # never another config's entry
+        second.put("k", 2)
+        assert first.get("k") == 1 and second.get("k") == 2
+        attached = second.handle().attach()  # handles carry the namespace
+        assert attached.get("k") == 2
+
+    def test_store_file_is_owner_only(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        backend = DiskBackend(path)
+        backend.put("k", 1)
+        assert path.stat().st_mode & 0o777 == 0o600
+
+    def test_len_and_clear_degrade_on_a_corrupt_store(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        backend = DiskBackend(path)
+        backend.put("k", 1)
+        backend.close()
+        path.write_bytes(b"this is no longer a sqlite database")
+        assert backend.get("k") is MISSING  # degrade, never abort ...
+        assert len(backend) == 0  # ... and so must the introspection calls
+        backend.clear()  # a no-op, not an exception
+
 
 class TestTieredBackend:
     def test_l2_hit_promotes_into_l1(self, tmp_path):
@@ -238,6 +294,16 @@ class TestFactory:
         assert fits.path != partitions.path
         fits.put("k", 1)
         assert partitions.get("k") is MISSING
+
+    def test_namespace_reaches_the_disk_stores(self, tmp_path):
+        fits_a, _ = build_search_backends("disk", cache_dir=tmp_path, namespace=b"a")
+        fits_a.put("k", 1)
+        fits_b, _ = build_search_backends("disk", cache_dir=tmp_path, namespace=b"b")
+        assert fits_b.get("k") is MISSING
+        tiered, _ = build_search_backends(
+            "tiered-disk", cache_dir=tmp_path, namespace=b"a"
+        )
+        assert tiered.get("k") == 1  # same namespace, same entries
 
     def test_tiered_disk_composes(self, tmp_path):
         fits, _ = build_search_backends("tiered-disk", cache_dir=tmp_path)

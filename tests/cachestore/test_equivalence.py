@@ -41,6 +41,7 @@ class TestRankingsAcrossBackends:
         result = _summarize(fig1_pair, config)
         assert _ranking(result) == memory_ranking
         assert result.search_stats.cache_backend == "disk"
+        assert result.search_stats.cache_backend_requested is None
 
     def test_tiered_disk_backend_identical(self, fig1_pair, memory_ranking, tmp_path):
         config = CharlesConfig(cache_backend="tiered-disk", cache_dir=str(tmp_path))
@@ -62,10 +63,15 @@ class TestRankingsAcrossBackends:
 
     def test_one_shot_serial_ignores_shared_backend(self, fig1_pair, memory_ranking):
         # with no session and no workers a shared store could not outlive the
-        # run, so the serial executor quietly uses in-process caches instead
+        # run, so the serial executor uses in-process caches instead — and
+        # records the substitution rather than pretending nothing happened
         result = _summarize(fig1_pair, CharlesConfig(cache_backend="shared"))
         assert _ranking(result) == memory_ranking
-        assert result.search_stats.cache_backend == "memory"
+        stats = result.search_stats
+        assert stats.cache_backend == "memory"
+        assert stats.cache_backend_requested == "shared"
+        assert stats.as_dict()["cache_backend_requested"] == "shared"
+        assert "'shared' not used" in stats.describe()
 
     def test_parallel_workers_attached_to_shared_store_identical(
         self, employee_200, tmp_path
@@ -117,6 +123,47 @@ class TestDiskWarmStart:
         payload = stats.as_dict()
         assert payload["cache_backend"] == "tiered(memory+disk)"
         assert payload["backend_counters"]["l2-disk"]["hits"] > 0
+
+
+class TestConfigNamespacing:
+    """A shared cache_dir must never leak entries across configurations."""
+
+    def test_fingerprint_ignores_execution_knobs(self):
+        base = CharlesConfig()
+        assert base.cache_fingerprint() == CharlesConfig().cache_fingerprint()
+        neutral = base.replace(
+            n_jobs=4,
+            top_k=3,
+            prune_search=False,
+            search_cache_capacity=128,
+            warm_start=False,
+        )
+        # these knobs pick the execution strategy, never the computed values:
+        # flipping them must keep a persistent cache warm
+        assert neutral.cache_fingerprint() == base.cache_fingerprint()
+
+    def test_fingerprint_rotates_on_result_affecting_knobs(self):
+        base = CharlesConfig()
+        for changed in (
+            base.replace(seed=7),
+            base.replace(min_partition_coverage=0.1),
+            base.replace(ridge=1e-6),
+            base.replace(residual_weights=(1.0,)),
+        ):
+            assert changed.cache_fingerprint() != base.cache_fingerprint()
+
+    def test_reconfigured_run_starts_cold_on_a_shared_cache_dir(
+        self, fig1_pair, tmp_path
+    ):
+        config = CharlesConfig(cache_backend="disk", cache_dir=str(tmp_path))
+        _summarize(fig1_pair, config)
+        # a different seed changes k-means outcomes without changing content
+        # keys — the second run must recompute, not reuse seed-0 entries
+        stats = _summarize(fig1_pair, config.replace(seed=123)).search_stats
+        assert stats.fit_cache_misses > 0 and stats.partition_cache_misses > 0
+        # while the original config stays fully warm alongside it
+        warm = _summarize(fig1_pair, config).search_stats
+        assert warm.fit_cache_misses == 0 and warm.partition_cache_misses == 0
 
 
 class TestSearchCachesFromConfig:
