@@ -1,0 +1,54 @@
+"""The fleet-scale cache service: one memo store shared over the network.
+
+Cacheserver architecture
+========================
+
+PR 3's shared and disk stores pool memo work across *processes on one
+machine*; this package closes the remaining gap — a fleet of engine
+instances on different machines — with a standalone cache service:
+
+* :mod:`~repro.cacheserver.protocol` — the wire format: length-prefixed
+  binary frames carrying digested keys, opaque pickled values and a per-PUT
+  recomputation-cost hint; stdlib ``struct``/``json`` only.
+* :mod:`~repro.cacheserver.server` — :class:`~repro.cacheserver.server.
+  CacheServer`, a threaded TCP server hosting the ``fits``/``partitions``
+  regions on :class:`~repro.cachestore.memory.InProcessBackend` stores with a
+  cost-aware eviction policy, plus ``PING``/``STATS`` admin verbs and
+  graceful shutdown.  Run it with ``charles cache-server``.
+* :mod:`~repro.cacheserver.client` — :class:`~repro.cacheserver.client.
+  RemoteBackend`, the :class:`~repro.cachestore.base.CacheBackend` engines
+  select with ``cache_backend="remote"`` / ``cache_url="host:port"``; it
+  degrades to misses whenever the server is unreachable (an outage costs
+  time, never correctness) and hands parallel workers picklable
+  :class:`~repro.cacheserver.client.RemoteHandle`\\ s so each opens its own
+  connection.
+
+Keys are namespaced by ``CharlesConfig.cache_fingerprint()`` exactly like the
+disk store, so differently configured engines sharing one server never serve
+each other's entries, while execution-only knobs (``n_jobs``, pruning,
+warm-start) keep the fleet cache warm.  As with every backend, where entries
+live never changes what a search returns: rankings with a remote store — or
+with a mid-run server outage — are byte-identical to in-process runs, which
+``tests/cacheserver/`` and ``benchmarks/bench_cache_server.py`` enforce.
+"""
+
+from repro.cacheserver.client import (
+    RemoteBackend,
+    RemoteHandle,
+    parse_url,
+    server_clear,
+    server_ping,
+    server_stats,
+)
+from repro.cacheserver.server import DEFAULT_PORT, CacheServer
+
+__all__ = [
+    "RemoteBackend",
+    "RemoteHandle",
+    "parse_url",
+    "server_ping",
+    "server_stats",
+    "server_clear",
+    "CacheServer",
+    "DEFAULT_PORT",
+]

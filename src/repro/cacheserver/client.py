@@ -1,0 +1,322 @@
+"""The remote backend: a :class:`CacheBackend` whose storage is a cache server.
+
+A :class:`RemoteBackend` gives an engine process (or a parallel worker — the
+:class:`RemoteHandle` is picklable and each attached instance opens its own
+connection) a view over one region of a :class:`~repro.cacheserver.server.
+CacheServer`, so a whole fleet of engines on different machines pools its
+partition discoveries and per-mask fits through one store.
+
+The cardinal rule is *degrade, never abort* — stronger here than for the disk
+backend, because the failure domain includes another machine: a server that
+is down, restarting, or unreachable turns every lookup into a miss and every
+publish into a no-op.  The search recomputes and carries on; a cache server
+outage can cost time, never correctness.  After a connection failure the
+client backs off on *both* axes before the next reconnection attempt:
+:data:`RETRY_AFTER_OPS` operations answered locally (so a refused connect is
+paid once per batch of lookups, not once per lookup) and an exponentially
+growing wall-clock window (:data:`RETRY_BACKOFF_SECONDS` doubling up to
+:data:`MAX_RETRY_BACKOFF_SECONDS` — so a *blackholed* server, whose connect
+attempts block for the full timeout instead of failing fast, stalls a tight
+search loop at most once per window rather than every 64 lookups).  Unlike
+the disk backend, even construction never raises on an unreachable server —
+a fleet member must be able to boot while the cache service is still coming
+up.
+
+Like the disk store, entries are namespaced: the client folds the config's
+``cache_fingerprint()`` into every key digest, so differently configured
+engines sharing one server read and write disjoint entries.  Values are
+pickled on the client and opaque to the server; whoever can write to the
+server can therefore execute code in every client that reads it back —
+``cache_url`` must point at a server on a trusted network, exactly like a
+shared ``cache_dir`` must be a trusted directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.cachestore.base import (
+    MISSING,
+    BackendCounters,
+    BackendHandle,
+    CacheBackend,
+    key_digest,
+)
+from repro.cachestore.disk import _UNPICKLE_ERRORS
+from repro.cacheserver import protocol
+from repro.exceptions import CacheStoreError
+
+__all__ = ["RemoteBackend", "RemoteHandle", "parse_url", "server_stats", "server_clear", "server_ping"]
+
+#: operations answered locally (miss / dropped put) after a connection
+#: failure before the next reconnection attempt
+RETRY_AFTER_OPS = 64
+
+#: wall-clock floor between reconnection attempts, doubling per consecutive
+#: failure up to the cap — bounds how often a blackholed server (connects
+#: that hang for the full timeout rather than failing fast) can stall a search
+RETRY_BACKOFF_SECONDS = 1.0
+MAX_RETRY_BACKOFF_SECONDS = 30.0
+
+#: default seconds to wait for a connect or a response frame
+DEFAULT_TIMEOUT = 5.0
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """``host:port`` (an optional ``tcp://`` prefix is tolerated) → address."""
+    trimmed = url.removeprefix("tcp://")
+    host, separator, port_text = trimmed.rpartition(":")
+    if not separator or not host:
+        raise CacheStoreError(f"cache_url must look like host:port, got {url!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CacheStoreError(f"cache_url port must be an integer, got {url!r}") from None
+    if not 0 < port < 65536:
+        raise CacheStoreError(f"cache_url port must be in 1..65535, got {port}")
+    return host, port
+
+
+@dataclass(frozen=True)
+class RemoteHandle(BackendHandle):
+    """Reconnects a worker to a cache server (each instance owns a socket)."""
+
+    url: str
+    region: int
+    capacity: int | None
+    namespace: bytes = b""
+    timeout: float = DEFAULT_TIMEOUT
+
+    def attach(self) -> "RemoteBackend":
+        return RemoteBackend(
+            self.url,
+            self.region,
+            capacity=self.capacity,
+            namespace=self.namespace,
+            timeout=self.timeout,
+        )
+
+
+class RemoteBackend(CacheBackend):
+    """One region of a fleet-shared cache server, spoken to over TCP."""
+
+    kind = "remote"
+
+    def __init__(
+        self,
+        url: str,
+        region: int = protocol.REGION_FITS,
+        capacity: int | None = None,
+        namespace: bytes = b"",
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        super().__init__()
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        self._url = url
+        self._address = parse_url(url)  # fail fast on a malformed URL only
+        self._region = region
+        self._capacity = capacity
+        self._namespace = namespace
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._pid: int | None = None
+        self._ops_until_retry = 0
+        self._retry_not_before = 0.0
+        self._current_backoff = RETRY_BACKOFF_SECONDS
+        self.round_trips = 0
+        self.connection_failures = 0
+
+    # -- wire plumbing ---------------------------------------------------------
+
+    def _connection(self) -> socket.socket:
+        if self._sock is not None and self._pid != os.getpid():
+            # a socket must never cross a fork: the parent still owns it
+            self._sock = None
+        if self._sock is None:
+            sock = socket.create_connection(self._address, timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._pid = os.getpid()
+        return self._sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None and self._pid == os.getpid():
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close on a dead socket
+                pass
+        self._sock = None
+        self._pid = None
+
+    def _request(self, body: bytes) -> tuple[int, bytes] | None:
+        """One round-trip, or ``None`` while degraded / on a fresh failure."""
+        if self._ops_until_retry > 0:
+            self._ops_until_retry -= 1
+            return None
+        if self._sock is None and time.monotonic() < self._retry_not_before:
+            return None  # still inside the wall-clock backoff window
+        try:
+            sock = self._connection()
+            protocol.send_frame(sock, body)
+            response = protocol.recv_frame(sock)
+            if response is None:
+                raise protocol.ProtocolError("server closed the connection")
+            self.round_trips += 1
+            self._current_backoff = RETRY_BACKOFF_SECONDS  # healthy again
+            return protocol.decode_response(response)
+        except (OSError, protocol.ProtocolError):
+            self.connection_failures += 1
+            self._drop_connection()
+            self._ops_until_retry = RETRY_AFTER_OPS
+            self._retry_not_before = time.monotonic() + self._current_backoff
+            self._current_backoff = min(
+                self._current_backoff * 2, MAX_RETRY_BACKOFF_SECONDS
+            )
+            return None
+
+    def _digest(self, key: Hashable) -> bytes:
+        if not self._namespace:
+            return key_digest(key)
+        return key_digest((self._namespace, key))
+
+    # -- the CacheBackend contract -----------------------------------------------
+
+    def get(self, key: Hashable) -> Any:
+        answer = self._request(
+            protocol.encode_request(protocol.GET, self._region, digest=self._digest(key))
+        )
+        if answer is not None and answer[0] == protocol.HIT:
+            try:
+                value = pickle.loads(answer[1])
+            except _UNPICKLE_ERRORS:
+                # a foreign or stale blob degrades to a miss like on disk
+                self.misses += 1
+                return MISSING
+            self.hits += 1
+            return value
+        self.misses += 1
+        return MISSING
+
+    def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) + 2 + protocol.DIGEST_SIZE + 8 > protocol.MAX_FRAME_BYTES:
+            return  # pathological value: publishing is an optimisation, skip it
+        self._request(
+            protocol.encode_request(
+                protocol.PUT,
+                self._region,
+                digest=self._digest(key),
+                cost=cost_hint or 0.0,
+                payload=payload,
+            )
+        )
+
+    def __len__(self) -> int:
+        # counts the whole region, across namespaces; 0 while degraded —
+        # mirroring how the disk backend degrades on an unreadable store
+        answer = self._request(protocol.encode_request(protocol.LEN, self._region))
+        if answer is None or answer[0] != protocol.OK:
+            return 0
+        try:
+            return protocol.unpack_count(answer[1])
+        except protocol.ProtocolError:
+            return 0
+
+    def clear(self) -> None:
+        self._request(protocol.encode_request(protocol.CLEAR, self._region))
+
+    # -- accounting, sharing, lifecycle --------------------------------------------
+
+    def counters(self) -> BackendCounters:
+        return BackendCounters(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,  # always 0: eviction is the server's act
+            round_trips=self.round_trips,
+        )
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def namespace(self) -> bytes:
+        """Configuration fingerprint folded into every key (b"" = unnamespaced)."""
+        return self._namespace
+
+    @property
+    def url(self) -> str:
+        """The ``host:port`` of the server this backend talks to."""
+        return self._url
+
+    @property
+    def shareable(self) -> bool:
+        return True
+
+    def handle(self) -> RemoteHandle:
+        return RemoteHandle(
+            url=self._url,
+            region=self._region,
+            capacity=self._capacity,
+            namespace=self._namespace,
+            timeout=self._timeout,
+        )
+
+    def close(self) -> None:
+        self._drop_connection()
+
+
+# -- admin helpers (the ``charles cache`` command) ---------------------------------
+
+
+def _admin_request(url: str, body: bytes, timeout: float = DEFAULT_TIMEOUT) -> tuple[int, bytes]:
+    """One request over a throwaway connection; raises on any failure.
+
+    Admin calls are the opposite of cache traffic: an operator asking for
+    stats wants the error, not a silent degrade.
+    """
+    address = parse_url(url)
+    try:
+        with socket.create_connection(address, timeout=timeout) as sock:
+            protocol.send_frame(sock, body)
+            response = protocol.recv_frame(sock)
+    except OSError as error:
+        raise CacheStoreError(f"cannot reach cache server at {url}: {error}") from error
+    if response is None:
+        raise CacheStoreError(f"cache server at {url} closed the connection")
+    status, payload = protocol.decode_response(response)
+    if status == protocol.ERROR:
+        raise CacheStoreError(
+            f"cache server at {url} refused the request: {payload.decode('utf-8', 'replace')}"
+        )
+    return status, payload
+
+
+def server_ping(url: str, timeout: float = DEFAULT_TIMEOUT) -> bool:
+    """Whether a cache server answers at ``url`` (raises if unreachable)."""
+    status, payload = _admin_request(
+        url, protocol.encode_request(protocol.PING, protocol.REGION_ALL), timeout
+    )
+    return status == protocol.OK and payload == b"pong"
+
+
+def server_stats(url: str, timeout: float = DEFAULT_TIMEOUT) -> dict:
+    """The server's ``STATS`` payload (per-region counters, totals) as a dict."""
+    _, payload = _admin_request(
+        url, protocol.encode_request(protocol.STATS, protocol.REGION_ALL), timeout
+    )
+    return json.loads(payload.decode("utf-8"))
+
+
+def server_clear(url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+    """Drop every entry in every region of the server at ``url``."""
+    _admin_request(
+        url, protocol.encode_request(protocol.CLEAR, protocol.REGION_ALL), timeout
+    )

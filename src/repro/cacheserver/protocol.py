@@ -1,0 +1,230 @@
+"""The cache-server wire protocol: length-prefixed binary frames over TCP.
+
+One request frame travels client → server, one response frame travels back;
+connections are persistent, so a search amortises the TCP handshake over
+thousands of lookups.  Every frame is a 4-byte big-endian unsigned length
+followed by that many body bytes, bounded by :data:`MAX_FRAME_BYTES` so a
+corrupt or hostile peer cannot make the other side allocate gigabytes.
+
+Request bodies start with a verb byte and a region byte:
+
+========  =======================================================
+verb      body after the (verb, region) header
+========  =======================================================
+``PING``  empty — liveness probe, answered with ``OK`` + ``pong``
+``GET``   16-byte key digest
+``PUT``   16-byte key digest, 8-byte float64 cost hint, value bytes
+``LEN``   empty — entry count of the region (or all regions)
+``CLEAR`` empty — drop the region's entries (or all regions')
+``STATS`` empty — per-region counters as UTF-8 JSON
+========  =======================================================
+
+Responses start with a status byte: ``HIT`` carries the stored value bytes,
+``MISS`` is empty, ``OK`` carries verb-specific payloads (an 8-byte count for
+``LEN``, JSON for ``STATS``), ``ERROR`` carries a UTF-8 message.
+
+Two deliberate choices keep the server small and safe:
+
+* **keys are digests, values are opaque.**  The client folds its namespace
+  into the 16-byte :func:`~repro.cachestore.base.key_digest` and pickles the
+  value *before* framing; the server stores and serves raw bytes and never
+  unpickles anything, so a cache server is not a code-execution sink for
+  whatever its clients send (clients still only connect to servers they
+  trust, as with any pickle-carrying channel).
+* **everything is stdlib.**  ``struct`` for the fixed header fields, ``json``
+  for the admin payloads; no serialisation framework to version.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.exceptions import CacheStoreError
+
+__all__ = [
+    "ProtocolError",
+    "MAX_FRAME_BYTES",
+    "DIGEST_SIZE",
+    "PING",
+    "GET",
+    "PUT",
+    "LEN",
+    "CLEAR",
+    "STATS",
+    "REGION_FITS",
+    "REGION_PARTITIONS",
+    "REGION_ALL",
+    "REGION_NAMES",
+    "OK",
+    "HIT",
+    "MISS",
+    "ERROR",
+    "Request",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "send_frame",
+    "recv_frame",
+    "pack_count",
+    "unpack_count",
+]
+
+
+class ProtocolError(CacheStoreError):
+    """A malformed, truncated or oversized cache-server frame."""
+
+
+#: hard bound on one frame's body; memo values are typically a few KB, so
+#: anything near this is a corrupt length prefix, not a legitimate entry
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: byte length of the key digests frames carry (``key_digest`` output)
+DIGEST_SIZE = 16
+
+# request verbs
+PING = 1
+GET = 2
+PUT = 3
+LEN = 4
+CLEAR = 5
+STATS = 6
+_VERBS = frozenset({PING, GET, PUT, LEN, CLEAR, STATS})
+
+# regions: one per memo cache the search layer carries, plus the admin "all"
+REGION_FITS = 0
+REGION_PARTITIONS = 1
+REGION_ALL = 255
+REGION_NAMES = {REGION_FITS: "fits", REGION_PARTITIONS: "partitions"}
+
+# response statuses
+OK = 0
+HIT = 1
+MISS = 2
+ERROR = 3
+
+_LENGTH = struct.Struct(">I")
+_COST = struct.Struct(">d")
+_COUNT = struct.Struct(">Q")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request frame."""
+
+    verb: int
+    region: int
+    digest: bytes = b""
+    cost: float = 0.0
+    payload: bytes = b""
+
+
+def encode_request(
+    verb: int,
+    region: int,
+    digest: bytes = b"",
+    cost: float = 0.0,
+    payload: bytes = b"",
+) -> bytes:
+    """The body bytes of one request frame."""
+    if verb in (GET, PUT) and len(digest) != DIGEST_SIZE:
+        raise ProtocolError(
+            f"key digest must be {DIGEST_SIZE} bytes, got {len(digest)}"
+        )
+    head = bytes((verb, region))
+    if verb == GET:
+        return head + digest
+    if verb == PUT:
+        return head + digest + _COST.pack(cost) + payload
+    return head
+
+
+def decode_request(body: bytes) -> Request:
+    """Parse one request body (raises :class:`ProtocolError` on malformed frames)."""
+    if len(body) < 2:
+        raise ProtocolError(f"request frame too short ({len(body)} bytes)")
+    verb, region = body[0], body[1]
+    if verb not in _VERBS:
+        raise ProtocolError(f"unknown verb {verb}")
+    if verb == GET:
+        digest = body[2:]
+        if len(digest) != DIGEST_SIZE:
+            raise ProtocolError(f"GET digest must be {DIGEST_SIZE} bytes, got {len(digest)}")
+        return Request(verb, region, digest=digest)
+    if verb == PUT:
+        fixed = 2 + DIGEST_SIZE + _COST.size
+        if len(body) < fixed:
+            raise ProtocolError(f"PUT frame too short ({len(body)} bytes)")
+        digest = body[2 : 2 + DIGEST_SIZE]
+        (cost,) = _COST.unpack_from(body, 2 + DIGEST_SIZE)
+        return Request(verb, region, digest=digest, cost=cost, payload=body[fixed:])
+    return Request(verb, region)
+
+
+def encode_response(status: int, payload: bytes = b"") -> bytes:
+    """The body bytes of one response frame."""
+    return bytes((status,)) + payload
+
+
+def decode_response(body: bytes) -> tuple[int, bytes]:
+    """Parse one response body into ``(status, payload)``."""
+    if not body:
+        raise ProtocolError("empty response frame")
+    return body[0], body[1:]
+
+
+def pack_count(count: int) -> bytes:
+    """The 8-byte payload of a ``LEN`` response."""
+    return _COUNT.pack(count)
+
+
+def unpack_count(payload: bytes) -> int:
+    """The entry count carried by a ``LEN`` response payload."""
+    if len(payload) != _COUNT.size:
+        raise ProtocolError(f"LEN payload must be {_COUNT.size} bytes, got {len(payload)}")
+    return _COUNT.unpack(payload)[0]
+
+
+def send_frame(sock: socket.socket, body: bytes) -> None:
+    """Write one length-prefixed frame (raises :class:`ProtocolError` if oversized)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Exactly ``count`` bytes, or ``None`` on a clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame body, or ``None`` when the peer closed the connection.
+
+    A close between frames is the normal end of a conversation; a close in
+    the middle of one, or a length prefix past :data:`MAX_FRAME_BYTES`, is a
+    :class:`ProtocolError`.
+    """
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    if length == 0:
+        return b""
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return body

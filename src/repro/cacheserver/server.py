@@ -1,0 +1,278 @@
+"""The cache service: one process holding the memo regions for a whole fleet.
+
+A :class:`CacheServer` is a threaded TCP server hosting the two memo regions
+every search carries (``fits`` and ``partitions``), each an
+:class:`~repro.cachestore.memory.InProcessBackend` behind the same
+:class:`~repro.cachestore.base.CacheBackend` interface the rest of the
+cachestore uses — the server is just another place entries live, reached
+through :mod:`repro.cacheserver.protocol` frames instead of a function call.
+Entries are opaque ``digest → bytes`` pairs: clients digest and pickle on
+their side, so the server never deserialises anything it is sent.
+
+Because all regions live in one process, the server is also where eviction
+policy earns its keep: by default each region is bounded with a
+:class:`~repro.cachestore.policy.CostAwarePolicy`, ranking entries by the
+recomputation seconds the clients observed (shipped per ``PUT`` as the
+protocol's cost hint) per byte held — a small server retains the work that
+is most expensive for the fleet to redo.
+
+Operational surface:
+
+* ``PING``/``STATS`` admin verbs (liveness; per-region entry counts and
+  hit/miss/eviction counters as JSON) — also reachable from the shell via
+  ``charles cache {stats,clear} --cache-url`` and ``charles cache-server``;
+* graceful shutdown: :meth:`CacheServer.shutdown` stops accepting, unblocks
+  :meth:`serve_forever`, closes the listening socket and tears down every
+  live client connection, so a stopped server immediately looks *down* to
+  its fleet (clients degrade to misses) instead of leaving them parked;
+* one lock per region: request handling serialises on the touched region
+  only, so ``fits`` traffic never waits on ``partitions`` traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+
+from repro.cachestore.base import MISSING
+from repro.cachestore.memory import InProcessBackend
+from repro.cachestore.policy import make_policy
+from repro.cacheserver import protocol
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CacheServer", "DEFAULT_PORT"]
+
+#: the port ``charles cache-server`` binds when none is given
+DEFAULT_PORT = 8737
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One client connection: a loop of request frame → response frame."""
+
+    def setup(self) -> None:
+        self.server.cache_server._track(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server.cache_server._untrack(self.request)  # type: ignore[attr-defined]
+
+    def handle(self) -> None:
+        server: CacheServer = self.server.cache_server  # type: ignore[attr-defined]
+        sock = self.request
+        while True:
+            try:
+                body = protocol.recv_frame(sock)
+            except (protocol.ProtocolError, OSError):
+                return  # unframeable peer: drop the connection, not the server
+            if body is None:
+                return
+            try:
+                response = server.dispatch(body)
+            except protocol.ProtocolError as error:
+                response = protocol.encode_response(
+                    protocol.ERROR, str(error).encode("utf-8")
+                )
+            try:
+                protocol.send_frame(sock, response)
+            except (protocol.ProtocolError, OSError):
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class CacheServer:
+    """A fleet-shared cache service hosting the ``fits``/``partitions`` regions.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`address` /
+    :attr:`url`); ``capacity`` bounds each region's entry count with the named
+    eviction ``policy`` (one of :data:`~repro.cachestore.policy.POLICY_CHOICES`,
+    cost-aware by default).  Use as a context manager, or pair
+    :meth:`start`/:meth:`serve_forever` with :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int | None = None,
+        policy: str = "cost-aware",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            # ConfigurationError, not ValueError: the CLI turns it into a
+            # clean `error: ...` + exit 2 like every other bad flag
+            raise ConfigurationError(
+                f"cache-server capacity must be >= 1 or unbounded, got {capacity}"
+            )
+        self._regions = {
+            protocol.REGION_FITS: InProcessBackend(capacity, policy=make_policy(policy)),
+            protocol.REGION_PARTITIONS: InProcessBackend(capacity, policy=make_policy(policy)),
+        }
+        self._locks = {region: threading.Lock() for region in self._regions}
+        self._policy = policy
+        self._capacity = capacity
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+        self._started = time.time()
+        self._tcp = _ThreadingServer((host, port), _Handler)
+        self._tcp.cache_server = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._serve_requested = False
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` the server is listening on."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        """The ``host:port`` string clients pass as ``cache_url``."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._serve_requested = True
+        self._tcp.serve_forever()
+
+    def start(self) -> "CacheServer":
+        """Serve on a background thread (returns self for chaining)."""
+        self._serve_requested = True
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="charles-cache-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, unblock ``serve_forever`` and close the socket.
+
+        Idempotent; entries are process-local, so they die with the server —
+        clients degrade to misses and recompute, never to wrong results.
+        """
+        if self._serve_requested:
+            # BaseServer.shutdown blocks until a serve loop has run and
+            # exited, so it must only be called once one was requested
+            self._tcp.shutdown()
+        self._tcp.server_close()
+        with self._connections_lock:
+            open_connections = list(self._connections)
+        for connection in open_connections:
+            # unblock handler threads parked in recv: a down server must look
+            # down to its clients, which then degrade to misses and reconnect
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _track(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+
+    def _untrack(self, connection) -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request handling --------------------------------------------------------
+
+    def dispatch(self, body: bytes) -> bytes:
+        """The response body for one request body (used by the handler threads)."""
+        request = protocol.decode_request(body)
+        with self._requests_lock:
+            self._requests += 1
+        if request.verb == protocol.PING:
+            return protocol.encode_response(protocol.OK, b"pong")
+        if request.verb == protocol.STATS:
+            payload = json.dumps(self.stats()).encode("utf-8")
+            return protocol.encode_response(protocol.OK, payload)
+        if request.verb == protocol.LEN:
+            return protocol.encode_response(
+                protocol.OK, protocol.pack_count(self._length(request.region))
+            )
+        if request.verb == protocol.CLEAR:
+            self._clear(request.region)
+            return protocol.encode_response(protocol.OK)
+        region = self._regions.get(request.region)
+        if region is None:
+            raise protocol.ProtocolError(f"unknown region {request.region}")
+        lock = self._locks[request.region]
+        if request.verb == protocol.GET:
+            with lock:
+                value = region.get(request.digest)
+            if value is MISSING:
+                return protocol.encode_response(protocol.MISS)
+            return protocol.encode_response(protocol.HIT, value)
+        # PUT: the payload is opaque bytes; the cost hint feeds the policy
+        with lock:
+            region.put(request.digest, request.payload, cost_hint=request.cost)
+        return protocol.encode_response(protocol.OK)
+
+    def _selected(self, region: int) -> list[int]:
+        if region == protocol.REGION_ALL:
+            return list(self._regions)
+        if region not in self._regions:
+            raise protocol.ProtocolError(f"unknown region {region}")
+        return [region]
+
+    def _length(self, region: int) -> int:
+        total = 0
+        for selected in self._selected(region):
+            with self._locks[selected]:
+                total += len(self._regions[selected])
+        return total
+
+    def _clear(self, region: int) -> None:
+        for selected in self._selected(region):
+            with self._locks[selected]:
+                self._regions[selected].clear()
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-region counters plus server-level totals (the ``STATS`` payload)."""
+        regions = {}
+        for region, backend in self._regions.items():
+            with self._locks[region]:
+                counters = backend.counters()
+                entries = len(backend)
+            regions[protocol.REGION_NAMES[region]] = {
+                "entries": entries,
+                "hits": counters.hits,
+                "misses": counters.misses,
+                "evictions": counters.evictions,
+                "hit_rate": counters.hit_rate,
+            }
+        with self._requests_lock:
+            requests = self._requests
+        return {
+            "server": {
+                "url": self.url,
+                "policy": self._policy,
+                "capacity": self._capacity,
+                "requests": requests,
+                "uptime_seconds": time.time() - self._started,
+            },
+            "regions": regions,
+        }

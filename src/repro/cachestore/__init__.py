@@ -24,9 +24,18 @@ small hierarchy behind one ABC:
   with transactional writes, so warm starts survive interpreter restarts.
 * :class:`~repro.cachestore.tiered.TieredBackend` — a private in-process L1
   composed over a shared/disk L2: local speed, shared truth.
+* :class:`~repro.cacheserver.client.RemoteBackend` (in the sibling
+  :mod:`repro.cacheserver` package) — one region of a fleet-shared cache
+  *service*, so engines on different machines pool their work.
+
+Eviction order is itself pluggable (:mod:`repro.cachestore.policy`): the
+in-process store takes any :class:`~repro.cachestore.policy.EvictionPolicy`
+— LRU by default, FIFO, or cost-aware retention ranking entries by the
+observed recomputation seconds each ``put`` ships as its ``cost_hint``.
 
 Selection is configuration-driven (``CharlesConfig.cache_backend`` /
-``cache_dir``, CLI ``--cache-backend`` / ``--cache-dir``) through
+``cache_dir`` / ``cache_url``, CLI ``--cache-backend`` / ``--cache-dir`` /
+``--cache-url``) through
 :func:`~repro.cachestore.factory.build_search_backends`, which always builds
 the ``(fits, partitions)`` pair the search layer carries.
 
@@ -59,6 +68,14 @@ from repro.cachestore.base import (
 from repro.cachestore.disk import DiskBackend, DiskHandle
 from repro.cachestore.factory import BACKEND_CHOICES, build_search_backends
 from repro.cachestore.memory import InProcessBackend
+from repro.cachestore.policy import (
+    POLICY_CHOICES,
+    CostAwarePolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    make_policy,
+)
 from repro.cachestore.shared import SharedBackend, SharedHandle, create_shared_backends
 from repro.cachestore.tiered import TieredBackend, TieredHandle
 
@@ -68,6 +85,12 @@ __all__ = [
     "BackendHandle",
     "CacheBackend",
     "key_digest",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "CostAwarePolicy",
+    "POLICY_CHOICES",
+    "make_policy",
     "InProcessBackend",
     "SharedBackend",
     "SharedHandle",

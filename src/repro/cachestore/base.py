@@ -15,8 +15,12 @@ The contract is deliberately small:
   sentinel (``None`` is a legitimate cached value, so absence needs its own
   token);
 * :meth:`~CacheBackend.put` stores a value, possibly evicting under a
-  capacity bound (eviction policy is backend-specific — LRU in process, FIFO
-  on disk and in the shared dict);
+  capacity bound (the eviction order is a pluggable
+  :class:`~repro.cachestore.policy.EvictionPolicy` where the backend supports
+  one — LRU in process by default, FIFO on disk and in the shared dict).  The
+  optional ``cost_hint`` is the observed seconds the value took to compute;
+  cost-aware policies use it to retain expensive work under pressure, every
+  other backend is free to ignore it;
 * ``__len__`` / :meth:`~CacheBackend.clear` expose and drop the stored
   entries (clearing preserves counters);
 * :meth:`~CacheBackend.counters` / :meth:`~CacheBackend.breakdown` snapshot
@@ -75,11 +79,18 @@ def key_digest(key: Hashable) -> bytes:
 
 @dataclass(frozen=True)
 class BackendCounters:
-    """Hit/miss/eviction counts of one physical cache layer (delta-friendly)."""
+    """Hit/miss/eviction counts of one physical cache layer (delta-friendly).
+
+    ``round_trips`` counts network requests actually sent — zero for every
+    local layer, and for a remote layer typically below ``hits + misses``
+    because a degraded client answers lookups locally without touching the
+    wire.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    round_trips: int = 0
 
     @property
     def lookups(self) -> int:
@@ -98,6 +109,7 @@ class BackendCounters:
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
+            round_trips=self.round_trips + other.round_trips,
         )
 
     def __sub__(self, other: "BackendCounters") -> "BackendCounters":
@@ -105,6 +117,7 @@ class BackendCounters:
             hits=self.hits - other.hits,
             misses=self.misses - other.misses,
             evictions=self.evictions - other.evictions,
+            round_trips=self.round_trips - other.round_trips,
         )
 
 
@@ -134,8 +147,14 @@ class CacheBackend(ABC):
         """The stored value for ``key``, or :data:`MISSING` (counts hit/miss)."""
 
     @abstractmethod
-    def put(self, key: Hashable, value: Any) -> None:
-        """Store ``value`` under ``key``, evicting if a capacity bound demands it."""
+    def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
+        """Store ``value`` under ``key``, evicting if a capacity bound demands it.
+
+        ``cost_hint`` is the observed seconds the value took to compute (the
+        memo layer times every fit and partition discovery).  Backends with a
+        cost-aware eviction policy use it to rank entries; all others may
+        ignore it — it is advisory and never changes what ``get`` returns.
+        """
 
     @abstractmethod
     def __len__(self) -> int:

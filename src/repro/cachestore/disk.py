@@ -187,7 +187,10 @@ class DiskBackend(CacheBackend):
         except (sqlite3.Error, CacheStoreError):
             pass
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
+        # cost_hint is ignored: cost-aware ranking on disk would need a cost
+        # column (a format bump) for a store whose FIFO bound is rarely hit —
+        # point a fleet that needs cost-aware retention at the cache server
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
             conn = self._connection()
@@ -215,20 +218,42 @@ class DiskBackend(CacheBackend):
         # counts every entry in the file, across namespaces; degrades to 0
         # on a locked/corrupt store, like get/put degrade to misses
         try:
+            return self.strict_len()
+        except CacheStoreError:
+            return 0
+
+    def strict_len(self) -> int:
+        """Entry count that *raises* on a locked/corrupt store.
+
+        The degrading ``__len__`` is right for cache traffic; admin tooling
+        (``charles cache stats``) wants the failure surfaced, not a silent 0.
+        """
+        try:
             (count,) = (
                 self._connection().execute("SELECT COUNT(*) FROM entries").fetchone()
             )
             return count
-        except (sqlite3.Error, CacheStoreError):
-            return 0
+        except sqlite3.Error as error:
+            raise CacheStoreError(
+                f"cannot read on-disk cache at {self._path}: {error}"
+            ) from error
 
     def clear(self) -> None:
+        try:
+            self.strict_clear()
+        except CacheStoreError:
+            pass
+
+    def strict_clear(self) -> None:
+        """Drop every entry, *raising* on a locked/corrupt store (admin path)."""
         try:
             conn = self._connection()
             with conn:
                 conn.execute("DELETE FROM entries")
-        except (sqlite3.Error, CacheStoreError):
-            pass
+        except sqlite3.Error as error:
+            raise CacheStoreError(
+                f"cannot clear on-disk cache at {self._path}: {error}"
+            ) from error
 
     @property
     def shareable(self) -> bool:

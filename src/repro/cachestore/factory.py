@@ -20,7 +20,7 @@ from repro.exceptions import ConfigurationError
 __all__ = ["BACKEND_CHOICES", "build_search_backends"]
 
 #: the cache-backend kinds ``CharlesConfig.cache_backend`` accepts
-BACKEND_CHOICES = ("memory", "shared", "disk", "tiered-shared", "tiered-disk")
+BACKEND_CHOICES = ("memory", "shared", "disk", "tiered-shared", "tiered-disk", "remote")
 
 
 def build_search_backends(
@@ -28,6 +28,7 @@ def build_search_backends(
     capacity: int | None = None,
     cache_dir: str | Path | None = None,
     namespace: bytes = b"",
+    cache_url: str | None = None,
 ) -> tuple[CacheBackend, CacheBackend]:
     """The ``(fits, partitions)`` backend pair for one configuration.
 
@@ -39,13 +40,17 @@ def build_search_backends(
       interpreter restarts.
     * ``tiered-shared`` / ``tiered-disk`` — the same, fronted by a private
       in-process LRU (L1) per attached process.
+    * ``remote`` — the two regions of a fleet-shared
+      :class:`~repro.cacheserver.server.CacheServer` at ``cache_url``, so
+      engines on different machines pool their work.
 
     ``capacity`` is applied to every constructed layer; the disk kinds
-    require ``cache_dir`` and fold ``namespace`` — a fingerprint of the
-    result-affecting configuration fields — into every key, so differently
-    configured runs sharing a directory never serve each other's entries
-    (in-process and shared stores die with their single owning config, so
-    they need no namespace).
+    require ``cache_dir``, the remote kind requires ``cache_url``, and both
+    fold ``namespace`` — a fingerprint of the result-affecting configuration
+    fields — into every key, so differently configured runs sharing a
+    directory or a server never serve each other's entries (in-process and
+    shared stores die with their single owning config, so they need no
+    namespace).
     """
     if kind not in BACKEND_CHOICES:
         raise ConfigurationError(
@@ -53,6 +58,20 @@ def build_search_backends(
         )
     if kind == "memory":
         return InProcessBackend(capacity), InProcessBackend(capacity)
+    if kind == "remote":
+        if cache_url is None:
+            raise ConfigurationError(
+                "cache_backend 'remote' needs a cache_url pointing at a cache server"
+            )
+        # imported lazily: the cacheserver package builds *on* the cachestore
+        # contract, so the base package must not import it at module load
+        from repro.cacheserver.client import RemoteBackend
+        from repro.cacheserver.protocol import REGION_FITS, REGION_PARTITIONS
+
+        return (
+            RemoteBackend(cache_url, REGION_FITS, capacity, namespace=namespace),
+            RemoteBackend(cache_url, REGION_PARTITIONS, capacity, namespace=namespace),
+        )
     if kind in ("shared", "tiered-shared"):
         fits, partitions = create_shared_backends(2, capacity)
         if kind == "shared":

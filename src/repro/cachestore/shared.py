@@ -78,7 +78,9 @@ class SharedBackend(CacheBackend):
         self.hits += 1
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
+        # cost_hint is ignored: ranking entries by cost through a manager proxy
+        # would mean extra IPC per put, and the FIFO bound is already O(1)
         digest = key_digest(key)
         if (
             self._capacity is not None

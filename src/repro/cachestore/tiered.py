@@ -57,9 +57,9 @@ class TieredBackend(CacheBackend):
         self.l1.put(key, value)
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        self.l1.put(key, value)
-        self.l2.put(key, value)
+    def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
+        self.l1.put(key, value, cost_hint)
+        self.l2.put(key, value, cost_hint)
 
     def __len__(self) -> int:
         # L2 is the layer of record (L1 holds a recently-used subset of it)

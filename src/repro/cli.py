@@ -13,15 +13,25 @@ summaries (Fig. 4).  The ``charles`` command exposes the same workflow:
   of three or more snapshot CSVs with one warm engine session.
 * ``charles generate``  — write the synthetic workloads (employee, montgomery,
   billionaires) to CSV, so every example is reproducible from the shell.
+
+Beyond the paper's workflow, two operational commands run and manage the
+fleet cache service:
+
+* ``charles cache-server`` — host the memo regions for a fleet of engines
+  (``--cache-backend remote --cache-url host:port`` on the other commands).
+* ``charles cache``        — inspect (``stats``) or reset (``clear``) a cache
+  store, either a running server (``--cache-url``) or an on-disk directory
+  (``--cache-dir``), without writing python.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.cachestore import BACKEND_CHOICES
+from repro.cachestore import BACKEND_CHOICES, POLICY_CHOICES, DiskBackend
 from repro.core.charles import Charles
 from repro.core.config import CharlesConfig
 from repro.core.sql import summary_to_sql_update
@@ -60,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--top", type=int, default=10, help="number of summaries to show")
     summarize.add_argument("--jobs", type=int, default=1,
                            help="worker processes for the candidate search (1 = serial)")
+    summarize.add_argument("--cache-capacity", type=int, default=None,
+                           help="max entries per memo cache, evicting beyond it "
+                                "(default unbounded)")
     _add_cache_arguments(summarize)
     summarize.add_argument("--condition-attributes", nargs="*", default=None)
     summarize.add_argument("--transformation-attributes", nargs="*", default=None)
@@ -107,6 +120,35 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--noise", type=float, default=0.0, help="fraction of changed rows given noise")
     generate.add_argument("--out-dir", type=Path, default=Path("."))
+
+    server = subparsers.add_parser(
+        "cache-server",
+        help="host the fleet cache service engines reach with --cache-backend remote",
+    )
+    server.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on (default 127.0.0.1; use 0.0.0.0 "
+                             "only on a trusted network — values travel pickled)")
+    server.add_argument("--port", type=int, default=None,
+                        help="port to listen on (default 8737; 0 picks a free port)")
+    server.add_argument("--capacity", type=int, default=None,
+                        help="max entries per region, evicting beyond it (default unbounded)")
+    server.add_argument("--policy", choices=POLICY_CHOICES, default="cost-aware",
+                        help="eviction order under the capacity bound (default cost-aware: "
+                             "keep the entries most expensive to recompute per byte)")
+    server.add_argument("--ready-file", type=Path, default=None,
+                        help="write host:port here once listening (for scripts "
+                             "that wait for the server to come up)")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or reset a cache store without writing python"
+    )
+    cache.add_argument("action", choices=["stats", "clear"],
+                       help="stats: entry counts and hit/miss counters; "
+                            "clear: drop every entry")
+    cache.add_argument("--cache-url", default=None,
+                       help="host:port of a running cache server")
+    cache.add_argument("--cache-dir", type=Path, default=None,
+                       help="directory holding on-disk cache files")
     return parser
 
 
@@ -120,10 +162,14 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-backend", choices=BACKEND_CHOICES, default="memory",
                         help="where memo-cache entries live: 'memory' (private LRU), "
                              "'shared' (one store for all --jobs workers), 'disk' "
-                             "(persists under --cache-dir across runs), or the "
+                             "(persists under --cache-dir across runs), 'remote' "
+                             "(a fleet cache server at --cache-url), or the "
                              "tiered-* combinations (default: memory)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for the on-disk cache (required by the disk backends)")
+    parser.add_argument("--cache-url", default=None,
+                        help="host:port of a `charles cache-server` "
+                             "(required by the remote backend)")
 
 
 def _load_pair(args: argparse.Namespace) -> SnapshotPair:
@@ -139,8 +185,10 @@ def _command_summarize(args: argparse.Namespace) -> int:
         max_transformation_attributes=args.max_transformation_attributes,
         top_k=args.top,
         n_jobs=args.jobs,
+        search_cache_capacity=args.cache_capacity,
         cache_backend=args.cache_backend,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        cache_url=args.cache_url,
     )
     pair = _load_pair(args)
     result = Charles(config).summarize_pair(
@@ -198,6 +246,7 @@ def _command_timeline(args: argparse.Namespace) -> int:
         search_cache_capacity=args.cache_capacity,
         cache_backend=args.cache_backend,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        cache_url=args.cache_url,
         warm_start=not args.cold,
     )
     store = TimelineStore(key=args.key)
@@ -259,12 +308,85 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache_server(args: argparse.Namespace) -> int:
+    # imported here so the paper-workflow commands never pay for the server
+    from repro.cacheserver import DEFAULT_PORT, CacheServer
+
+    port = DEFAULT_PORT if args.port is None else args.port
+    server = CacheServer(
+        host=args.host, port=port, capacity=args.capacity, policy=args.policy
+    )
+    bound_host, bound_port = server.address
+    if bound_host in ("0.0.0.0", "::"):
+        # a wildcard bind is not a reachable address: other machines must
+        # connect to this host's name, never to 0.0.0.0 (their own loopback)
+        import socket as socket_module
+
+        advertised = f"{socket_module.gethostname()}:{bound_port}"
+    else:
+        advertised = server.url
+    print(
+        f"cache server listening on {server.url} "
+        f"(policy={args.policy}, capacity={args.capacity or 'unbounded'}); "
+        "point engines at it with --cache-backend remote --cache-url "
+        f"{advertised}",
+        flush=True,
+    )
+    if args.ready_file is not None:
+        args.ready_file.write_text(advertised, encoding="utf-8")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _disk_cache_files(cache_dir: Path) -> list[Path]:
+    files = sorted(cache_dir.glob("*.sqlite"))
+    if not files:
+        raise CharlesError(f"no cache files (*.sqlite) under {cache_dir}")
+    return files
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    if (args.cache_url is None) == (args.cache_dir is None):
+        print("error: pass exactly one of --cache-url or --cache-dir", file=sys.stderr)
+        return 2
+    if args.cache_url is not None:
+        from repro.cacheserver import server_clear, server_stats
+
+        if args.action == "clear":
+            server_clear(args.cache_url)
+            print(f"cleared every region of {args.cache_url}")
+            return 0
+        print(json.dumps(server_stats(args.cache_url), indent=2))
+        return 0
+    for path in _disk_cache_files(args.cache_dir):
+        backend = DiskBackend(path)
+        try:
+            # the strict variants: an operator must see a locked or corrupt
+            # store as an error, not as "cleared"/"0 entries"
+            if args.action == "clear":
+                backend.strict_clear()
+                print(f"{path.name}: cleared")
+            else:
+                size = path.stat().st_size
+                print(f"{path.name}: {backend.strict_len()} entries, {size} bytes on disk")
+        finally:
+            backend.close()
+    return 0
+
+
 _COMMANDS = {
     "summarize": _command_summarize,
     "suggest": _command_suggest,
     "diff": _command_diff,
     "timeline": _command_timeline,
     "generate": _command_generate,
+    "cache-server": _command_cache_server,
+    "cache": _command_cache,
 }
 
 

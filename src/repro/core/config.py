@@ -34,6 +34,7 @@ _RESULT_NEUTRAL_FIELDS = frozenset(
         "search_cache_capacity",
         "cache_backend",
         "cache_dir",
+        "cache_url",
         "warm_start",
         "warm_start_margin",
     }
@@ -161,9 +162,12 @@ class CharlesConfig:
         parallel worker attaches to, recovering the serial hit rate at
         ``n_jobs > 1``; ``"disk"`` is a content-keyed SQLite store under
         ``cache_dir`` that survives interpreter restarts; ``"tiered-shared"``
-        and ``"tiered-disk"`` front those with a private in-process L1.
+        and ``"tiered-disk"`` front those with a private in-process L1;
+        ``"remote"`` is a fleet-shared :class:`~repro.cacheserver.server.
+        CacheServer` at ``cache_url``, pooling work across machines.
         Backends change where entries live, never what a search returns —
-        rankings are byte-identical across all of them.
+        rankings are byte-identical across all of them (a remote server
+        outage degrades to cache misses, never to different results).
     cache_dir:
         Directory holding the on-disk cache files.  Required by the
         ``"disk"``/``"tiered-disk"`` backends, ignored by the others.  Cached
@@ -171,6 +175,13 @@ class CharlesConfig:
         private to trusted users (files are created owner-only); different
         configurations may safely share one directory — entries are
         namespaced by :meth:`cache_fingerprint`.
+    cache_url:
+        ``host:port`` of the cache server (``charles cache-server``) the
+        ``"remote"`` backend connects to.  Required by ``"remote"``, ignored
+        by the others.  Values cross the wire pickled, so the server must
+        live on a trusted network — exactly the trust a shared ``cache_dir``
+        needs; different configurations may safely share one server
+        (entries are namespaced by :meth:`cache_fingerprint`).
     warm_start:
         Whether an :class:`~repro.timeline.session.EngineSession` may seed a
         run's pruning floor from the previous run's k-th best score for the
@@ -211,6 +222,7 @@ class CharlesConfig:
     search_cache_capacity: int | None = None
     cache_backend: str = "memory"
     cache_dir: str | None = None
+    cache_url: str | None = None
     warm_start: bool = True
     warm_start_margin: float = 0.15
 
@@ -282,6 +294,11 @@ class CharlesConfig:
         if self.cache_backend in ("disk", "tiered-disk") and self.cache_dir is None:
             raise ConfigurationError(
                 f"cache_backend {self.cache_backend!r} requires cache_dir"
+            )
+        if self.cache_backend == "remote" and self.cache_url is None:
+            raise ConfigurationError(
+                "cache_backend 'remote' requires cache_url (host:port of a "
+                "running `charles cache-server`)"
             )
         if self.warm_start_margin < 0.0:
             raise ConfigurationError(

@@ -36,6 +36,7 @@ misses; the backend counts per-layer physical traffic, and both travel in
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Sequence
 
@@ -108,12 +109,19 @@ class MemoCache:
         return self._backend.counters().evictions
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """The cached value for ``key``, computing and storing it on first use."""
+        """The cached value for ``key``, computing and storing it on first use.
+
+        The compute call is timed and the observed seconds travel with the
+        entry as its :meth:`~repro.cachestore.base.CacheBackend.put` cost
+        hint, so cost-aware stores (the cache server's regions) know what a
+        miss on this entry would cost the fleet to recompute.
+        """
         value = self._backend.get(key)
         if value is MISSING:
             self.misses += 1
+            started = time.perf_counter()
             value = compute()
-            self._backend.put(key, value)
+            self._backend.put(key, value, cost_hint=time.perf_counter() - started)
             return value
         self.hits += 1
         return value
@@ -256,10 +264,11 @@ class SearchCaches:
         """The caches ``config`` asks for (backend kind, capacity, directory).
 
         ``config`` is duck-typed (any object with ``cache_backend``,
-        ``search_cache_capacity`` and ``cache_dir``), so the cache layer does
-        not depend on :mod:`repro.core`.  A ``cache_fingerprint()`` method, if
-        present, namespaces persistent backends so that runs configured
-        differently never reuse each other's on-disk entries.
+        ``search_cache_capacity``, ``cache_dir`` and ``cache_url``), so the
+        cache layer does not depend on :mod:`repro.core`.  A
+        ``cache_fingerprint()`` method, if present, namespaces persistent and
+        remote backends so that runs configured differently never reuse each
+        other's entries.
         """
         fingerprint = getattr(config, "cache_fingerprint", None)
         return cls(
@@ -268,6 +277,7 @@ class SearchCaches:
                 config.search_cache_capacity,
                 getattr(config, "cache_dir", None),
                 namespace=fingerprint() if callable(fingerprint) else b"",
+                cache_url=getattr(config, "cache_url", None),
             )
         )
 

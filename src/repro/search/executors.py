@@ -210,9 +210,10 @@ class SerialExecutor(SearchExecutor):
         self._owned_caches: SearchCaches | None = None
         self._requested_backend: str | None = None
         if caches is None:
-            if config.cache_backend in ("disk", "tiered-disk"):
-                # honour a persistent backend even one-shot: the store outlives
-                # the run and makes the *next* process's identical search warm
+            if config.cache_backend in ("disk", "tiered-disk", "remote"):
+                # honour a backend whose store outlives the run even one-shot:
+                # disk makes the *next* process's identical search warm, and a
+                # remote server serves the whole fleet what this run publishes
                 caches = SearchCaches.from_config(config)
                 self._owned_caches = caches
             else:

@@ -33,7 +33,9 @@ class SearchStats:
     ones; a shared or disk ``cache_backend`` lets workers serve each other's
     entries and recovers the serial rate.  ``backend_counters`` breaks the
     same traffic down per physical layer (e.g. a tiered store's in-process L1
-    versus its shared L2), and ``cache_backend`` records which store kind the
+    versus its shared L2; a ``remote`` layer additionally reports the network
+    round-trips it actually made, which drop below its lookup count while the
+    client is degraded), and ``cache_backend`` records which store kind the
     run used.  When that differs from what the configuration asked for — a
     one-shot serial run quietly substitutes in-process caches for a ``shared``
     backend that would have nothing to share — the configured kind is kept in
@@ -136,6 +138,7 @@ class SearchStats:
                     "hits": counters.hits,
                     "misses": counters.misses,
                     "evictions": counters.evictions,
+                    "round_trips": counters.round_trips,
                     "hit_rate": counters.hit_rate,
                 }
                 for layer, counters in sorted(self.backend_counters.items())

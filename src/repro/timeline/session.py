@@ -18,8 +18,11 @@ Two mechanisms make warm runs cheaper, neither of which may change results:
   out of the LRU when ``CharlesConfig.search_cache_capacity`` is set.
   Where entries live follows ``CharlesConfig.cache_backend``: in process by
   default, in a cross-process shared store so parallel workers reuse each
-  other's work, or on disk (``cache_dir``) so a session started in a fresh
-  interpreter begins warm from its predecessor's entries.
+  other's work, on disk (``cache_dir``) so a session started in a fresh
+  interpreter begins warm from its predecessor's entries, or on a fleet
+  cache server (``cache_url``) so sessions on *different machines* pool
+  their work — with the remote client degrading to misses (never to wrong
+  results) whenever the server is unreachable.
 
 * **Warm-started pruning floors.**  The score-bound pruning of the search
   normally starts from ``-inf`` and tightens as candidates accumulate.  A

@@ -1,0 +1,292 @@
+"""The cache service itself: serving, admin verbs, eviction, degrade-to-miss."""
+
+import os
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.cachestore import MISSING
+from repro.cacheserver import (
+    CacheServer,
+    RemoteBackend,
+    RemoteHandle,
+    parse_url,
+    server_clear,
+    server_ping,
+    server_stats,
+)
+from repro.cacheserver import protocol
+from repro.exceptions import CacheStoreError, CharlesError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def server():
+    with CacheServer() as running:
+        yield running
+
+
+@pytest.fixture()
+def backend(server):
+    # a fresh namespace per test keeps tests invisible to each other while
+    # sharing one server process, exactly like differently configured engines
+    attached = RemoteBackend(server.url, protocol.REGION_FITS, namespace=os.urandom(8))
+    yield attached
+    attached.close()
+
+
+class TestParseUrl:
+    def test_host_port(self):
+        assert parse_url("cache.internal:8737") == ("cache.internal", 8737)
+        assert parse_url("tcp://10.0.0.7:901") == ("10.0.0.7", 901)
+
+    @pytest.mark.parametrize("bad", ["", "justhost", ":80", "host:", "host:abc", "host:0"])
+    def test_malformed_urls_rejected(self, bad):
+        with pytest.raises(CacheStoreError):
+            parse_url(bad)
+
+
+class TestServing:
+    def test_miss_then_put_then_hit(self, backend):
+        key = ("fit", "bonus", ("salary",), b"token")
+        assert backend.get(key) is MISSING
+        backend.put(key, {"value": 42}, cost_hint=0.01)
+        assert backend.get(key) == {"value": 42}
+        assert backend.hits == 1 and backend.misses == 1
+        assert backend.round_trips == 3
+
+    def test_none_is_a_cacheable_value(self, backend):
+        backend.put("none-key", None)
+        assert backend.get("none-key") is None
+
+    def test_overwrite_replaces(self, backend):
+        backend.put("k", 1)
+        backend.put("k", 2)
+        assert backend.get("k") == 2
+
+    def test_regions_are_distinct(self, server, backend):
+        partitions = RemoteBackend(
+            server.url, protocol.REGION_PARTITIONS, namespace=backend.namespace
+        )
+        backend.put("k", "fits-value")
+        assert partitions.get("k") is MISSING
+        partitions.close()
+
+    def test_namespaces_partition_the_server(self, server):
+        first = RemoteBackend(server.url, namespace=b"config-a")
+        second = RemoteBackend(server.url, namespace=b"config-b")
+        first.put("k", 1)
+        assert second.get("k") is MISSING
+        second.put("k", 2)
+        assert first.get("k") == 1 and second.get("k") == 2
+        first.close(), second.close()
+
+    def test_handle_attach_reaches_same_entries(self, server, backend):
+        backend.put("shared-key", [1, 2, 3])
+        handle = backend.handle()
+        assert isinstance(handle, RemoteHandle)
+        attached = pickle.loads(pickle.dumps(handle)).attach()
+        assert attached.get("shared-key") == [1, 2, 3]
+        # counters are per-instance, like every other attached backend
+        assert attached.hits == 1 and backend.hits == 0
+        attached.close()
+
+    def test_len_counts_region_entries(self, server):
+        with CacheServer() as private:
+            fits = RemoteBackend(private.url, protocol.REGION_FITS)
+            fits.put("a", 1)
+            fits.put("b", 2)
+            assert len(fits) == 2
+            fits.clear()
+            assert len(fits) == 0
+            fits.close()
+
+    def test_concurrent_clients_stay_consistent(self, server):
+        namespace = os.urandom(8)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                client = RemoteBackend(server.url, namespace=namespace)
+                for index in range(40):
+                    client.put(("k", worker, index), index, cost_hint=0.001)
+                    assert client.get(("k", worker, index)) == index
+                client.close()
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        check = RemoteBackend(server.url, namespace=namespace)
+        assert check.get(("k", 3, 39)) == 39
+        check.close()
+
+
+class TestAdminVerbs:
+    def test_ping(self, server):
+        assert server_ping(server.url)
+
+    def test_stats_reports_both_regions(self, server, backend):
+        backend.put("k", 1)
+        backend.get("k")
+        stats = server_stats(server.url)
+        assert set(stats["regions"]) == {"fits", "partitions"}
+        fits = stats["regions"]["fits"]
+        assert fits["entries"] >= 1 and fits["hits"] >= 1
+        assert stats["server"]["policy"] == "cost-aware"
+        assert stats["server"]["requests"] > 0
+
+    def test_clear_drops_every_region(self):
+        with CacheServer() as private:
+            fits = RemoteBackend(private.url, protocol.REGION_FITS)
+            partitions = RemoteBackend(private.url, protocol.REGION_PARTITIONS)
+            fits.put("a", 1)
+            partitions.put("b", 2)
+            server_clear(private.url)
+            assert len(fits) == 0 and len(partitions) == 0
+            fits.close(), partitions.close()
+
+    def test_unknown_region_is_an_error_response_not_a_crash(self, server):
+        with socket.create_connection(server.address) as sock:
+            protocol.send_frame(
+                sock, bytes((protocol.LEN, 77))  # no such region
+            )
+            status, payload = protocol.decode_response(protocol.recv_frame(sock))
+            assert status == protocol.ERROR and b"region" in payload
+            # the connection survives the error and keeps serving
+            protocol.send_frame(
+                sock, protocol.encode_request(protocol.PING, protocol.REGION_ALL)
+            )
+            assert protocol.decode_response(protocol.recv_frame(sock))[0] == protocol.OK
+
+    def test_unframeable_client_is_dropped_quietly(self, server):
+        with socket.create_connection(server.address) as sock:
+            sock.sendall(b"\xff\xff\xff\xff")  # a 4 GiB length prefix
+            assert sock.recv(1024) == b""  # server closed on us
+        assert server_ping(server.url)  # and is still healthy
+
+
+class TestEvictionOnTheServer:
+    def test_cost_aware_region_retains_expensive_entries(self):
+        with CacheServer(capacity=3, policy="cost-aware") as bounded:
+            client = RemoteBackend(bounded.url)
+            client.put("expensive", list(range(8)), cost_hint=4.0)
+            for index in range(10):
+                client.put(f"cheap{index}", list(range(8)), cost_hint=0.0001)
+            assert client.get("expensive") == list(range(8))
+            assert server_stats(bounded.url)["regions"]["fits"]["evictions"] == 8
+            client.close()
+
+    def test_lru_policy_is_available_for_comparison(self):
+        with CacheServer(capacity=3, policy="lru") as bounded:
+            client = RemoteBackend(bounded.url)
+            client.put("expensive", list(range(8)), cost_hint=4.0)
+            for index in range(10):
+                client.put(f"cheap{index}", list(range(8)), cost_hint=0.0001)
+            # recency-only retention forgets the expensive entry
+            assert client.get("expensive") is MISSING
+            client.close()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheServer(policy="random")
+
+    def test_invalid_capacity_rejected_as_configuration_error(self):
+        # ConfigurationError (not ValueError) so the CLI exits 2 cleanly
+        with pytest.raises(ConfigurationError):
+            CacheServer(capacity=0)
+
+    def test_heap_eviction_scales_with_removals_and_overwrites(self):
+        # exercise the lazy-deletion heap: overwrites orphan entries, clear
+        # resets, and eviction order still follows density then insertion
+        with CacheServer(capacity=2, policy="cost-aware") as bounded:
+            client = RemoteBackend(bounded.url)
+            client.put("a", b"x", cost_hint=0.1)
+            client.put("a", b"x", cost_hint=3.0)  # upgrade orphans the 0.1 entry
+            client.put("b", b"y", cost_hint=1.0)
+            client.put("c", b"z", cost_hint=0.5)  # evicts the cheapest: "c" itself
+            assert client.get("a") == b"x" and client.get("b") == b"y"
+            assert client.get("c") is MISSING
+            client.close()
+
+
+class TestDegradeToMiss:
+    def test_unreachable_server_degrades_instead_of_raising(self):
+        backend = RemoteBackend("127.0.0.1:9")  # the discard port: nothing there
+        assert backend.get("k") is MISSING
+        backend.put("k", 1)  # a silent no-op
+        assert len(backend) == 0
+        backend.clear()  # also a no-op
+        assert backend.misses == 1
+        assert backend.connection_failures >= 1
+        assert backend.round_trips == 0
+
+    def test_construction_never_contacts_the_server(self):
+        # a fleet engine must boot while the cache service is still down
+        backend = RemoteBackend("127.0.0.1:9")
+        assert backend.round_trips == 0 and backend.connection_failures == 0
+
+    def test_server_death_mid_conversation_degrades(self):
+        private = CacheServer().start()
+        backend = RemoteBackend(private.url)
+        backend.put("k", 1)
+        assert backend.get("k") == 1
+        private.shutdown()
+        assert backend.get("k") is MISSING  # dead server: miss, not exception
+        assert backend.connection_failures >= 1
+        backend.close()
+
+    def test_client_recovers_after_backoff_when_server_returns(self):
+        from repro.cacheserver import client as client_module
+
+        private = CacheServer().start()
+        host, port = private.address
+        backend = RemoteBackend(private.url)
+        backend.put("k", 1)
+        private.shutdown()
+        assert backend.get("k") is MISSING  # the failure that starts the backoff
+        # a new server on the same port (the entries are gone with the old one)
+        revived = CacheServer(host=host, port=port).start()
+        try:
+            for _ in range(client_module.RETRY_AFTER_OPS):
+                backend.get("k")  # burn through the degraded op budget
+            backend._retry_not_before = 0.0  # and skip the wall-clock window
+            backend.put("k", 2)
+            assert backend.get("k") == 2  # reconnected and serving again
+        finally:
+            revived.shutdown()
+            backend.close()
+
+    def test_backoff_window_blocks_reconnection_attempts(self):
+        from repro.cacheserver import client as client_module
+
+        backend = RemoteBackend("127.0.0.1:9")
+        assert backend.get("k") is MISSING  # first failure opens the window
+        assert backend.connection_failures == 1
+        for _ in range(client_module.RETRY_AFTER_OPS + 5):
+            backend.get("k")
+        # the op budget is burned, but the wall-clock window (1s, far longer
+        # than this loop) must still hold the next connect attempt back — this
+        # is what bounds the stalls a blackholed server can cause
+        assert backend.connection_failures == 1
+        backend._retry_not_before = 0.0
+        backend.get("k")
+        assert backend.connection_failures == 2  # window over: attempt made
+        backend.close()
+
+    def test_shutdown_is_idempotent(self):
+        private = CacheServer().start()
+        private.shutdown()
+        private.shutdown()
+
+
+class TestCharlesErrorHierarchy:
+    def test_admin_failures_are_charles_errors(self):
+        # so the CLI's one except-clause turns them into exit code 2
+        with pytest.raises(CharlesError):
+            server_stats("127.0.0.1:9")

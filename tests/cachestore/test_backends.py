@@ -244,6 +244,21 @@ class TestDiskBackend:
         assert len(backend) == 0  # ... and so must the introspection calls
         backend.clear()  # a no-op, not an exception
 
+    def test_strict_variants_raise_on_a_corrupt_store(self, tmp_path):
+        # cache traffic degrades; admin tooling must see the failure instead
+        path = tmp_path / "cache.sqlite"
+        backend = DiskBackend(path)
+        backend.put("k", 1)
+        assert backend.strict_len() == 1
+        backend.strict_clear()
+        assert backend.strict_len() == 0
+        backend.close()
+        path.write_bytes(b"this is no longer a sqlite database")
+        with pytest.raises(CacheStoreError):
+            backend.strict_len()
+        with pytest.raises(CacheStoreError):
+            backend.strict_clear()
+
 
 class TestTieredBackend:
     def test_l2_hit_promotes_into_l1(self, tmp_path):
@@ -269,6 +284,40 @@ class TestTieredBackend:
         attached = tiered.handle().attach()
         assert len(attached.l1) == 0  # private, empty L1
         assert attached.get("k") == 9  # served from the shared L2
+
+    def test_breakdown_aggregates_each_layer_separately(self, tmp_path):
+        """Every L1/L2 hit, miss and eviction lands in exactly one layer's row."""
+        l1 = InProcessBackend(capacity=1)
+        l2 = DiskBackend(tmp_path / "cache.sqlite", capacity=2)
+        tiered = TieredBackend(l1, l2)
+        tiered.put("a", 1)
+        tiered.put("b", 2)  # evicts "a" from the L1 (cap 1); L2 holds both
+        tiered.get("b")     # L1 hit
+        tiered.get("a")     # L1 miss, L2 hit, promotion (evicts "b" from L1)
+        tiered.get("gone")  # misses both layers
+        tiered.put("c", 3)  # L2 at cap 2: evicts its oldest ("a")
+        breakdown = tiered.breakdown()
+        assert breakdown["l1-memory"].hits == 1
+        assert breakdown["l1-memory"].misses == 2
+        assert breakdown["l1-memory"].evictions == 3
+        assert breakdown["l2-disk"].hits == 1
+        assert breakdown["l2-disk"].misses == 1
+        assert breakdown["l2-disk"].evictions == 1
+        # the flat counters are exactly the sum of the per-layer rows
+        total = BackendCounters()
+        for counters in breakdown.values():
+            total = total + counters
+        assert total == tiered.counters()
+
+    def test_counters_subtraction_round_trips(self, tmp_path):
+        tiered = TieredBackend(InProcessBackend(), DiskBackend(tmp_path / "cache.sqlite"))
+        tiered.put("a", 1)
+        before = tiered.counters()
+        tiered.get("a")
+        tiered.get("absent")
+        delta = tiered.counters() - before
+        assert delta.hits == 1 and delta.misses == 2  # the miss hit both layers
+        assert (before + delta) == tiered.counters()
 
 
 class TestKeyDigest:
@@ -311,10 +360,33 @@ class TestFactory:
         assert fits.kind == "tiered(memory+disk)"
 
     def test_unknown_kind_rejected(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as excinfo:
             build_search_backends("redis")
+        assert "cache_backend" in str(excinfo.value)
+
+    def test_tiered_disk_also_requires_cache_dir(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            build_search_backends("tiered-disk", capacity=8)
+        assert "cache_dir" in str(excinfo.value)
+
+    def test_remote_requires_cache_url(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            build_search_backends("remote")
+        assert "cache_url" in str(excinfo.value)
+
+    def test_remote_pair_uses_distinct_regions(self):
+        from repro.cacheserver.client import RemoteBackend
+        from repro.cacheserver.protocol import REGION_FITS, REGION_PARTITIONS
+
+        fits, partitions = build_search_backends(
+            "remote", capacity=9, namespace=b"ns", cache_url="127.0.0.1:1"
+        )
+        assert isinstance(fits, RemoteBackend) and isinstance(partitions, RemoteBackend)
+        assert fits._region == REGION_FITS and partitions._region == REGION_PARTITIONS
+        assert fits.capacity == 9 and fits.namespace == b"ns"
+        assert fits.shareable and fits.kind == "remote"
 
     def test_choices_cover_every_kind(self):
         assert set(BACKEND_CHOICES) == {
-            "memory", "shared", "disk", "tiered-shared", "tiered-disk"
+            "memory", "shared", "disk", "tiered-shared", "tiered-disk", "remote"
         }

@@ -32,6 +32,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_cache_server_parser_registered(self):
+        args = build_parser().parse_args(
+            ["cache-server", "--port", "0", "--capacity", "500", "--policy", "cost-aware"]
+        )
+        assert args.command == "cache-server"
+        assert args.capacity == 500 and args.policy == "cost-aware"
+
+    def test_cache_admin_parser_registered(self):
+        args = build_parser().parse_args(["cache", "stats", "--cache-url", "h:1"])
+        assert args.command == "cache" and args.action == "stats"
+        args = build_parser().parse_args(["cache", "clear", "--cache-dir", "d"])
+        assert args.action == "clear"
+
+    def test_summarize_accepts_cache_capacity_and_url(self):
+        args = build_parser().parse_args(
+            ["summarize", "a.csv", "b.csv", "--target", "x",
+             "--cache-capacity", "128", "--cache-backend", "remote",
+             "--cache-url", "127.0.0.1:8737"]
+        )
+        assert args.cache_capacity == 128
+        assert args.cache_backend == "remote" and args.cache_url == "127.0.0.1:8737"
+
 
 class TestCommands:
     def test_summarize_prints_ranked_summaries(self, example_csvs, capsys):
@@ -117,6 +139,25 @@ class TestCommands:
         ])
         assert code == 2
         assert "cache_dir" in capsys.readouterr().err
+
+    def test_summarize_with_cache_capacity_matches_unbounded(self, example_csvs, capsys):
+        source, target = example_csvs
+        argv = ["summarize", str(source), str(target), "--key", "name", "--target", "bonus"]
+        assert main(argv) == 0
+        unbounded = capsys.readouterr().out
+        # eviction under a tight bound recomputes work but never changes it
+        assert main(argv + ["--cache-capacity", "4"]) == 0
+        bounded = capsys.readouterr().out
+        assert unbounded.split("search:")[0] == bounded.split("search:")[0]
+
+    def test_summarize_rejects_remote_cache_without_url(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--cache-backend", "remote",
+        ])
+        assert code == 2
+        assert "cache_url" in capsys.readouterr().err
 
     def test_suggest_lists_candidates(self, example_csvs, capsys):
         source, target = example_csvs
@@ -235,3 +276,88 @@ class TestTimelineCommand:
         ])
         assert code == 2
         assert "--window must be between 1 and 2" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    @pytest.fixture()
+    def server(self):
+        from repro.cacheserver import CacheServer
+
+        with CacheServer() as running:
+            yield running
+
+    def test_summarize_against_cache_server_matches_memory(self, example_csvs, server, capsys):
+        source, target = example_csvs
+        argv = ["summarize", str(source), str(target), "--key", "name", "--target", "bonus"]
+        assert main(argv) == 0
+        memory_output = capsys.readouterr().out
+        remote_argv = argv + ["--cache-backend", "remote", "--cache-url", server.url]
+        assert main(remote_argv) == 0
+        first_output = capsys.readouterr().out
+        assert "cache=remote" in first_output
+        assert memory_output.split("search:")[0] == first_output.split("search:")[0]
+        # a second engine invocation is served off the fleet store
+        assert main(remote_argv) == 0
+        second_output = capsys.readouterr().out
+        assert "cache hit rate 100.0%" in second_output
+
+    def test_cache_stats_and_clear_against_running_server(self, example_csvs, server, capsys):
+        source, target = example_csvs
+        assert main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--cache-backend", "remote", "--cache-url", server.url,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-url", server.url]) == 0
+        stats_output = capsys.readouterr().out
+        assert '"fits"' in stats_output and '"partitions"' in stats_output
+        assert '"policy": "cost-aware"' in stats_output
+        assert main(["cache", "clear", "--cache-url", server.url]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-url", server.url]) == 0
+        import json
+
+        cleared = json.loads(capsys.readouterr().out)
+        assert cleared["regions"]["fits"]["entries"] == 0
+        assert cleared["regions"]["partitions"]["entries"] == 0
+
+    def test_cache_stats_and_clear_against_cache_dir(self, example_csvs, tmp_path, capsys):
+        source, target = example_csvs
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "summarize", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--cache-backend", "disk", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        stats_output = capsys.readouterr().out
+        assert "fits.sqlite" in stats_output and "entries" in stats_output
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_requires_exactly_one_store(self, tmp_path, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "cache", "stats", "--cache-url", "h:1", "--cache-dir", str(tmp_path),
+        ]) == 2
+
+    def test_cache_stats_on_an_empty_directory_errors(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 2
+        assert "no cache files" in capsys.readouterr().err
+
+    def test_cache_admin_on_a_corrupt_store_errors_instead_of_lying(self, tmp_path, capsys):
+        (tmp_path / "fits.sqlite").write_bytes(b"not a sqlite database")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 2
+        assert "cache" in capsys.readouterr().err
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 2
+
+    def test_cache_stats_against_dead_server_errors(self, capsys):
+        assert main(["cache", "stats", "--cache-url", "127.0.0.1:9"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_cache_server_invalid_capacity_exits_cleanly(self, capsys):
+        assert main(["cache-server", "--port", "0", "--capacity", "0"]) == 2
+        assert "capacity" in capsys.readouterr().err
