@@ -29,6 +29,7 @@ from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 from repro.search.cache import SearchCaches
+from repro.search.maintenance import MaintenanceContext
 from repro.search.stats import SearchStats
 
 __all__ = ["Charles", "CharlesResult"]
@@ -230,14 +231,17 @@ class Charles:
         *,
         caches: SearchCaches | None = None,
         initial_floor: float = float("-inf"),
+        maintenance: "MaintenanceContext | None" = None,
     ) -> CharlesResult:
         """Same as :meth:`summarize` but starting from an already-aligned pair.
 
-        ``caches`` and ``initial_floor`` are the session hooks: an
-        :class:`~repro.timeline.session.EngineSession` passes its persistent
-        memo caches and warm-start pruning floor through here so warm and cold
+        ``caches``, ``initial_floor`` and ``maintenance`` are the session
+        hooks: an :class:`~repro.timeline.session.EngineSession` passes its
+        persistent memo caches, warm-start pruning floor and the
+        :class:`~repro.search.maintenance.MaintenanceContext` linking this
+        pair to the previous run's pair state through here so warm and cold
         runs share one code path (which is what makes their rankings provably
-        identical).  One-shot callers leave both at their defaults.
+        identical).  One-shot callers leave all three at their defaults.
         """
         suggestions = self._assistant.suggest(pair, target)
         if condition_attributes is None:
@@ -251,6 +255,7 @@ class Charles:
             transformation_attributes,
             caches=caches,
             initial_floor=initial_floor,
+            maintenance=maintenance,
         )
         top = tuple(ranked[: self._config.top_k])
         return CharlesResult(

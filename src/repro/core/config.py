@@ -37,6 +37,7 @@ _RESULT_NEUTRAL_FIELDS = frozenset(
         "cache_url",
         "warm_start",
         "warm_start_margin",
+        "partition_maintenance",
     }
 )
 
@@ -195,6 +196,16 @@ class CharlesConfig:
         score routinely shifts by ~0.1 between consecutive version hops, so
         the default leaves room for that; a smaller margin prunes more but
         triggers verification fallbacks more often.
+    partition_maintenance:
+        Whether an :class:`~repro.timeline.session.EngineSession` may patch
+        cached partition discoveries across sparse deltas instead of
+        re-running them from scratch (see :mod:`repro.search.maintenance`).
+        A patch is applied only after a certificate proves the expensive
+        clustering stage would read byte-identical inputs, and falls back to
+        full discovery otherwise, so results never change — this knob is
+        execution-only (like ``n_jobs``) and does not rotate the cache
+        fingerprint.  One-shot ``Charles`` calls are unaffected (they have no
+        previous pair state to patch from).
     """
 
     alpha: float = 0.5
@@ -225,6 +236,7 @@ class CharlesConfig:
     cache_url: str | None = None
     warm_start: bool = True
     warm_start_margin: float = 0.15
+    partition_maintenance: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:

@@ -33,6 +33,7 @@ from repro.relational.snapshot import SnapshotPair
 from repro.search.cache import SearchCaches
 from repro.search.evaluator import CandidateEvaluator, ScoredSummary
 from repro.search.executors import select_executor
+from repro.search.maintenance import MaintenanceContext
 from repro.search.planner import build_search_plan
 from repro.search.stats import SearchStats
 
@@ -80,13 +81,15 @@ class DiffDiscoveryEngine:
         transformation_attributes: Sequence[str],
         caches: SearchCaches | None = None,
         initial_floor: float = float("-inf"),
+        maintenance: MaintenanceContext | None = None,
     ) -> tuple[list[ScoredSummary], SearchStats]:
         """Like :meth:`discover`, additionally returning the search statistics.
 
-        ``caches`` and ``initial_floor`` exist for session-style callers
-        (:class:`~repro.timeline.session.EngineSession`) that keep memo caches
-        and pruning floors alive across runs; one-shot calls leave them at
-        their defaults and behave exactly as before.
+        ``caches``, ``initial_floor`` and ``maintenance`` exist for
+        session-style callers (:class:`~repro.timeline.session.EngineSession`)
+        that keep memo caches, pruning floors and the previous pair state
+        alive across runs; one-shot calls leave them at their defaults and
+        behave exactly as before.
         """
         column = pair.schema.column(target)
         if not column.is_numeric:
@@ -109,7 +112,13 @@ class DiffDiscoveryEngine:
         plan = build_search_plan(condition_attributes, transformation_attributes, self._config)
         executor = select_executor(self._config)
         ranked, stats = executor.execute(
-            pair, target, plan, self._config, caches=caches, initial_floor=initial_floor
+            pair,
+            target,
+            plan,
+            self._config,
+            caches=caches,
+            initial_floor=initial_floor,
+            maintenance=maintenance,
         )
         if not ranked:
             raise DiscoveryError("no candidate summaries could be generated")

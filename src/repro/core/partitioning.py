@@ -33,7 +33,13 @@ from repro.ml.linreg import LinearRegression
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 
-__all__ = ["Partition", "discover_partitions", "induce_condition"]
+__all__ = [
+    "Partition",
+    "discover_partitions",
+    "cluster_changed_rows",
+    "partitions_from_labels",
+    "induce_condition",
+]
 
 
 @dataclass(frozen=True)
@@ -77,9 +83,50 @@ def discover_partitions(
     (possibly zero when nothing changed).
     """
     config = config or CharlesConfig()
+    clustered = cluster_changed_rows(
+        pair,
+        target,
+        condition_attributes,
+        transformation_attributes,
+        n_partitions,
+        config,
+        residual_weight=residual_weight,
+    )
+    if clustered is None:
+        return []
+    changed_indices, labels = clustered
+    return partitions_from_labels(
+        pair, target, condition_attributes, changed_indices, labels, n_partitions, config
+    )
+
+
+def cluster_changed_rows(
+    pair: SnapshotPair,
+    target: str,
+    condition_attributes: Sequence[str],
+    transformation_attributes: Sequence[str],
+    n_partitions: int,
+    config: CharlesConfig | None = None,
+    residual_weight: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """The clustering stage of partition discovery: changed rows and their labels.
+
+    This is the expensive half of :func:`discover_partitions` (global
+    regression, residual features, k-means with restarts) and — crucially for
+    incremental maintenance (:mod:`repro.search.maintenance`) — it reads
+    *only* the changed rows: the source-side values of the condition,
+    transformation and target attributes plus the target-side values of the
+    target attribute, restricted to ``pair.changed_mask(target)``.  Two pairs
+    that agree on exactly those inputs produce identical ``(changed_indices,
+    labels)``, which is what lets a cached clustering be transported across a
+    delta that only touches other rows or attributes.
+
+    Returns ``None`` when no row changed (discovery yields no partitions).
+    """
+    config = config or CharlesConfig()
     changed = pair.changed_mask(target)
     if not changed.any():
-        return []
+        return None
     source = pair.source
     changed_indices = np.nonzero(changed)[0]
     changed_source = source.take(changed_indices.tolist())
@@ -100,6 +147,30 @@ def discover_partitions(
         changed_source, condition_attributes, residual_features,
         n_partitions, config, residual_weight,
     )
+    return changed_indices, labels
+
+
+def partitions_from_labels(
+    pair: SnapshotPair,
+    target: str,
+    condition_attributes: Sequence[str],
+    changed_indices: np.ndarray,
+    labels: np.ndarray,
+    n_partitions: int,
+    config: CharlesConfig | None = None,
+) -> list[Partition]:
+    """The induction stage of partition discovery: clusters to conditions to masks.
+
+    Translates the clustering of :func:`cluster_changed_rows` into readable,
+    first-match partitions.  Unlike the clustering stage this reads the
+    condition attributes over the *whole* source table (conditions must
+    separate members from everything else), so incremental maintenance replays
+    this stage on the new table even when the clustering itself is inherited —
+    membership of rows a delta touched is thereby re-derived exactly as a
+    from-scratch discovery would derive it.
+    """
+    config = config or CharlesConfig()
+    source = pair.source
 
     # Pass 1: independent induction, to learn which clusters can be described
     # cleanly against the whole table.
@@ -354,19 +425,28 @@ def _tolerant_threshold_descriptor(
     if midpoints.size > max_candidates:
         positions = np.linspace(0, midpoints.size - 1, max_candidates).astype(int)
         midpoints = midpoints[positions]
-    best: tuple[float, float, bool] | None = None  # (balanced accuracy, cut, at_least?)
-    for cut in midpoints:
-        member_at_least = float(np.mean(member_values >= cut))
-        rest_below = float(np.mean(rest_values < cut))
-        score_at_least = 0.5 * (member_at_least + rest_below)
-        score_less_than = 1.0 - score_at_least
-        if best is None or score_at_least > best[0]:
-            best = (score_at_least, float(cut), True)
-        if score_less_than > best[0]:
-            best = (score_less_than, float(cut), False)
-    if best is None or best[0] < purity_threshold:
+    # evaluate every cut at once: counts of values below each cut come from one
+    # searchsorted over the sorted samples, and the fractions are exactly the
+    # means of the corresponding boolean masks (integer counts over sizes), so
+    # the scores are bit-identical to the per-cut loop this replaces
+    member_below = np.searchsorted(np.sort(member_values), midpoints, side="left")
+    rest_below = np.searchsorted(np.sort(rest_values), midpoints, side="left")
+    score_at_least = 0.5 * (
+        (member_values.size - member_below) / member_values.size
+        + rest_below / rest_values.size
+    )
+    # candidates arrive in loop order (each cut's at-least score, then its
+    # less-than score) and a later candidate only replaces a strictly better
+    # one, so the first occurrence of the maximum — argmax's tie-breaking —
+    # selects the same (cut, direction) the loop selected
+    scores = np.empty(2 * midpoints.size)
+    scores[0::2] = score_at_least
+    scores[1::2] = 1.0 - score_at_least
+    winner = int(np.argmax(scores))
+    if scores[winner] < purity_threshold:
         return None
-    _, cut, at_least = best
+    cut = float(midpoints[winner // 2])
+    at_least = winner % 2 == 0
     below = combined[combined < cut]
     above = combined[combined >= cut]
     if below.size and above.size:

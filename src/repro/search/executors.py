@@ -47,6 +47,7 @@ from repro.search.evaluator import (
     EvaluationOutcome,
     ScoredSummary,
 )
+from repro.search.maintenance import MaintenanceContext
 from repro.search.planner import CandidateSpec, SearchPlan
 from repro.search.stats import SearchStats
 
@@ -91,6 +92,7 @@ class SearchExecutor:
         config: CharlesConfig,
         caches: SearchCaches | None = None,
         initial_floor: float = float("-inf"),
+        maintenance: MaintenanceContext | None = None,
     ) -> tuple[list[ScoredSummary], SearchStats]:
         """Evaluate the plan and return the ranked candidates plus statistics.
 
@@ -109,6 +111,13 @@ class SearchExecutor:
         the final ranking equals the cold ranking iff the seed does not exceed
         this run's true k-th-best score — which is what the session's
         verify-or-fallback protocol checks.
+
+        ``maintenance`` is the session's
+        :class:`~repro.search.maintenance.MaintenanceContext` for patching
+        cached partition discoveries across the delta from the previous pair
+        state; it is handed to every evaluator (parallel workers included —
+        the context pickles) and never changes results, only how misses are
+        resolved.
         """
         started = time.perf_counter()
         stats = SearchStats(
@@ -120,7 +129,7 @@ class SearchExecutor:
         candidates: dict[tuple, ScoredSummary] = {}
         signatures: set = set()
         floor = initial_floor
-        self._setup(pair, target, config, caches)
+        self._setup(pair, target, config, caches, maintenance)
         stats.cache_backend = self._cache_backend_kind()
         stats.cache_backend_requested = self._cache_backend_requested()
         try:
@@ -168,6 +177,7 @@ class SearchExecutor:
         target: str,
         config: CharlesConfig,
         caches: SearchCaches | None = None,
+        maintenance: MaintenanceContext | None = None,
     ) -> None:
         raise NotImplementedError
 
@@ -206,6 +216,7 @@ class SerialExecutor(SearchExecutor):
         target: str,
         config: CharlesConfig,
         caches: SearchCaches | None = None,
+        maintenance: MaintenanceContext | None = None,
     ) -> None:
         self._owned_caches: SearchCaches | None = None
         self._requested_backend: str | None = None
@@ -225,7 +236,7 @@ class SerialExecutor(SearchExecutor):
                 if config.cache_backend != "memory":
                     self._requested_backend = config.cache_backend
                 caches = SearchCaches(config.search_cache_capacity)
-        self._evaluator = CandidateEvaluator(pair, target, config, caches)
+        self._evaluator = CandidateEvaluator(pair, target, config, caches, maintenance)
 
     def _cache_backend_kind(self) -> str:
         return self._evaluator.caches.backend_kind
@@ -258,6 +269,7 @@ def _init_worker(
     target: str,
     config: CharlesConfig,
     cache_handles: tuple | None = None,
+    maintenance: MaintenanceContext | None = None,
 ) -> None:
     """Build this worker's evaluator, attached to the shared store if one exists.
 
@@ -273,7 +285,7 @@ def _init_worker(
         caches = SearchCaches.attach(cache_handles)
     else:
         caches = SearchCaches(config.search_cache_capacity)
-    _WORKER_EVALUATOR = CandidateEvaluator(pair, target, config, caches)
+    _WORKER_EVALUATOR = CandidateEvaluator(pair, target, config, caches, maintenance)
 
 
 def _evaluate_batch(
@@ -303,6 +315,7 @@ class ParallelExecutor(SearchExecutor):
         self._search_context: tuple[SnapshotPair, str, CharlesConfig] | None = None
         self._session_caches: SearchCaches | None = None
         self._owned_caches: SearchCaches | None = None
+        self._maintenance: MaintenanceContext | None = None
 
     def _setup(
         self,
@@ -310,8 +323,10 @@ class ParallelExecutor(SearchExecutor):
         target: str,
         config: CharlesConfig,
         caches: SearchCaches | None = None,
+        maintenance: MaintenanceContext | None = None,
     ) -> None:
         self._fallback = None
+        self._maintenance = maintenance
         self._search_context = (pair, target, config)
         self._owned_caches = None
         if caches is None and config.cache_backend != "memory":
@@ -329,7 +344,7 @@ class ParallelExecutor(SearchExecutor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_jobs,
                 initializer=_init_worker,
-                initargs=(pair, target, config, handles),
+                initargs=(pair, target, config, handles, maintenance),
             )
         except (OSError, PermissionError, RuntimeError) as error:
             self._fall_back_to_serial(error)
@@ -359,7 +374,7 @@ class ParallelExecutor(SearchExecutor):
         assert self._search_context is not None
         pair, target, config = self._search_context
         caches = self._session_caches or SearchCaches(config.search_cache_capacity)
-        self._fallback = CandidateEvaluator(pair, target, config, caches)
+        self._fallback = CandidateEvaluator(pair, target, config, caches, self._maintenance)
 
     def _effective_n_jobs(self) -> int:
         return 1 if self._fallback is not None else self.n_jobs

@@ -1,0 +1,261 @@
+"""Delta-patchable partition maintenance: transport discoveries across updates.
+
+Content-keyed memoisation (:mod:`repro.search.cache`) gives perfect reuse on
+*untouched* inputs: a partition discovery whose relevant rows did not change
+keeps its key and is a plain cache hit.  But the moment a delta touches any
+value a spec reads, the key rotates and — before this module — the whole
+discovery re-ran from scratch, even when the delta could not possibly have
+altered the expensive part of the work.  This module adds the middle ground,
+in the spirit of dynamic query evaluation under updates (Berkholz et al.,
+"Answering FO+MOD queries under updates"): maintain an auxiliary structure
+that is *patched* per update, with answers provably identical to evaluation
+from scratch.
+
+The auxiliary structure exploits how partition discovery factors
+(:mod:`repro.core.partitioning`):
+
+* :func:`~repro.core.partitioning.cluster_changed_rows` — global regression,
+  residual features, k-means with restarts — is the expensive stage, and it
+  reads **only the changed rows**: source-side values of the spec's condition,
+  transformation and target attributes plus target-side values of the target
+  attribute, restricted to ``pair.changed_mask(target)``.
+* :func:`~repro.core.partitioning.partitions_from_labels` — condition
+  induction under first-match semantics — is the cheap stage, and it reads
+  the condition attributes over the whole table.
+
+Every cached discovery therefore carries a :class:`PartitionCertificate`: a
+digest of the changed-row set, a content token of exactly the clustering
+stage's inputs, and the cluster labels themselves.  Patching a discovery onto
+a new pair state is a **verify-or-fallback** protocol mirroring the timeline
+session's warm-start floors:
+
+1. *Plan* — the :class:`~repro.timeline.delta.VersionDelta` between the base
+   and new pair states names the rows and attributes that moved; specs the
+   delta misses entirely are ordinary content-key hits and never get here.
+2. *Verify* — the certificate is recomputed on the new pair (one mask digest
+   plus one fingerprint token over the changed rows; no model is fitted) and
+   compared with the base certificate.  A match proves the clustering stage
+   would produce byte-identical labels: the stage is a deterministic function
+   of exactly the certified inputs.
+3. *Patch or fall back* — on a match, the inherited labels are spliced onto
+   the new table by replaying the induction stage, which re-derives partition
+   membership for the delta-touched rows (untouched rows keep their
+   membership automatically — identical values induce identical masks).  On
+   any mismatch the discovery falls back to a full from-scratch run.
+
+Either way the resulting partitions are exactly what ``discover_partitions``
+would return on the new pair, so rankings stay byte-identical — the hard
+invariant the differential property suite (``tests/search/
+test_partition_maintenance.py``) enforces.
+
+Patch outcomes are themselves memoised as :class:`PartitionPatchRecord`
+values keyed by ``(base key digest, delta digest)``.  The record is an
+ordinary opaque cache value: every backend — in-process, shared, disk,
+remote — stores it unchanged, and persistent backends namespace it by the
+config fingerprint exactly like any other entry, so a differently configured
+run can never reuse another config's patches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.partitioning import Partition
+from repro.relational.snapshot import SnapshotPair
+from repro.search.cache import PairFingerprints, mask_digest
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.timeline.delta import VersionDelta
+
+__all__ = [
+    "PartitionCertificate",
+    "PartitionIndexEntry",
+    "PartitionPatchRecord",
+    "MaintenanceContext",
+    "maintenance_delta",
+]
+
+
+@dataclass(frozen=True)
+class PartitionCertificate:
+    """Proof obligations for reusing a discovery's clustering stage.
+
+    ``changed_digest`` identifies the changed-row *set* (a digest of the
+    boolean changed mask), ``input_token`` the clustering stage's complete
+    value inputs (a :class:`~repro.search.cache.PairFingerprints` token of the
+    spec's attributes under that mask), and ``labels`` is the cluster label
+    per changed row, in changed-row order.  When both digests match on a new
+    pair state, replaying induction with these labels is provably identical
+    to a from-scratch discovery; spec parameters (subsets, partition count,
+    residual weight) and the configuration are fixed by the cache key the
+    certificate travels under.
+    """
+
+    changed_digest: bytes
+    input_token: bytes
+    labels: np.ndarray
+    #: observed seconds of the original from-scratch discovery — travels with
+    #: patched copies of the entry so cost-aware eviction (the cache server's
+    #: default policy) ranks them by what a true recompute would cost, not by
+    #: the microseconds the patch took
+    discover_seconds: float = 0.0
+
+    def matches(self, changed_digest: bytes, input_token: bytes) -> bool:
+        """Whether the certified clustering inputs equal the given ones."""
+        return self.changed_digest == changed_digest and self.input_token == input_token
+
+
+@dataclass(frozen=True)
+class PartitionIndexEntry:
+    """What the partitions memo cache stores per content key.
+
+    ``certificate`` is ``None`` for discoveries that cannot be maintained
+    (refinement-scope discoveries, entries written by older code); such
+    entries still serve ordinary content-key hits.
+    """
+
+    partitions: tuple[Partition, ...]
+    certificate: PartitionCertificate | None = None
+
+
+def as_entry(value: object) -> PartitionIndexEntry:
+    """Coerce a cached partitions value to an entry (tolerating legacy lists)."""
+    if isinstance(value, PartitionIndexEntry):
+        return value
+    return PartitionIndexEntry(tuple(value), None)  # pre-maintenance bare list
+
+
+@dataclass(frozen=True)
+class PartitionPatchRecord:
+    """The memoised outcome of patching one base entry under one delta.
+
+    ``entry`` carries the patched discovery when verification succeeded and is
+    ``None`` when it provably mismatched (so later runs skip straight to the
+    full recompute).  The pair ``(base_digest, delta_digest)`` identifies the
+    new pair state up to the delta's change tolerance — the base key covers
+    every value the discovery reads on the base state, the delta digest
+    covers the touched rows and their new values.  Because the tolerance is
+    not bit-exact, a record's ``entry`` is only ever *used* after its
+    certificate re-verifies against the pair state at hand (the evaluator
+    gates reuse on it); a mismatch record costs at most one unnecessary full
+    recompute, never a wrong result.
+    """
+
+    base_digest: bytes
+    delta_digest: bytes
+    entry: PartitionIndexEntry | None
+    reason: str
+
+    @property
+    def patched(self) -> bool:
+        """Whether this record carries a successfully patched discovery."""
+        return self.entry is not None
+
+
+def maintenance_delta(
+    base: SnapshotPair, new: SnapshotPair, tolerance: float = 1e-9
+) -> "VersionDelta":
+    """The :class:`~repro.timeline.delta.VersionDelta` between two pair states.
+
+    Masks describe exactly the relation state partition discovery reads: for
+    every non-key attribute, the rows whose *source-side* value differs
+    between the base and new pair; for attributes whose *target-side* value
+    also differs somewhere (only the spec's target attribute is ever read on
+    that side), those rows are OR-ed in.  Both pairs must already be
+    row-aligned (same entities, same order) — :meth:`MaintenanceContext.
+    between` checks that before calling here.
+    """
+    from repro.timeline.delta import VersionDelta  # local: avoids package cycle
+
+    keys = tuple(base.key_values)
+    source_view = SnapshotPair(base.source, new.source, base.key, keys)
+    target_view = SnapshotPair(base.target, new.target, base.key, keys)
+    masks: dict[str, np.ndarray] = {}
+    for name in base.schema.names:
+        if name == base.key:
+            continue
+        mask = source_view.changed_mask(name, tolerance) | target_view.changed_mask(
+            name, tolerance
+        )
+        if mask.any():
+            masks[name] = mask
+    return VersionDelta("base", "new", base.num_rows, masks)
+
+
+class MaintenanceContext:
+    """Everything an evaluator needs to patch discoveries from a base pair.
+
+    Built by :class:`~repro.timeline.session.EngineSession` when a run's pair
+    is a row-aligned successor of the previous run's pair for the same
+    target, and threaded through the engine to every
+    :class:`~repro.search.evaluator.CandidateEvaluator` (including parallel
+    workers — the context is picklable).  It carries the delta between the
+    two pair states, lazily built fingerprints of the *base* pair (to derive
+    base cache keys), and memoised per-attribute-set delta digests.
+    """
+
+    def __init__(self, base_pair: SnapshotPair, new_pair: SnapshotPair, target: str):
+        self.base_pair = base_pair
+        self.target = target
+        self.delta = maintenance_delta(base_pair, new_pair)
+        self._base_prints: PairFingerprints | None = None
+        self._delta_digests: dict[tuple[str, ...], bytes] = {}
+
+    @classmethod
+    def between(
+        cls, base_pair: SnapshotPair, new_pair: SnapshotPair, target: str
+    ) -> "MaintenanceContext | None":
+        """A context for patching ``base_pair``'s entries onto ``new_pair``.
+
+        Returns ``None`` when the pairs are not two states of one row-aligned
+        relation (different schema, entity set or order) — maintenance is then
+        meaningless and the run proceeds on content keys alone.
+        """
+        if base_pair.num_rows != new_pair.num_rows:
+            return None
+        if base_pair.key != new_pair.key:
+            return None
+        if tuple(base_pair.key_values) != tuple(new_pair.key_values):
+            return None
+        if not base_pair.schema.equivalent_to(new_pair.schema):
+            return None
+        return cls(base_pair, new_pair, target)
+
+    # -- base-side keys ----------------------------------------------------------
+
+    def base_token(self, attributes: Sequence[str], mask: np.ndarray) -> bytes:
+        """The base pair's content token for ``attributes`` under ``mask``."""
+        if self._base_prints is None:
+            self._base_prints = PairFingerprints(self.base_pair, self.target)
+        return self._base_prints.token(attributes, mask)
+
+    # -- delta identity ----------------------------------------------------------
+
+    def delta_digest(self, attributes: Sequence[str], prints: PairFingerprints) -> bytes:
+        """A digest identifying what the delta did to ``attributes``.
+
+        Covers which rows the delta touched on the given attributes (their
+        combined changed-row mask) and the *new* values on those rows (a
+        fingerprint token from the new pair's ``prints``).  Together with the
+        base content key this pins down the new pair state for everything a
+        spec over ``attributes`` reads, so it is a sound memo key component
+        for :class:`PartitionPatchRecord`.
+        """
+        key = tuple(attributes)
+        digest = self._delta_digests.get(key)
+        if digest is None:
+            mask = self.delta.changed_row_mask(key)
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(mask_digest(mask))
+            hasher.update(prints.token(key, mask))
+            digest = hasher.digest()
+            self._delta_digests[key] = digest
+        return digest
+
+    def touches(self, attributes: Sequence[str]) -> bool:
+        """Whether the delta moved any value of the given attributes."""
+        return self.delta.touches(attributes)

@@ -46,6 +46,17 @@ class SearchStats:
     ``warm_start_fallback`` marks runs where the seed proved too aggressive
     and the search was transparently re-run with an open floor (the recorded
     wall time then covers both attempts).
+
+    Under incremental partition maintenance (:mod:`repro.search.maintenance`)
+    every partition-cache miss is resolved one of three ways and counted
+    accordingly: ``partitions_patched`` (the previous pair state's clustering
+    was transported across the delta and only condition induction replayed),
+    ``partition_patch_fallbacks`` (a base certificate existed but
+    verification proved the delta touched the clustering's inputs — full
+    discovery ran) and ``partitions_recomputed`` (no usable base entry; full
+    discovery ran — refinement-scope discoveries always count here).
+    Patching never changes results; the split only explains where the
+    discovery time went.
     """
 
     candidates_enumerated: int = 0
@@ -56,6 +67,9 @@ class SearchStats:
     fit_cache_misses: int = 0
     partition_cache_hits: int = 0
     partition_cache_misses: int = 0
+    partitions_patched: int = 0
+    partition_patch_fallbacks: int = 0
+    partitions_recomputed: int = 0
     cache_evictions: int = 0
     cache_backend: str = "memory"
     cache_backend_requested: str | None = None
@@ -109,6 +123,9 @@ class SearchStats:
         self.fit_cache_misses += counters.fit_misses
         self.partition_cache_hits += counters.partition_hits
         self.partition_cache_misses += counters.partition_misses
+        self.partitions_patched += counters.partitions_patched
+        self.partition_patch_fallbacks += counters.partition_patch_fallbacks
+        self.partitions_recomputed += counters.partitions_recomputed
         self.cache_evictions += counters.evictions
         for layer, delta in counters.backends:
             self.backend_counters[layer] = (
@@ -129,6 +146,9 @@ class SearchStats:
             "fit_cache_misses": self.fit_cache_misses,
             "partition_cache_hits": self.partition_cache_hits,
             "partition_cache_misses": self.partition_cache_misses,
+            "partitions_patched": self.partitions_patched,
+            "partition_patch_fallbacks": self.partition_patch_fallbacks,
+            "partitions_recomputed": self.partitions_recomputed,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
             "cache_backend": self.cache_backend,
@@ -169,6 +189,12 @@ class SearchStats:
         if self.warm_started:
             suffix = " (fell back to a cold floor)" if self.warm_start_fallback else ""
             text += f", warm floor {self.warm_start_floor:.3f}{suffix}"
+        if self.partitions_patched or self.partition_patch_fallbacks:
+            text += (
+                f", partitions patched {self.partitions_patched}"
+                f"/recomputed {self.partitions_recomputed}"
+                f" ({self.partition_patch_fallbacks} patch fallbacks)"
+            )
         return text
 
     def __str__(self) -> str:

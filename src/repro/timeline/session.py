@@ -49,6 +49,7 @@ from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
 from repro.search.cache import CacheCounters, SearchCaches
 from repro.search.evaluator import CandidateEvaluator
+from repro.search.maintenance import MaintenanceContext
 from repro.search.stats import SearchStats
 from repro.timeline.delta import VersionDelta
 from repro.timeline.result import TimelineHop, TimelineResult
@@ -67,6 +68,7 @@ class EngineSession:
         self._charles = Charles(self._config)
         self._caches = SearchCaches.from_config(self._config)
         self._floors: dict[str, float] = {}
+        self._maintenance_bases: dict[str, SnapshotPair] = {}
         self.runs_completed = 0
         self.warm_start_fallbacks = 0
 
@@ -128,12 +130,16 @@ class EngineSession:
 
         Reuses every memo-cache entry from earlier runs whose input rows are
         untouched, seeds the pruning floor from the previous run on the same
-        target, and verifies the seed afterwards (re-running with an open
-        floor when it proved too aggressive).  The ranking is byte-identical
-        to a cold run on the same pair.
+        target, patches cached partition discoveries across the delta from
+        the previous run's pair state where a certificate proves it safe
+        (:mod:`repro.search.maintenance`), and verifies the floor seed
+        afterwards (re-running with an open floor when it proved too
+        aggressive).  The ranking is byte-identical to a cold run on the same
+        pair.
         """
         floor = self.warm_floor(target)
         seed = _COLD if floor is None else floor
+        maintenance = self._maintenance_context(pair, target)
         result = self._charles.summarize_pair(
             pair,
             target,
@@ -141,6 +147,7 @@ class EngineSession:
             transformation_attributes=transformation_attributes,
             caches=self._caches,
             initial_floor=seed,
+            maintenance=maintenance,
         )
         if seed != _COLD and not self._floor_verified(result, seed):
             # the seed exceeded this run's true k-th best score, so pruning may
@@ -157,6 +164,7 @@ class EngineSession:
                 transformation_attributes=transformation_attributes,
                 caches=self._caches,
                 initial_floor=_COLD,
+                maintenance=maintenance,
             )
             if result.search_stats is not None:
                 result.search_stats.warm_start_floor = seed
@@ -164,6 +172,10 @@ class EngineSession:
                 result.search_stats.wall_time_seconds += aborted_seconds
         self.runs_completed += 1
         self._remember_floor(target, result)
+        if self._config.partition_maintenance:
+            # only retained when the next run may patch from it: a disabled
+            # session must not pin two table snapshots per target for nothing
+            self._maintenance_bases[target] = pair
         return result
 
     def summarize_timeline(
@@ -199,6 +211,22 @@ class EngineSession:
         return TimelineResult(target=target, hops=tuple(hops))
 
     # -- internals -------------------------------------------------------------
+
+    def _maintenance_context(
+        self, pair: SnapshotPair, target: str
+    ) -> MaintenanceContext | None:
+        """The patch context linking ``pair`` to the previous run's pair state.
+
+        ``None`` when maintenance is disabled, this is the first run for the
+        target, or the pairs are not two states of one row-aligned relation —
+        the run then proceeds on content keys alone, exactly as before.
+        """
+        if not self._config.partition_maintenance:
+            return None
+        base = self._maintenance_bases.get(target)
+        if base is None:
+            return None
+        return MaintenanceContext.between(base, pair, target)
 
     def _floor_verified(self, result: CharlesResult, seed: float) -> bool:
         """Whether the seeded floor provably preserved the top-k."""

@@ -1,0 +1,124 @@
+"""Patch entries are ordinary cache values: opaque, durable, namespaced.
+
+The maintenance layer (:mod:`repro.search.maintenance`) stores
+:class:`~repro.search.maintenance.PartitionPatchRecord` values — carrying the
+base-key digest, the delta digest and a full
+:class:`~repro.search.maintenance.PartitionIndexEntry` — through the same
+backends as every memo entry.  These tests pin the two properties it relies
+on: records round-trip unchanged through persistent storage (numpy masks,
+conditions, certificates and all), and persistent stores namespace them by
+the config fingerprint, so one configuration's patches can never serve
+another's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cachestore import MISSING, DiskBackend
+from repro.core import CharlesConfig
+from repro.core.partitioning import discover_partitions
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.search.maintenance import (
+    PartitionCertificate,
+    PartitionIndexEntry,
+    PartitionPatchRecord,
+)
+
+
+@pytest.fixture(scope="module")
+def record() -> PartitionPatchRecord:
+    """A realistic patch record: real partitions, certificate, digests."""
+    rows = [
+        {"id": "a", "edu": "MS", "bonus": 100.0},
+        {"id": "b", "edu": "MS", "bonus": 200.0},
+        {"id": "c", "edu": "BS", "bonus": 300.0},
+        {"id": "d", "edu": "BS", "bonus": 400.0},
+    ]
+    source = Table.from_rows(rows, primary_key="id")
+    target = source.with_column("bonus", [110.0, 220.0, 300.0, 400.0])
+    pair = SnapshotPair.align(source, target, key="id")
+    partitions = discover_partitions(pair, "bonus", ("edu",), ("bonus",), 2, CharlesConfig())
+    entry = PartitionIndexEntry(
+        partitions=tuple(partitions),
+        certificate=PartitionCertificate(
+            changed_digest=b"c" * 16,
+            input_token=b"t" * 16,
+            labels=np.array([0, 0], dtype=np.intp),
+        ),
+    )
+    return PartitionPatchRecord(b"base-digest-0123", b"delta-digest-456", entry, "patched")
+
+
+_PATCH_KEY = ("partition-patch", "bonus", ("edu",), ("bonus",), 2, 1.0, b"base", b"delta")
+
+
+def _assert_record_roundtrips(original: PartitionPatchRecord, loaded) -> None:
+    assert isinstance(loaded, PartitionPatchRecord)
+    assert loaded.base_digest == original.base_digest
+    assert loaded.delta_digest == original.delta_digest
+    assert loaded.reason == original.reason
+    assert loaded.patched
+    assert loaded.entry.certificate.changed_digest == original.entry.certificate.changed_digest
+    assert loaded.entry.certificate.input_token == original.entry.certificate.input_token
+    assert np.array_equal(loaded.entry.certificate.labels, original.entry.certificate.labels)
+    assert len(loaded.entry.partitions) == len(original.entry.partitions)
+    for ours, theirs in zip(loaded.entry.partitions, original.entry.partitions):
+        assert ours.condition.descriptors == theirs.condition.descriptors
+        assert np.array_equal(ours.mask, theirs.mask)
+        assert ours.fidelity == theirs.fidelity
+        assert ours.coverage == theirs.coverage
+
+
+class TestPatchEntriesOnDisk:
+    def test_record_survives_a_fresh_connection(self, tmp_path, record):
+        path = tmp_path / "partitions.sqlite"
+        writer = DiskBackend(path)
+        writer.put(_PATCH_KEY, record, cost_hint=0.01)
+        writer.close()
+        reader = DiskBackend(path)  # a later session over the same file
+        _assert_record_roundtrips(record, reader.get(_PATCH_KEY))
+        reader.close()
+
+    def test_fallback_marker_survives_too(self, tmp_path, record):
+        path = tmp_path / "partitions.sqlite"
+        marker = PartitionPatchRecord(
+            record.base_digest, record.delta_digest, None, "certificate-mismatch"
+        )
+        writer = DiskBackend(path)
+        writer.put(_PATCH_KEY, marker)
+        writer.close()
+        loaded = DiskBackend(path).get(_PATCH_KEY)
+        assert isinstance(loaded, PartitionPatchRecord)
+        assert not loaded.patched and loaded.entry is None
+        assert loaded.reason == "certificate-mismatch"
+
+    def test_records_are_fingerprint_namespaced(self, tmp_path, record):
+        """A config change must never reuse another config's patches."""
+        path = tmp_path / "partitions.sqlite"
+        config_a = CharlesConfig()
+        config_b = CharlesConfig(seed=config_a.seed + 1)  # result-affecting knob
+        writer = DiskBackend(path, namespace=config_a.cache_fingerprint())
+        writer.put(_PATCH_KEY, record)
+        other_config = DiskBackend(path, namespace=config_b.cache_fingerprint())
+        assert other_config.get(_PATCH_KEY) is MISSING
+        same_config = DiskBackend(path, namespace=config_a.cache_fingerprint())
+        _assert_record_roundtrips(record, same_config.get(_PATCH_KEY))
+        for backend in (writer, other_config, same_config):
+            backend.close()
+
+    def test_execution_only_knobs_keep_patches_reachable(self, tmp_path, record):
+        # partition_maintenance and n_jobs are execution-only: flipping them
+        # must keep the same namespace, so existing patches stay warm
+        path = tmp_path / "partitions.sqlite"
+        config = CharlesConfig()
+        flipped = config.replace(partition_maintenance=False, n_jobs=4)
+        assert config.cache_fingerprint() == flipped.cache_fingerprint()
+        writer = DiskBackend(path, namespace=config.cache_fingerprint())
+        writer.put(_PATCH_KEY, record)
+        reader = DiskBackend(path, namespace=flipped.cache_fingerprint())
+        _assert_record_roundtrips(record, reader.get(_PATCH_KEY))
+        writer.close()
+        reader.close()

@@ -1,0 +1,333 @@
+"""Differential property suite for delta-patchable partition maintenance.
+
+The maintenance layer's contract (see :mod:`repro.search.maintenance`) is the
+Berkholz-style one: a patched structure must be *indistinguishable* from one
+recomputed from scratch.  These tests enforce it at two levels, over random
+dataset pairs and random sparse deltas:
+
+* **partition level** — for every spec, the partitions an evaluator produces
+  with a maintenance context (patched, fallen back, or recomputed) are
+  exactly equal — conditions, masks, fidelity, coverage — to a from-scratch
+  ``discover_partitions`` on the new pair;
+* **ranking level** — a session serving revised pair states produces rankings
+  byte-identical to independent cold runs, whichever branch each spec took.
+
+The delta strategy deliberately mixes the three regimes: revisions on rows
+outside the changed set (patchable), revisions hitting the changed rows or
+the target attribute (certificate mismatch — the fallback branch), and no-op
+revisions (plain content hits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Charles, CharlesConfig
+from repro.core.partitioning import discover_partitions
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.search.cache import SearchCaches
+from repro.search.evaluator import CandidateEvaluator
+from repro.search.maintenance import MaintenanceContext
+from repro.timeline import EngineSession
+
+_EDUCATIONS = ["BS", "MS", "PhD"]
+
+# every (condition subset, partition count) pair the unit-level differential
+# replays; transformation subset is the target itself, as in a minimal search
+_SPEC_GRID = [
+    (cond, k)
+    for cond in [("edu",), ("exp",), ("edu", "exp")]
+    for k in (1, 2, 3)
+]
+
+
+def _roster(draw, n: int) -> Table:
+    rows = []
+    for index in range(n):
+        rows.append(
+            {
+                "id": f"r{index}",
+                "edu": draw(st.sampled_from(_EDUCATIONS)),
+                "exp": float(draw(st.integers(0, 12))),
+                "bonus": float(draw(st.integers(1_000, 30_000))),
+            }
+        )
+    return Table.from_rows(rows, primary_key="id")
+
+
+def _apply_policy(draw, table: Table) -> Table:
+    """A group-targeted bonus update (the structure discovery should find)."""
+    bonus = np.array(table.column("bonus"), dtype=float)
+    if draw(st.booleans()):
+        group = draw(st.sampled_from(_EDUCATIONS))
+        members = np.array([edu == group for edu in table.column("edu")])
+    else:
+        threshold = draw(st.integers(3, 9))
+        members = np.array(table.column("exp"), dtype=float) >= threshold
+    factor = draw(st.sampled_from([1.05, 1.1, 1.25]))
+    shift = float(draw(st.sampled_from([0, 500, 2000])))
+    bonus = np.where(members, np.round(factor * bonus + shift, 2), bonus)
+    return table.with_column("bonus", [float(b) for b in bonus])
+
+
+@st.composite
+def revised_pairs(draw) -> tuple[SnapshotPair, SnapshotPair, str]:
+    """A base pair plus a sparsely revised successor state of the same pair.
+
+    Revision kinds cover every maintenance branch: ``outside`` corrects
+    condition attributes only on rows the policy left untouched (the
+    patchable case), ``inside`` corrects them on changed rows and ``target``
+    moves the target attribute itself (both force certificate mismatches),
+    and ``none`` leaves the pair untouched (pure content hits).
+    """
+    n = draw(st.integers(10, 18))
+    source = _roster(draw, n)
+    target_table = _apply_policy(draw, source)
+    pair1 = SnapshotPair.align(source, target_table, key="id")
+    changed = pair1.changed_mask("bonus")
+
+    kind = draw(st.sampled_from(["outside", "outside", "inside", "target", "none"]))
+    new_source, new_target = source, target_table
+    candidates = np.nonzero(~changed if kind == "outside" else changed)[0]
+    if kind in ("outside", "inside") and candidates.size:
+        picks = draw(
+            st.lists(st.sampled_from(candidates.tolist()), min_size=1, max_size=3)
+        )
+        exp = np.array(source.column("exp"), dtype=float)
+        edu = list(source.column("edu"))
+        for row in picks:
+            if draw(st.booleans()):
+                exp[row] += 1.0
+            else:
+                edu[row] = draw(st.sampled_from(_EDUCATIONS))
+        new_source = source.with_column("exp", [float(e) for e in exp]).with_column(
+            "edu", edu
+        )
+    elif kind == "target":
+        row = draw(st.integers(0, n - 1))
+        bonus = np.array(target_table.column("bonus"), dtype=float)
+        bonus[row] = round(bonus[row] + 123.0, 2)
+        new_target = target_table.with_column("bonus", [float(b) for b in bonus])
+    pair2 = SnapshotPair.align(new_source, new_target, key="id")
+    return pair1, pair2, kind
+
+
+def _assert_partitions_equal(got, expected):
+    assert len(got) == len(expected)
+    for ours, theirs in zip(got, expected):
+        assert ours.condition.descriptors == theirs.condition.descriptors
+        assert np.array_equal(ours.mask, theirs.mask)
+        assert ours.fidelity == theirs.fidelity
+        assert ours.coverage == theirs.coverage
+
+
+class TestPatchedPartitionsEqualFromScratch:
+    @given(revised_pairs())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_differential_per_spec(self, case):
+        pair1, pair2, _kind = case
+        config = CharlesConfig()
+        caches = SearchCaches()
+        primer = CandidateEvaluator(pair1, "bonus", config, caches)
+        for cond, k in _SPEC_GRID:
+            primer._cached_partitions(pair1, primer._full_mask, cond, ("bonus",), k)
+
+        context = MaintenanceContext.between(pair1, pair2, "bonus")
+        assert context is not None  # same entities, same order: always maintainable
+        evaluator = CandidateEvaluator(pair2, "bonus", config, caches, maintenance=context)
+        for cond, k in _SPEC_GRID:
+            got = evaluator._cached_partitions(pair2, evaluator._full_mask, cond, ("bonus",), k)
+            expected = discover_partitions(pair2, "bonus", cond, ("bonus",), k, config)
+            _assert_partitions_equal(got, expected)
+        # every miss was resolved exactly one way; the counters must agree
+        resolved = (
+            caches.partitions_patched
+            + caches.partition_patch_fallbacks
+            + caches.partitions_recomputed
+        )
+        assert resolved == caches.partitions.misses
+
+    @given(revised_pairs())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_patched_entries_are_cached_like_computed_ones(self, case):
+        pair1, pair2, _kind = case
+        config = CharlesConfig()
+        caches = SearchCaches()
+        primer = CandidateEvaluator(pair1, "bonus", config, caches)
+        primer._cached_partitions(pair1, primer._full_mask, ("edu",), ("bonus",), 2)
+        context = MaintenanceContext.between(pair1, pair2, "bonus")
+        evaluator = CandidateEvaluator(pair2, "bonus", config, caches, maintenance=context)
+        first = evaluator._cached_partitions(pair2, evaluator._full_mask, ("edu",), ("bonus",), 2)
+        hits_before = caches.partitions.hits
+        second = evaluator._cached_partitions(pair2, evaluator._full_mask, ("edu",), ("bonus",), 2)
+        assert caches.partitions.hits == hits_before + 1
+        _assert_partitions_equal(second, first)
+
+
+class TestSessionRankingsStayByteIdentical:
+    # small caps keep the candidate space (and runtime) per example modest
+    _FAST = dict(max_partitions=2, top_k=3, max_condition_attributes=2)
+
+    @staticmethod
+    def _ranking(result):
+        return [(s.summary.describe(), s.score) for s in result.summaries]
+
+    @given(revised_pairs())
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_maintained_session_equals_cold_runs(self, case):
+        pair1, pair2, _kind = case
+        config = CharlesConfig(**self._FAST)
+        session = EngineSession(config)
+        warm = [
+            self._ranking(session.summarize_pair(pair1, "bonus")),
+            self._ranking(session.summarize_pair(pair2, "bonus")),
+        ]
+        cold = [
+            self._ranking(Charles(config).summarize_pair(pair1, "bonus")),
+            self._ranking(Charles(config).summarize_pair(pair2, "bonus")),
+        ]
+        assert warm == cold
+
+    @given(revised_pairs())
+    @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_maintained_equals_content_key_only_session(self, case):
+        pair1, pair2, _kind = case
+        config = CharlesConfig(**self._FAST)
+        maintained = EngineSession(config)
+        plain = EngineSession(config.replace(partition_maintenance=False))
+        for pair in (pair1, pair2):
+            assert self._ranking(maintained.summarize_pair(pair, "bonus")) == self._ranking(
+                plain.summarize_pair(pair, "bonus")
+            )
+
+
+def _deterministic_case():
+    """A fixed pair + revision where patching must fire (no hypothesis)."""
+    rng = np.random.default_rng(11)
+    n = 400
+    edu = rng.choice(_EDUCATIONS, size=n).tolist()
+    exp = rng.integers(0, 20, size=n).astype(float)
+    salary = np.round(rng.uniform(40_000, 120_000, size=n), 2)
+    bonus = np.round(salary * 0.1, 2)
+    rows = [
+        {
+            "id": f"r{i}",
+            "edu": edu[i],
+            "exp": float(exp[i]),
+            "salary": float(salary[i]),
+            "bonus": float(bonus[i]),
+        }
+        for i in range(n)
+    ]
+    source = Table.from_rows(rows, primary_key="id")
+    new_bonus = bonus.copy()
+    is_ms = np.array([e == "MS" for e in edu])
+    senior = exp >= 12
+    new_bonus[is_ms] = np.round(new_bonus[is_ms] * 1.2, 2)
+    new_bonus[~is_ms & senior] = np.round(new_bonus[~is_ms & senior] + 1500, 2)
+    target_table = source.with_column("bonus", [float(b) for b in new_bonus])
+    pair1 = SnapshotPair.align(source, target_table, key="id")
+
+    untouched = np.nonzero(~pair1.changed_mask("bonus"))[0]
+    corrected = untouched[:: max(1, untouched.size // 12)]
+    edu2 = list(edu)
+    for i in corrected:
+        edu2[i] = "BS" if edu2[i] != "BS" else "PhD"
+    revised = source.with_column("edu", edu2)
+    pair2 = SnapshotPair.align(revised, target_table, key="id")
+    return pair1, pair2
+
+
+class TestMaintenanceBranches:
+    def test_patching_fires_on_condition_attribute_revisions(self):
+        pair1, pair2 = _deterministic_case()
+        config = CharlesConfig()
+        session = EngineSession(config)
+        session.summarize_pair(pair1, "bonus")
+        result = session.summarize_pair(pair2, "bonus")
+        stats = result.search_stats
+        assert stats.partitions_patched > 0
+        assert stats.partition_patch_fallbacks == 0
+        cold = Charles(config).summarize_pair(pair2, "bonus")
+        assert [(s.summary.describe(), s.score) for s in result.summaries] == [
+            (s.summary.describe(), s.score) for s in cold.summaries
+        ]
+
+    def test_target_touching_delta_falls_back(self):
+        pair1, _ = _deterministic_case()
+        config = CharlesConfig()
+        session = EngineSession(config)
+        session.summarize_pair(pair1, "bonus")
+        # move the target attribute on one changed row: every certificate must
+        # mismatch, and every affected spec must fall back to full discovery
+        bonus = np.array(pair1.target.column("bonus"), dtype=float)
+        row = int(np.nonzero(pair1.changed_mask("bonus"))[0][0])
+        bonus[row] = round(bonus[row] + 77.0, 2)
+        shifted = pair1.target.with_column("bonus", [float(b) for b in bonus])
+        pair2 = SnapshotPair.align(pair1.source, shifted, key="id")
+        result = session.summarize_pair(pair2, "bonus")
+        stats = result.search_stats
+        assert stats.partitions_patched == 0
+        assert stats.partition_patch_fallbacks > 0
+        cold = Charles(config).summarize_pair(pair2, "bonus")
+        assert [(s.summary.describe(), s.score) for s in result.summaries] == [
+            (s.summary.describe(), s.score) for s in cold.summaries
+        ]
+
+    def test_patch_records_memoise_both_outcomes(self, monkeypatch):
+        from repro.search import evaluator as evaluator_module
+        from repro.search.maintenance import PartitionCertificate
+
+        pair1, pair2 = _deterministic_case()
+        config = CharlesConfig()
+        caches = SearchCaches()
+        primer = CandidateEvaluator(pair1, "bonus", config, caches)
+        primer._cached_partitions(pair1, primer._full_mask, ("edu",), ("bonus",), 2)
+        context = MaintenanceContext.between(pair1, pair2, "bonus")
+        evaluator = CandidateEvaluator(pair2, "bonus", config, caches, maintenance=context)
+        key = (
+            "partition/2",  # the evaluator's versioned value-format prefix
+            "bonus",
+            ("edu",),
+            ("bonus",),
+            2,
+            1.0,
+            evaluator._prints.token(("edu", "bonus"), evaluator._full_mask),
+        )
+        status, entry = evaluator._try_patch(key, ("edu",), ("bonus",), 2, 1.0)
+        assert status == "patched" and entry is not None
+
+        # the outcome is memoised as a PartitionPatchRecord: a second attempt
+        # is served from the record — the induction replay must not run again,
+        # but the certificate is still re-verified (record reuse is gated on
+        # it, so a digest collision can never smuggle in a stale entry)
+        def boom(*args, **kwargs):  # pragma: no cover - must never be called
+            raise AssertionError("patch record was not used")
+
+        monkeypatch.setattr(evaluator_module, "partitions_from_labels", boom)
+        again_status, again_entry = evaluator._try_patch(key, ("edu",), ("bonus",), 2, 1.0)
+        assert again_status == "patched"
+        _assert_partitions_equal(list(again_entry.partitions), list(entry.partitions))
+
+        # and when the verification cannot pass, the record must NOT be used
+        monkeypatch.setattr(
+            PartitionCertificate, "matches", lambda self, *args: False
+        )
+        vetoed_status, vetoed_entry = evaluator._try_patch(key, ("edu",), ("bonus",), 2, 1.0)
+        assert vetoed_status == "fallback" and vetoed_entry is None
+
+
+class TestContextCompatibility:
+    def test_incompatible_pairs_yield_no_context(self):
+        pair1, _ = _deterministic_case()
+        smaller = pair1.restricted(pair1.changed_mask("bonus"))
+        assert MaintenanceContext.between(pair1, smaller, "bonus") is None
+
+    def test_identical_pairs_yield_an_empty_delta(self):
+        pair1, _ = _deterministic_case()
+        context = MaintenanceContext.between(pair1, pair1, "bonus")
+        assert context is not None
+        assert context.delta.is_empty

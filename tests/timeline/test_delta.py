@@ -84,3 +84,65 @@ class TestVersionDelta:
         pay_mask = delta.changed_mask("pay")
         bonus_mask = delta.changed_mask("bonus")
         assert not np.array_equal(pay_mask, bonus_mask)
+
+
+class TestVersionDeltaEdgeCases:
+    """Pins the delta layer's behaviour at its boundaries.
+
+    The maintenance layer (:mod:`repro.search.maintenance`) keys patch
+    decisions off these exact semantics, so they are load-bearing: a change
+    here silently changes which discoveries get patched.
+    """
+
+    def test_all_rows_changed(self):
+        store = _store()
+        every = store.checkout("v1").with_column("pay", [101.0, 201.0, 301.0])
+        store.append("v_all", every)
+        delta = store.delta("v1", "v_all")
+        assert delta.changed_mask("pay").all()
+        assert delta.changed_row_mask().all()
+        assert delta.attribute_deltas()[0].change_fraction == 1.0
+
+    def test_zero_rows_changed(self):
+        store = _store()
+        store.append("v_same", store.checkout("v3"))
+        delta = store.delta("v3", "v_same")
+        assert delta.is_empty
+        assert not delta.touches(["pay", "bonus", "dept"])
+        # asking for specific attributes still yields an all-false row mask
+        assert not delta.changed_row_mask(["pay", "bonus"]).any()
+        assert delta.changed_mask("pay").dtype == bool
+        assert not delta.changed_mask("pay").any()
+
+    def test_nan_value_flips_are_changes_but_nan_nan_is_not(self):
+        v1 = Table.from_rows(
+            [
+                {"id": "a", "pay": 100.0},
+                {"id": "b", "pay": None},
+                {"id": "c", "pay": None},
+                {"id": "d", "pay": 400.0},
+            ],
+            primary_key="id",
+        )
+        # a: value -> NaN, b: NaN -> value, c: NaN -> NaN, d: value -> value
+        v2 = v1.with_column("pay", [None, 250.0, None, 400.0])
+        store = TimelineStore()
+        store.append("v1", v1)
+        store.append("v2", v2)
+        delta = store.delta("v1", "v2")
+        # a value appearing or disappearing is a change; both sides missing is
+        # not (there is no value to have changed); dtype stays boolean
+        assert delta.changed_mask("pay").tolist() == [True, True, False, False]
+        assert delta.num_changed_cells == 2
+
+    def test_changed_mask_on_attribute_absent_from_delta(self):
+        store = _store()
+        delta = store.delta("v1", "v2")  # only "pay" changed
+        absent = delta.changed_mask("bonus")
+        assert absent.shape == (3,) and absent.dtype == bool and not absent.any()
+        # the lookup is by name only — an attribute outside the schema also
+        # yields the all-false mask rather than raising (current behaviour,
+        # relied on by changed_row_mask over arbitrary attribute shortlists)
+        assert not delta.changed_mask("no-such-attribute").any()
+        assert not delta.touches(["no-such-attribute"])
+        assert not delta.changed_row_mask(["no-such-attribute"]).any()

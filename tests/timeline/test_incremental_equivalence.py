@@ -98,3 +98,69 @@ class TestIncrementalEqualsCold:
         config = CharlesConfig(warm_start_margin=0.0, **_FAST)
         warm = EngineSession(config).summarize_timeline(store, "bonus")
         assert warm.rankings() == _cold_rankings(store, config)
+
+
+@st.composite
+def revision_chains(draw) -> TimelineStore:
+    """Chains mixing bonus-policy hops with metadata-correction hops.
+
+    Correction hops revise ``edu``/``exp`` without touching the target, which
+    is the terrain of delta-patchable partition maintenance: serving the
+    chain's versions against a fixed endpoint moves the *source* side of the
+    pair by exactly those sparse corrections.
+    """
+    n = draw(st.integers(8, 14))
+    rows = []
+    for index in range(n):
+        rows.append(
+            {
+                "id": f"r{index}",
+                "edu": draw(st.sampled_from(_EDUCATIONS)),
+                "exp": float(draw(st.integers(0, 12))),
+                "bonus": float(draw(st.integers(1_000, 30_000))),
+            }
+        )
+    table = Table.from_rows(rows, primary_key="id")
+    store = TimelineStore()
+    store.append("v1", table)
+    for hop in range(draw(st.integers(2, 3))):
+        if draw(st.booleans()):
+            group = draw(st.sampled_from(_EDUCATIONS))
+            factor = draw(st.sampled_from([1.05, 1.1]))
+            bonus = np.array(table.column("bonus"), dtype=float)
+            members = np.array([edu == group for edu in table.column("edu")])
+            bonus = np.where(members, np.round(factor * bonus, 2), bonus)
+            updated = table.with_column("bonus", [float(b) for b in bonus])
+        else:
+            # metadata correction: the target is untouched
+            row = draw(st.integers(0, n - 1))
+            exp = np.array(table.column("exp"), dtype=float)
+            exp[row] += 1.0
+            updated = table.with_column("exp", [float(e) for e in exp])
+        store.append(f"v{hop + 2}", updated)
+        table = updated
+    return store
+
+
+class TestMaintainedProvenanceSweepEqualsCold:
+    """Serving every version against the chain's endpoint, one warm session.
+
+    Each sweep step summarises ``(v_i, v_latest)``; between steps the pair's
+    source moves by one hop's delta, so the session's maintenance layer sees
+    patchable revisions, certificate mismatches and content hits in random
+    mixture — and must deliver cold rankings through all of them.
+    """
+
+    @given(revision_chains())
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sweep_rankings_equal_cold_runs(self, store: TimelineStore):
+        config = CharlesConfig(**_FAST)
+        session = EngineSession(config)
+        latest = store.latest.name
+        for name in store.names[:-1]:
+            pair = store.pair(name, latest)
+            warm = session.summarize_pair(pair, "bonus")
+            cold = Charles(config).summarize_pair(pair, "bonus")
+            warm_ranking = [(s.summary.describe(), s.score) for s in warm.summaries]
+            cold_ranking = [(s.summary.describe(), s.score) for s in cold.summaries]
+            assert warm_ranking == cold_ranking
