@@ -1,0 +1,347 @@
+"""Cache-fabric benchmark: sharding, replication and pipelining, end to end.
+
+``bench_cache_server.py`` proves one cache server pools memo work across a
+fleet.  This benchmark measures what the PR-6 *fabric* adds on top:
+
+1. **topology never changes results** — the repeated-query workload (the
+   streaming-audit chain re-audited hop by hop) runs against in-process
+   caches, a 1-shard fabric, an N-shard replicated fabric, and the same
+   fabric with one shard killed partway through the benchmark; every arm's
+   rankings must be byte-identical to the serial reference;
+2. **replication makes shard death cheap** — the post-kill arm reports its
+   misses and ring failovers: with replication on, the dead shard's entries
+   are served off successors instead of being recomputed;
+3. **pipelining ends the round-trip-at-a-time floor** — a client-level
+   microbenchmark resolves the same lookups two ways: a strictly
+   request/response GET loop on one socket (the PR-4 client's behaviour,
+   decode included) versus the fabric client's ``get_many`` (one pipelined
+   ``MGET`` per shard, fanned out before any is collected — the path the
+   search layer's round prefetch takes).  The report carries the speedup;
+   on loopback it is bounded by parse/decode overlap, on a real network it
+   grows with round-trip latency (K serial RTTs versus one overlapped one).
+
+Engine arms run in freshly *spawned* interpreters (no shared memory), so
+every warm hit demonstrably travelled through TCP frames.
+
+Contract points, recorded in the JSON report (``BENCH_cache_fabric.json``):
+
+* rankings identical across every topology (always enforced);
+* the pipelined client beats the serial-socket client (enforced outside
+  smoke mode; warns in smoke, where timings on shared runners are noisy);
+* with replication, the degraded arm's misses stay under 10 % of the cold
+  arm's (enforced outside smoke mode) and its failover count is non-zero.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_cache_fabric.py --smoke --output BENCH_cache_fabric.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import socket
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import CharlesConfig
+from repro.cachestore import MISSING
+from repro.cacheserver import CacheServer, ShardedRemoteBackend, protocol
+from repro.cacheserver.client import decode_value, parse_url
+from repro.timeline import EngineSession, TimelineStore
+from repro.workloads import streaming_employee_timeline
+
+TARGET = "bonus"
+
+
+# -- engine arms (spawned interpreters against live fleets) ---------------------
+
+
+def _run_scenario(name: str, config: CharlesConfig, rows: int, versions: int, seed: int) -> dict:
+    full_store, _ = streaming_employee_timeline(rows, num_versions=versions, seed=seed)
+    stats_sum = {"hits": 0, "misses": 0, "failovers": 0, "round_trips": 0}
+    started = time.perf_counter()
+    with EngineSession(config) as session:
+        store = TimelineStore(key=full_store.key)
+        chain = list(full_store)
+        store.append(chain[0].name, chain[0].table)
+        rankings = None
+        for version in chain[1:]:
+            store.append(version.name, version.table)
+            result = session.summarize_timeline(store, TARGET)
+            rankings = result.rankings()
+            for hop in result.hops:
+                if hop.stats is None:
+                    continue
+                stats_sum["hits"] += hop.stats.cache_hits
+                stats_sum["misses"] += hop.stats.cache_lookups - hop.stats.cache_hits
+                remote = hop.stats.backend_counters.get("remote")
+                if remote is not None:
+                    stats_sum["failovers"] += remote.failovers
+                    stats_sum["round_trips"] += remote.round_trips
+        seconds = time.perf_counter() - started
+    lookups = stats_sum["hits"] + stats_sum["misses"]
+    return {
+        "scenario": name,
+        "cache_backend": config.cache_backend,
+        "shards": len(config.cache_url.split(",")) if config.cache_url else 0,
+        "replication": config.cache_replication,
+        "seconds": seconds,
+        "rankings": [[list(entry) for entry in hop] for hop in rankings],
+        "cache_hit_rate": stats_sum["hits"] / lookups if lookups else 0.0,
+        **stats_sum,
+    }
+
+
+def _fabric_process(
+    rows: int, versions: int, seed: int, url: str, replication: int, out_path: str
+) -> None:
+    """One fleet member's worth of work against the fabric (spawn target)."""
+    config = CharlesConfig(
+        cache_backend="remote", cache_url=url, cache_replication=replication
+    )
+    report = _run_scenario("fabric", config, rows, versions, seed)
+    Path(out_path).write_text(json.dumps(report), encoding="utf-8")
+
+
+def _run_fabric_scenario(
+    name: str, rows: int, versions: int, seed: int, url: str, replication: int
+) -> dict:
+    """Run the workload in a genuinely fresh interpreter (spawned, not forked)."""
+    context = multiprocessing.get_context("spawn")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        out_path = handle.name
+    process = context.Process(
+        target=_fabric_process, args=(rows, versions, seed, url, replication, out_path)
+    )
+    process.start()
+    process.join()
+    if process.exitcode != 0:
+        raise RuntimeError(f"fabric scenario process exited with {process.exitcode}")
+    report = json.loads(Path(out_path).read_text(encoding="utf-8"))
+    Path(out_path).unlink()
+    report["scenario"] = name
+    return report
+
+
+# -- the client microbenchmark: serial socket vs the pipelined fabric -----------
+
+
+def _client_microbench(shard_count: int, operations: int) -> dict:
+    """Resolve K warm lookups the PR-4 way and the fabric way, wall-clocked.
+
+    The PR-4 client was one socket, strictly request/response: K lookups cost
+    K sequential round trips (plus a decode each).  The fabric client fans
+    one pipelined ``MGET`` per shard out before collecting any, so the same
+    K lookups cost one overlapped round trip per shard.  Both arms run
+    against live servers seeded with identical entries and both decode every
+    value, so the wall-clock difference is purely how the wire is driven.
+    """
+    keys = [("bench", index) for index in range(operations)]
+    value = {"value": list(range(8))}
+
+    # PR-4 deployment: one server, one socket, wait for every response
+    with CacheServer() as single:
+        seeder = ShardedRemoteBackend(single.url)
+        for key in keys:
+            seeder.put(key, value)
+        digests = [seeder._digest(key) for key in keys]
+        len(seeder)  # write barrier: LEN answers behind the pipelined casts
+        with socket.create_connection(parse_url(single.url), timeout=30.0) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            serial_hits = 0
+            started = time.perf_counter()
+            for request_id, digest in enumerate(digests):
+                protocol.send_message(
+                    sock,
+                    request_id,
+                    protocol.encode_request(
+                        protocol.GET, protocol.REGION_FITS, digest=digest
+                    ),
+                )
+                _, body = protocol.recv_message(sock)
+                status, payload = protocol.decode_response(body)
+                if status == protocol.HIT and decode_value(payload) is not MISSING:
+                    serial_hits += 1
+            serial_seconds = time.perf_counter() - started
+        seeder.close()
+
+    # fabric deployment: N shards, one pipelined MGET per shard
+    shards = [CacheServer().start() for _ in range(shard_count)]
+    try:
+        fabric = ShardedRemoteBackend(",".join(shard.url for shard in shards))
+        for key in keys:
+            fabric.put(key, value)
+        len(fabric)  # same write barrier before timing the lookups
+        lookup_trips_before = fabric.round_trips
+        started = time.perf_counter()
+        values = fabric.get_many(keys)
+        fabric_seconds = time.perf_counter() - started
+        fabric_hits = sum(1 for entry in values if entry is not MISSING)
+        lookup_round_trips = fabric.round_trips - lookup_trips_before
+        fabric.close()
+    finally:
+        for shard in shards:
+            shard.shutdown()
+
+    return {
+        "operations": operations,
+        "serial_hits": serial_hits,
+        "fabric_hits": fabric_hits,
+        "serial_seconds": serial_seconds,
+        "fabric_seconds": fabric_seconds,
+        "fabric_lookup_round_trips": lookup_round_trips,
+        "pipelined_speedup": (
+            serial_seconds / fabric_seconds if fabric_seconds > 0 else None
+        ),
+        "pipelined_faster": fabric_seconds < serial_seconds,
+    }
+
+
+# -- the benchmark --------------------------------------------------------------
+
+
+def run_benchmark(
+    rows: int, versions: int, seed: int, shard_count: int, replication: int, operations: int
+) -> dict:
+    scenarios = [_run_scenario("serial", CharlesConfig(n_jobs=1), rows, versions, seed)]
+
+    with CacheServer() as single:
+        scenarios.append(
+            _run_fabric_scenario(
+                "one-shard-cold", rows, versions, seed, single.url, 1
+            )
+        )
+
+    # the microbench builds its own single server and its own fleet, so it
+    # never contends with the engine arms' servers for the loopback
+    wire = _client_microbench(shard_count, operations)
+
+    shards = [CacheServer().start() for _ in range(shard_count)]
+    try:
+        fleet_url = ",".join(shard.url for shard in shards)
+        scenarios.append(
+            _run_fabric_scenario(
+                "fleet-cold", rows, versions, seed, fleet_url, replication
+            )
+        )
+        scenarios.append(
+            _run_fabric_scenario(
+                "fleet-warm", rows, versions, seed, fleet_url, replication
+            )
+        )
+        # one fleet member dies mid-benchmark; with replication on, the
+        # survivors hold every entry and reads fail over around the ring
+        shards[0].shutdown()
+        scenarios.append(
+            _run_fabric_scenario(
+                "fleet-degraded", rows, versions, seed, fleet_url, replication
+            )
+        )
+    finally:
+        for shard in shards:
+            shard.shutdown()
+
+    by_name = {scenario["scenario"]: scenario for scenario in scenarios}
+    reference = by_name["serial"]["rankings"]
+    for scenario in scenarios:
+        scenario["rankings_identical_to_serial"] = scenario["rankings"] == reference
+
+    cold = by_name["fleet-cold"]
+    warm = by_name["fleet-warm"]
+    degraded = by_name["fleet-degraded"]
+    return {
+        "experiment": "cache_fabric",
+        "rows": rows,
+        "versions": versions,
+        "seed": seed,
+        "target": TARGET,
+        "shard_count": shard_count,
+        "replication": replication,
+        "scenarios": [
+            {key: value for key, value in scenario.items() if key != "rankings"}
+            for scenario in scenarios
+        ],
+        "wire": wire,
+        "pipelined_speedup": wire["pipelined_speedup"],
+        "pipelined_faster_than_serial_socket": wire["pipelined_faster"],
+        "fleet_warm_speedup": (
+            cold["seconds"] / warm["seconds"] if warm["seconds"] > 0 else None
+        ),
+        "cold_misses": cold["misses"],
+        "warm_misses": warm["misses"],
+        "degraded_misses": degraded["misses"],
+        "degraded_failovers": degraded["failovers"],
+        "degraded_served_off_replicas": (
+            degraded["misses"] <= 0.1 * max(cold["misses"], 1)
+            and degraded["failovers"] > 0
+        ),
+        "all_rankings_identical": all(
+            scenario["rankings_identical_to_serial"] for scenario in scenarios
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cache-fabric benchmark: sharded, replicated, pipelined fleet cache"
+    )
+    parser.add_argument("--rows", type=int, default=1_500, help="entities per version")
+    parser.add_argument("--versions", type=int, default=4, help="versions in the chain")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--shards", type=int, default=3, help="fleet size for the N-shard arms")
+    parser.add_argument("--replication", type=int, default=2,
+                        help="replica copies per entry (>= 2 makes shard death free)")
+    parser.add_argument("--operations", type=int, default=400,
+                        help="GET count for the wire microbenchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI (150 rows, 3 versions, 2 shards)")
+    parser.add_argument("--output", type=Path, default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    rows = 150 if args.smoke else args.rows
+    versions = 3 if args.smoke else args.versions
+    shard_count = 2 if args.smoke else args.shards
+    operations = 200 if args.smoke else args.operations
+    replication = min(args.replication, shard_count)
+
+    report = run_benchmark(rows, versions, args.seed, shard_count, replication, operations)
+    report["smoke"] = args.smoke
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.output}", file=sys.stderr)
+
+    # the ranking invariant is deterministic and always enforced; timing and
+    # miss-recovery margins are statistical, so smoke mode (tiny inputs on
+    # noisy shared runners) warns instead of failing the build
+    failures = []
+    warnings_ = []
+    if not report["all_rankings_identical"]:
+        failures.append("rankings diverged between cache topologies")
+    if not report["pipelined_faster_than_serial_socket"]:
+        message = (
+            "pipelined fabric client was not faster than the serial-socket client "
+            f"({report['wire']['fabric_seconds']:.3f}s vs "
+            f"{report['wire']['serial_seconds']:.3f}s over {operations} lookups)"
+        )
+        (warnings_ if args.smoke else failures).append(message)
+    if not report["degraded_served_off_replicas"]:
+        message = (
+            "shard death was not absorbed by replicas "
+            f"({report['degraded_misses']} misses vs {report['cold_misses']} cold, "
+            f"{report['degraded_failovers']} failovers)"
+        )
+        (warnings_ if args.smoke else failures).append(message)
+    for message in warnings_:
+        print(f"WARN: {message}", file=sys.stderr)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,50 +1,74 @@
-"""The fleet-scale cache service: one memo store shared over the network.
+"""The fleet-scale cache fabric: a sharded, replicated memo store on the network.
 
 Cacheserver architecture
 ========================
 
 PR 3's shared and disk stores pool memo work across *processes on one
-machine*; this package closes the remaining gap — a fleet of engine
-instances on different machines — with a standalone cache service:
+machine*; PR 4 added a standalone cache service for a fleet of engines on
+different machines; PR 6 grew that service into a *fabric* — sharded,
+replicated and pipelined, so fleet cache capacity and throughput scale past
+one socket and one server:
 
 * :mod:`~repro.cacheserver.protocol` — the wire format: length-prefixed
-  binary frames carrying digested keys, opaque pickled values and a per-PUT
-  recomputation-cost hint; stdlib ``struct``/``json`` only.
+  binary frames carrying a request id, digested keys, opaque pickled values
+  and a per-PUT recomputation-cost hint; batched ``MGET`` lookups; stdlib
+  ``struct``/``json`` only.
 * :mod:`~repro.cacheserver.server` — :class:`~repro.cacheserver.server.
   CacheServer`, a threaded TCP server hosting the ``fits``/``partitions``
   regions on :class:`~repro.cachestore.memory.InProcessBackend` stores with a
   cost-aware eviction policy, plus ``PING``/``STATS`` admin verbs and
-  graceful shutdown.  Run it with ``charles cache-server``.
+  graceful shutdown.  Run one per shard with ``charles cache-server``.
+* :mod:`~repro.cacheserver.pipeline` — :class:`~repro.cacheserver.pipeline.
+  PipelinedConnection`, one persistent socket with any number of requests in
+  flight (a reader thread pairs responses up by request id), ending the
+  one-round-trip-at-a-time latency floor of the PR-4 client.
+* :mod:`~repro.cacheserver.ring` — :class:`~repro.cacheserver.ring.HashRing`,
+  consistent-hash placement of key digests over N endpoints with virtual
+  nodes; owner plus replica/failover successors per key.
 * :mod:`~repro.cacheserver.client` — :class:`~repro.cacheserver.client.
-  RemoteBackend`, the :class:`~repro.cachestore.base.CacheBackend` engines
-  select with ``cache_backend="remote"`` / ``cache_url="host:port"``; it
-  degrades to misses whenever the server is unreachable (an outage costs
-  time, never correctness) and hands parallel workers picklable
-  :class:`~repro.cacheserver.client.RemoteHandle`\\ s so each opens its own
-  connection.
+  ShardClient` (one endpoint's pipelined connection + per-shard
+  degrade-to-miss backoff) and :class:`~repro.cacheserver.client.
+  RemoteBackend`, the single-endpoint :class:`~repro.cachestore.base.
+  CacheBackend` built on it.
+* :mod:`~repro.cacheserver.fabric` — :class:`~repro.cacheserver.fabric.
+  ShardedRemoteBackend`, what ``cache_backend="remote"`` actually builds: a
+  comma-separated ``cache_url`` becomes a hash ring of shard clients, with
+  optional replica-set writes (``cache_replication``), read failover around
+  the ring, and round-synchronised ``MGET`` prefetching.
 
 Keys are namespaced by ``CharlesConfig.cache_fingerprint()`` exactly like the
-disk store, so differently configured engines sharing one server never serve
+disk store, so differently configured engines sharing one fabric never serve
 each other's entries, while execution-only knobs (``n_jobs``, pruning,
-warm-start) keep the fleet cache warm.  As with every backend, where entries
-live never changes what a search returns: rankings with a remote store — or
-with a mid-run server outage — are byte-identical to in-process runs, which
-``tests/cacheserver/`` and ``benchmarks/bench_cache_server.py`` enforce.
+warm-start, shard count, replication) keep the fleet cache warm.  As with
+every backend, where entries live never changes what a search returns:
+rankings with one shard, N shards, or a shard killed mid-run are
+byte-identical to in-process runs, which ``tests/cacheserver/`` and
+``benchmarks/bench_cache_fabric.py`` enforce.
 """
 
 from repro.cacheserver.client import (
     RemoteBackend,
     RemoteHandle,
+    ShardClient,
     parse_url,
     server_clear,
     server_ping,
     server_stats,
 )
+from repro.cacheserver.fabric import ShardedRemoteBackend, ShardedRemoteHandle
+from repro.cacheserver.pipeline import PipelinedConnection
+from repro.cacheserver.ring import HashRing, parse_endpoints
 from repro.cacheserver.server import DEFAULT_PORT, CacheServer
 
 __all__ = [
     "RemoteBackend",
     "RemoteHandle",
+    "ShardClient",
+    "ShardedRemoteBackend",
+    "ShardedRemoteHandle",
+    "PipelinedConnection",
+    "HashRing",
+    "parse_endpoints",
     "parse_url",
     "server_ping",
     "server_stats",

@@ -4,7 +4,14 @@ A :class:`RemoteBackend` gives an engine process (or a parallel worker — the
 :class:`RemoteHandle` is picklable and each attached instance opens its own
 connection) a view over one region of a :class:`~repro.cacheserver.server.
 CacheServer`, so a whole fleet of engines on different machines pools its
-partition discoveries and per-mask fits through one store.
+partition discoveries and per-mask fits through one store.  Since the fabric
+release the wire underneath is a :class:`~repro.cacheserver.pipeline.
+PipelinedConnection`: lookups still block for their answer, but publishes are
+fire-and-forget and any number of requests may be in flight on the one
+socket, so cache traffic no longer serialises a search on round-trip latency.
+The shard-facing half lives in :class:`ShardClient` — one endpoint's
+connection plus its degrade/backoff state — which the sharded fabric
+(:mod:`repro.cacheserver.fabric`) composes N times over a hash ring.
 
 The cardinal rule is *degrade, never abort* — stronger here than for the disk
 backend, because the failure domain includes another machine: a server that
@@ -50,9 +57,18 @@ from repro.cachestore.base import (
 )
 from repro.cachestore.disk import _UNPICKLE_ERRORS
 from repro.cacheserver import protocol
+from repro.cacheserver.pipeline import PipelinedConnection
 from repro.exceptions import CacheStoreError
 
-__all__ = ["RemoteBackend", "RemoteHandle", "parse_url", "server_stats", "server_clear", "server_ping"]
+__all__ = [
+    "ShardClient",
+    "RemoteBackend",
+    "RemoteHandle",
+    "parse_url",
+    "server_stats",
+    "server_clear",
+    "server_ping",
+]
 
 #: operations answered locally (miss / dropped put) after a connection
 #: failure before the next reconnection attempt
@@ -81,6 +97,173 @@ def parse_url(url: str) -> tuple[str, int]:
     if not 0 < port < 65536:
         raise CacheStoreError(f"cache_url port must be in 1..65535, got {port}")
     return host, port
+
+
+def encode_value(value: Any) -> bytes | None:
+    """Pickle a value for the wire, or ``None`` when it cannot be published."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) + 2 + protocol.DIGEST_SIZE + 8 > protocol.MAX_FRAME_BYTES:
+        return None  # pathological value: publishing is an optimisation, skip it
+    return payload
+
+
+def decode_value(payload: bytes) -> Any:
+    """Unpickle a served value; a foreign or stale blob degrades to MISSING."""
+    try:
+        return pickle.loads(payload)
+    except _UNPICKLE_ERRORS:
+        return MISSING
+
+
+class ShardClient:
+    """One cache-server endpoint: a pipelined connection plus degrade state.
+
+    This is the unit the fabric replicates — each endpoint gets its own
+    op-budget and backoff window, so one dead shard degrades alone while its
+    peers keep answering.  All three entry points answer ``None``/``False``
+    instead of raising while the endpoint is degraded or freshly failing:
+
+    * :meth:`call` — send one request and block for its response;
+    * :meth:`cast` — fire-and-forget (pipelined ``PUT``): the send is
+      accounted as a round trip and nobody waits for the response frame;
+    * :meth:`mget` — one batched lookup resolving a whole round of keys in a
+      single round trip.
+    """
+
+    def __init__(self, url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.url = url
+        self._address = parse_url(url)  # fail fast on a malformed URL only
+        self._timeout = timeout
+        self._conn: PipelinedConnection | None = None
+        self._pid: int | None = None
+        self._ops_until_retry = 0
+        self._retry_not_before = 0.0
+        self._current_backoff = RETRY_BACKOFF_SECONDS
+        self.round_trips = 0
+        self.connection_failures = 0
+
+    # -- connection & degrade state --------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the next operation would be answered locally, wire untouched."""
+        if self._ops_until_retry > 0:
+            return True
+        conn = self._conn
+        if conn is not None and self._pid == os.getpid() and conn.alive:
+            return False
+        return time.monotonic() < self._retry_not_before
+
+    def _record_failure(self) -> None:
+        self.connection_failures += 1
+        self._drop_connection()
+        self._ops_until_retry = RETRY_AFTER_OPS
+        self._retry_not_before = time.monotonic() + self._current_backoff
+        self._current_backoff = min(self._current_backoff * 2, MAX_RETRY_BACKOFF_SECONDS)
+
+    def _drop_connection(self) -> None:
+        conn, owned = self._conn, self._pid == os.getpid()
+        self._conn = None
+        self._pid = None
+        if conn is not None and owned:
+            conn.close()
+
+    def _acquire(self) -> PipelinedConnection | None:
+        """The live connection for one operation, or ``None`` while degraded."""
+        if self._ops_until_retry > 0:
+            self._ops_until_retry -= 1
+            return None
+        conn = self._conn
+        if conn is not None and self._pid != os.getpid():
+            # a connection must never cross a fork: the parent still owns it
+            # (and its reader thread did not survive into this process)
+            self._conn = conn = None
+        if conn is not None and not conn.alive:
+            # the reader noticed the peer die since our last operation
+            self._record_failure()
+            return None
+        if conn is None:
+            if time.monotonic() < self._retry_not_before:
+                return None  # still inside the wall-clock backoff window
+            try:
+                conn = PipelinedConnection(self._address, self._timeout)
+            except OSError:
+                self._record_failure()
+                return None
+            self._conn = conn
+            self._pid = os.getpid()
+        return conn
+
+    # -- operations --------------------------------------------------------------
+
+    def call(self, body: bytes) -> tuple[int, bytes] | None:
+        """One blocking request, or ``None`` while degraded / on a fresh failure."""
+        conn = self._acquire()
+        if conn is None:
+            return None
+        try:
+            response = conn.request(body)
+        except (OSError, protocol.ProtocolError):
+            self._record_failure()
+            return None
+        self.round_trips += 1
+        self._current_backoff = RETRY_BACKOFF_SECONDS  # healthy again
+        return response
+
+    def cast(self, body: bytes) -> bool:
+        """One fire-and-forget request; returns whether the send was accepted."""
+        conn = self._acquire()
+        if conn is None:
+            return False
+        if not conn.fire(body):
+            self._record_failure()
+            return False
+        self.round_trips += 1
+        return True
+
+    def mget_begin(self, region: int, digests: tuple[bytes, ...]):
+        """Start a batched lookup without waiting; ``None`` while degraded.
+
+        The fabric fans one ``MGET`` out per shard and *then* collects, so a
+        round's lookups across N shards overlap instead of paying N
+        sequential round trips.  Pass the returned future to
+        :meth:`mget_finish`.
+        """
+        conn = self._acquire()
+        if conn is None:
+            return None
+        return conn.submit(
+            protocol.encode_request(protocol.MGET, region, digests=digests)
+        )
+
+    def mget_finish(self, future, count: int) -> list[bytes | None] | None:
+        """Collect a started batch: per-key value bytes, or ``None`` degraded."""
+        try:
+            answer = future.result(timeout=self._timeout)
+        except Exception:
+            self._record_failure()
+            return None
+        self.round_trips += 1
+        self._current_backoff = RETRY_BACKOFF_SECONDS  # healthy again
+        if answer[0] != protocol.OK:
+            return None
+        try:
+            return protocol.unpack_multi(answer[1], count)
+        except protocol.ProtocolError:
+            self._record_failure()  # a corrupt batch means the stream is toast
+            return None
+
+    def mget(self, region: int, digests: tuple[bytes, ...]) -> list[bytes | None] | None:
+        """Batched lookup: per-key value bytes (``None`` = miss), or ``None`` degraded."""
+        if not digests:
+            return []
+        future = self.mget_begin(region, digests)
+        if future is None:
+            return None
+        return self.mget_finish(future, len(digests))
+
+    def close(self) -> None:
+        self._drop_connection()
 
 
 @dataclass(frozen=True)
@@ -119,67 +302,30 @@ class RemoteBackend(CacheBackend):
         super().__init__()
         if capacity is not None and capacity < 1:
             raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
-        self._url = url
-        self._address = parse_url(url)  # fail fast on a malformed URL only
+        self._client = ShardClient(url, timeout)
         self._region = region
         self._capacity = capacity
         self._namespace = namespace
         self._timeout = timeout
-        self._sock: socket.socket | None = None
-        self._pid: int | None = None
-        self._ops_until_retry = 0
-        self._retry_not_before = 0.0
-        self._current_backoff = RETRY_BACKOFF_SECONDS
-        self.round_trips = 0
-        self.connection_failures = 0
 
-    # -- wire plumbing ---------------------------------------------------------
+    # -- degrade state (proxied so tests and tools see one client) ---------------
 
-    def _connection(self) -> socket.socket:
-        if self._sock is not None and self._pid != os.getpid():
-            # a socket must never cross a fork: the parent still owns it
-            self._sock = None
-        if self._sock is None:
-            sock = socket.create_connection(self._address, timeout=self._timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sock = sock
-            self._pid = os.getpid()
-        return self._sock
+    @property
+    def round_trips(self) -> int:
+        """Requests sent over the wire (pipelined sends count like round trips)."""
+        return self._client.round_trips
 
-    def _drop_connection(self) -> None:
-        if self._sock is not None and self._pid == os.getpid():
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover - close on a dead socket
-                pass
-        self._sock = None
-        self._pid = None
+    @property
+    def connection_failures(self) -> int:
+        return self._client.connection_failures
 
-    def _request(self, body: bytes) -> tuple[int, bytes] | None:
-        """One round-trip, or ``None`` while degraded / on a fresh failure."""
-        if self._ops_until_retry > 0:
-            self._ops_until_retry -= 1
-            return None
-        if self._sock is None and time.monotonic() < self._retry_not_before:
-            return None  # still inside the wall-clock backoff window
-        try:
-            sock = self._connection()
-            protocol.send_frame(sock, body)
-            response = protocol.recv_frame(sock)
-            if response is None:
-                raise protocol.ProtocolError("server closed the connection")
-            self.round_trips += 1
-            self._current_backoff = RETRY_BACKOFF_SECONDS  # healthy again
-            return protocol.decode_response(response)
-        except (OSError, protocol.ProtocolError):
-            self.connection_failures += 1
-            self._drop_connection()
-            self._ops_until_retry = RETRY_AFTER_OPS
-            self._retry_not_before = time.monotonic() + self._current_backoff
-            self._current_backoff = min(
-                self._current_backoff * 2, MAX_RETRY_BACKOFF_SECONDS
-            )
-            return None
+    @property
+    def _retry_not_before(self) -> float:
+        return self._client._retry_not_before
+
+    @_retry_not_before.setter
+    def _retry_not_before(self, value: float) -> None:
+        self._client._retry_not_before = value
 
     def _digest(self, key: Hashable) -> bytes:
         if not self._namespace:
@@ -189,14 +335,12 @@ class RemoteBackend(CacheBackend):
     # -- the CacheBackend contract -----------------------------------------------
 
     def get(self, key: Hashable) -> Any:
-        answer = self._request(
+        answer = self._client.call(
             protocol.encode_request(protocol.GET, self._region, digest=self._digest(key))
         )
         if answer is not None and answer[0] == protocol.HIT:
-            try:
-                value = pickle.loads(answer[1])
-            except _UNPICKLE_ERRORS:
-                # a foreign or stale blob degrades to a miss like on disk
+            value = decode_value(answer[1])
+            if value is MISSING:
                 self.misses += 1
                 return MISSING
             self.hits += 1
@@ -205,10 +349,13 @@ class RemoteBackend(CacheBackend):
         return MISSING
 
     def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
-        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        if len(payload) + 2 + protocol.DIGEST_SIZE + 8 > protocol.MAX_FRAME_BYTES:
-            return  # pathological value: publishing is an optimisation, skip it
-        self._request(
+        payload = encode_value(value)
+        if payload is None:
+            return
+        # fire-and-forget: the publish rides the pipeline and nobody blocks on
+        # its acknowledgement; same-connection ordering still guarantees that
+        # our own next GET observes it
+        self._client.cast(
             protocol.encode_request(
                 protocol.PUT,
                 self._region,
@@ -221,7 +368,7 @@ class RemoteBackend(CacheBackend):
     def __len__(self) -> int:
         # counts the whole region, across namespaces; 0 while degraded —
         # mirroring how the disk backend degrades on an unreadable store
-        answer = self._request(protocol.encode_request(protocol.LEN, self._region))
+        answer = self._client.call(protocol.encode_request(protocol.LEN, self._region))
         if answer is None or answer[0] != protocol.OK:
             return 0
         try:
@@ -230,7 +377,7 @@ class RemoteBackend(CacheBackend):
             return 0
 
     def clear(self) -> None:
-        self._request(protocol.encode_request(protocol.CLEAR, self._region))
+        self._client.call(protocol.encode_request(protocol.CLEAR, self._region))
 
     # -- accounting, sharing, lifecycle --------------------------------------------
 
@@ -239,7 +386,7 @@ class RemoteBackend(CacheBackend):
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,  # always 0: eviction is the server's act
-            round_trips=self.round_trips,
+            round_trips=self._client.round_trips,
         )
 
     @property
@@ -254,7 +401,7 @@ class RemoteBackend(CacheBackend):
     @property
     def url(self) -> str:
         """The ``host:port`` of the server this backend talks to."""
-        return self._url
+        return self._client.url
 
     @property
     def shareable(self) -> bool:
@@ -262,7 +409,7 @@ class RemoteBackend(CacheBackend):
 
     def handle(self) -> RemoteHandle:
         return RemoteHandle(
-            url=self._url,
+            url=self._client.url,
             region=self._region,
             capacity=self._capacity,
             namespace=self._namespace,
@@ -270,7 +417,7 @@ class RemoteBackend(CacheBackend):
         )
 
     def close(self) -> None:
-        self._drop_connection()
+        self._client.close()
 
 
 # -- admin helpers (the ``charles cache`` command) ---------------------------------
@@ -285,13 +432,13 @@ def _admin_request(url: str, body: bytes, timeout: float = DEFAULT_TIMEOUT) -> t
     address = parse_url(url)
     try:
         with socket.create_connection(address, timeout=timeout) as sock:
-            protocol.send_frame(sock, body)
-            response = protocol.recv_frame(sock)
+            protocol.send_message(sock, 0, body)
+            response = protocol.recv_message(sock)
     except OSError as error:
         raise CacheStoreError(f"cannot reach cache server at {url}: {error}") from error
     if response is None:
         raise CacheStoreError(f"cache server at {url} closed the connection")
-    status, payload = protocol.decode_response(response)
+    status, payload = protocol.decode_response(response[1])
     if status == protocol.ERROR:
         raise CacheStoreError(
             f"cache server at {url} refused the request: {payload.decode('utf-8', 'replace')}"

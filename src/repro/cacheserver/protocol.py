@@ -1,19 +1,29 @@
-"""The cache-server wire protocol: length-prefixed binary frames over TCP.
+"""The cache-server wire protocol: length-prefixed, pipelined binary frames.
 
-One request frame travels client → server, one response frame travels back;
-connections are persistent, so a search amortises the TCP handshake over
+Connections are persistent, so a search amortises the TCP handshake over
 thousands of lookups.  Every frame is a 4-byte big-endian unsigned length
 followed by that many body bytes, bounded by :data:`MAX_FRAME_BYTES` so a
 corrupt or hostile peer cannot make the other side allocate gigabytes.
 
-Request bodies start with a verb byte and a region byte:
+Since the fabric release the conversation is *pipelined*: a frame body is a
+4-byte request id followed by the message, and the server echoes the id on
+the matching response.  A client may therefore have many requests in flight
+on one connection — it need not wait for a response before sending the next
+request (:class:`~repro.cacheserver.pipeline.PipelinedConnection` pairs the
+responses back up by id), which removes the one-round-trip-at-a-time latency
+floor the PR-4 client had.  Use :func:`send_message`/:func:`recv_message`
+for id-carrying traffic; :func:`send_frame`/:func:`recv_frame` remain the
+raw framing layer underneath.
+
+Request messages start with a verb byte and a region byte:
 
 ========  =======================================================
-verb      body after the (verb, region) header
+verb      message after the (verb, region) header
 ========  =======================================================
 ``PING``  empty — liveness probe, answered with ``OK`` + ``pong``
 ``GET``   16-byte key digest
 ``PUT``   16-byte key digest, 8-byte float64 cost hint, value bytes
+``MGET``  4-byte count, then count 16-byte key digests
 ``LEN``   empty — entry count of the region (or all regions)
 ``CLEAR`` empty — drop the region's entries (or all regions')
 ``STATS`` empty — per-region counters as UTF-8 JSON
@@ -21,7 +31,8 @@ verb      body after the (verb, region) header
 
 Responses start with a status byte: ``HIT`` carries the stored value bytes,
 ``MISS`` is empty, ``OK`` carries verb-specific payloads (an 8-byte count for
-``LEN``, JSON for ``STATS``), ``ERROR`` carries a UTF-8 message.
+``LEN``, a packed hit/miss vector for ``MGET``, JSON for ``STATS``),
+``ERROR`` carries a UTF-8 message.
 
 Two deliberate choices keep the server small and safe:
 
@@ -50,6 +61,7 @@ __all__ = [
     "PING",
     "GET",
     "PUT",
+    "MGET",
     "LEN",
     "CLEAR",
     "STATS",
@@ -68,8 +80,15 @@ __all__ = [
     "decode_response",
     "send_frame",
     "recv_frame",
+    "frame_message",
+    "drain_frames",
+    "send_message",
+    "recv_message",
+    "parse_message",
     "pack_count",
     "unpack_count",
+    "pack_multi",
+    "unpack_multi",
 ]
 
 
@@ -91,7 +110,8 @@ PUT = 3
 LEN = 4
 CLEAR = 5
 STATS = 6
-_VERBS = frozenset({PING, GET, PUT, LEN, CLEAR, STATS})
+MGET = 7
+_VERBS = frozenset({PING, GET, PUT, LEN, CLEAR, STATS, MGET})
 
 # regions: one per memo cache the search layer carries, plus the admin "all"
 REGION_FITS = 0
@@ -108,6 +128,12 @@ ERROR = 3
 _LENGTH = struct.Struct(">I")
 _COST = struct.Struct(">d")
 _COUNT = struct.Struct(">Q")
+_SHORT = struct.Struct(">I")
+_REQUEST_ID = struct.Struct(">I")
+
+#: largest key batch one MGET may carry (a round's worth of lookups is far
+#: below this; anything near it is a corrupt count, not a legitimate batch)
+MAX_BATCH_KEYS = 65536
 
 
 @dataclass(frozen=True)
@@ -119,6 +145,7 @@ class Request:
     digest: bytes = b""
     cost: float = 0.0
     payload: bytes = b""
+    digests: tuple[bytes, ...] = ()
 
 
 def encode_request(
@@ -127,8 +154,9 @@ def encode_request(
     digest: bytes = b"",
     cost: float = 0.0,
     payload: bytes = b"",
+    digests: tuple[bytes, ...] = (),
 ) -> bytes:
-    """The body bytes of one request frame."""
+    """The body bytes of one request message."""
     if verb in (GET, PUT) and len(digest) != DIGEST_SIZE:
         raise ProtocolError(
             f"key digest must be {DIGEST_SIZE} bytes, got {len(digest)}"
@@ -138,6 +166,17 @@ def encode_request(
         return head + digest
     if verb == PUT:
         return head + digest + _COST.pack(cost) + payload
+    if verb == MGET:
+        if not digests or len(digests) > MAX_BATCH_KEYS:
+            raise ProtocolError(
+                f"MGET must carry 1..{MAX_BATCH_KEYS} digests, got {len(digests)}"
+            )
+        for entry in digests:
+            if len(entry) != DIGEST_SIZE:
+                raise ProtocolError(
+                    f"key digest must be {DIGEST_SIZE} bytes, got {len(entry)}"
+                )
+        return head + _SHORT.pack(len(digests)) + b"".join(digests)
     return head
 
 
@@ -160,6 +199,23 @@ def decode_request(body: bytes) -> Request:
         digest = body[2 : 2 + DIGEST_SIZE]
         (cost,) = _COST.unpack_from(body, 2 + DIGEST_SIZE)
         return Request(verb, region, digest=digest, cost=cost, payload=body[fixed:])
+    if verb == MGET:
+        if len(body) < 2 + _SHORT.size:
+            raise ProtocolError(f"MGET frame too short ({len(body)} bytes)")
+        (count,) = _SHORT.unpack_from(body, 2)
+        if not 0 < count <= MAX_BATCH_KEYS:
+            raise ProtocolError(f"MGET count must be 1..{MAX_BATCH_KEYS}, got {count}")
+        expected = 2 + _SHORT.size + count * DIGEST_SIZE
+        if len(body) != expected:
+            raise ProtocolError(
+                f"MGET frame must be {expected} bytes for {count} digests, got {len(body)}"
+            )
+        start = 2 + _SHORT.size
+        digests = tuple(
+            body[start + index * DIGEST_SIZE : start + (index + 1) * DIGEST_SIZE]
+            for index in range(count)
+        )
+        return Request(verb, region, digests=digests)
     return Request(verb, region)
 
 
@@ -185,6 +241,48 @@ def unpack_count(payload: bytes) -> int:
     if len(payload) != _COUNT.size:
         raise ProtocolError(f"LEN payload must be {_COUNT.size} bytes, got {len(payload)}")
     return _COUNT.unpack(payload)[0]
+
+
+def pack_multi(values: "list[bytes | None]") -> bytes:
+    """The payload of an ``MGET`` response: one hit/miss slot per requested key.
+
+    Each slot is a status byte (:data:`HIT`/:data:`MISS`); a hit is followed
+    by a 4-byte length and the stored value bytes, a miss by nothing.
+    """
+    parts: list[bytes] = []
+    for value in values:
+        if value is None:
+            parts.append(bytes((MISS,)))
+        else:
+            parts.append(bytes((HIT,)) + _SHORT.pack(len(value)) + value)
+    return b"".join(parts)
+
+
+def unpack_multi(payload: bytes, count: int) -> "list[bytes | None]":
+    """The per-key values of an ``MGET`` response (``None`` marks a miss)."""
+    values: list[bytes | None] = []
+    offset = 0
+    for _ in range(count):
+        if offset >= len(payload):
+            raise ProtocolError("MGET response truncated")
+        status = payload[offset]
+        offset += 1
+        if status == MISS:
+            values.append(None)
+            continue
+        if status != HIT:
+            raise ProtocolError(f"MGET slot carries unknown status {status}")
+        if offset + _SHORT.size > len(payload):
+            raise ProtocolError("MGET response truncated inside a length")
+        (length,) = _SHORT.unpack_from(payload, offset)
+        offset += _SHORT.size
+        if offset + length > len(payload):
+            raise ProtocolError("MGET response truncated inside a value")
+        values.append(payload[offset : offset + length])
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError(f"MGET response carries {len(payload) - offset} trailing bytes")
+    return values
 
 
 def send_frame(sock: socket.socket, body: bytes) -> None:
@@ -228,3 +326,68 @@ def recv_frame(sock: socket.socket) -> bytes | None:
     if body is None:
         raise ProtocolError("connection closed mid-frame")
     return body
+
+
+def frame_message(request_id: int, body: bytes) -> bytes:
+    """The full wire bytes of one pipelined message, length prefix included.
+
+    Peers that batch — the server coalescing a burst of responses into one
+    ``sendall``, a client queueing sends — build messages with this and
+    concatenate, instead of paying one syscall per message.
+    """
+    framed = _REQUEST_ID.pack(request_id & 0xFFFFFFFF) + body
+    if len(framed) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(framed)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(framed)) + framed
+
+
+def drain_frames(buffer: bytearray) -> list[bytes]:
+    """Consume every complete frame currently in ``buffer``, in arrival order.
+
+    Incremental parsing for peers that read in bulk: call after appending
+    each ``recv`` chunk; complete frames are removed from ``buffer`` and
+    returned, a trailing partial frame stays buffered for the next chunk.
+    Raises :class:`ProtocolError` on a length prefix past
+    :data:`MAX_FRAME_BYTES` (the stream is unrecoverable — framing is lost).
+    """
+    frames: list[bytes] = []
+    while len(buffer) >= _LENGTH.size:
+        (length,) = _LENGTH.unpack_from(buffer)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        end = _LENGTH.size + length
+        if len(buffer) < end:
+            break
+        frames.append(bytes(buffer[_LENGTH.size : end]))
+        del buffer[:end]
+    return frames
+
+
+def send_message(sock: socket.socket, request_id: int, body: bytes) -> None:
+    """Write one pipelined message: a frame whose body is ``id + body``.
+
+    Request ids are an unsigned 32-bit counter per connection (wrapping is
+    fine — a connection never has 2^32 requests in flight); the server echoes
+    the id on the matching response so a pipelined client can pair responses
+    with requests regardless of how many are outstanding.
+    """
+    sock.sendall(frame_message(request_id, body))
+
+
+def recv_message(sock: socket.socket) -> tuple[int, bytes] | None:
+    """Read one pipelined message as ``(request_id, body)``; ``None`` on EOF."""
+    frame = recv_frame(sock)
+    if frame is None:
+        return None
+    if len(frame) < _REQUEST_ID.size:
+        raise ProtocolError(f"message frame too short ({len(frame)} bytes)")
+    (request_id,) = _REQUEST_ID.unpack_from(frame)
+    return request_id, frame[_REQUEST_ID.size :]
+
+
+def parse_message(frame: bytes) -> tuple[int, bytes]:
+    """Split an already-received frame body into ``(request_id, message)``."""
+    if len(frame) < _REQUEST_ID.size:
+        raise ProtocolError(f"message frame too short ({len(frame)} bytes)")
+    (request_id,) = _REQUEST_ID.unpack_from(frame)
+    return request_id, frame[_REQUEST_ID.size :]

@@ -84,13 +84,16 @@ class BackendCounters:
     ``round_trips`` counts network requests actually sent — zero for every
     local layer, and for a remote layer typically below ``hits + misses``
     because a degraded client answers lookups locally without touching the
-    wire.
+    wire and a pipelined client batches a round of lookups into one request.
+    ``failovers`` counts reads and batches redirected from an unreachable
+    shard to a ring successor — zero everywhere but a replicated fabric.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     round_trips: int = 0
+    failovers: int = 0
 
     @property
     def lookups(self) -> int:
@@ -110,6 +113,7 @@ class BackendCounters:
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
             round_trips=self.round_trips + other.round_trips,
+            failovers=self.failovers + other.failovers,
         )
 
     def __sub__(self, other: "BackendCounters") -> "BackendCounters":
@@ -118,6 +122,7 @@ class BackendCounters:
             misses=self.misses - other.misses,
             evictions=self.evictions - other.evictions,
             round_trips=self.round_trips - other.round_trips,
+            failovers=self.failovers - other.failovers,
         )
 
 
@@ -134,6 +139,10 @@ class CacheBackend(ABC):
 
     #: short identifier of the storage kind ("memory", "shared", "disk", ...)
     kind: str = "backend"
+
+    #: whether :meth:`prefetch` actually batches wire traffic; local stores
+    #: leave it False so callers skip the bookkeeping entirely
+    supports_prefetch: bool = False
 
     def __init__(self) -> None:
         self.hits = 0
@@ -154,6 +163,24 @@ class CacheBackend(ABC):
         memo layer times every fit and partition discovery).  Backends with a
         cost-aware eviction policy use it to rank entries; all others may
         ignore it — it is advisory and never changes what ``get`` returns.
+        """
+
+    def get_many(self, keys) -> list:
+        """The stored values for ``keys`` in order (:data:`MISSING` per miss).
+
+        The default is a loop of :meth:`get`; backends that can answer a
+        batch in fewer round trips (the sharded fabric's ``MGET``) override
+        it.  Counters move exactly as the loop would move them.
+        """
+        return [self.get(key) for key in keys]
+
+    def prefetch(self, keys) -> None:
+        """Warm the backend for an imminent batch of :meth:`get` calls.
+
+        Purely advisory: a backend may resolve the keys ahead of time (one
+        batched request per shard for the remote fabric) or do nothing at
+        all (every local store).  Callers gate on :attr:`supports_prefetch`
+        to skip the call where it cannot help.
         """
 
     @abstractmethod

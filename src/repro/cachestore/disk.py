@@ -28,11 +28,16 @@ Storage details:
 * connections are opened lazily *per process*: a backend that crosses a
   ``fork``/``spawn`` boundary (through a :class:`DiskHandle` or directly)
   re-opens its own connection on first use rather than sharing one unsafely;
-* an optional ``capacity`` bounds the entry count with FIFO eviction (oldest
-  ``rowid`` first) — recency tracking on disk would cost a write per read;
-* a persistent cache must *degrade, never abort*: entries written by an older
-  release (the store carries a format stamp in ``PRAGMA user_version`` and
-  drops everything on mismatch), a blob that no longer unpickles, or a
+* an optional ``capacity`` bounds the entry count; since format v2 every
+  entry persists the ``cost_hint`` recomputation-seconds its writer observed,
+  and the default cost-aware policy evicts the cheapest value per stored byte
+  first (``policy="fifo"`` restores the old oldest-``rowid``-first order) —
+  recency tracking on disk would cost a write per read, cost tracking costs
+  nothing a ``put`` wasn't already writing;
+* a persistent cache must *degrade, never abort*: the store carries a format
+  stamp in ``PRAGMA user_version`` — known older versions migrate in place
+  (v1 stores gain the cost column, entries intact), unknown ones are dropped
+  wholesale — and a blob that no longer unpickles, or a
   corrupt/locked database all surface as misses — the work is recomputed and
   the bad entry discarded; ``__len__`` and :meth:`~DiskBackend.clear` degrade
   the same way (0 entries / no-op).  Only an unusable location at
@@ -59,8 +64,15 @@ from repro.exceptions import CacheStoreError
 __all__ = ["DiskBackend", "DiskHandle"]
 
 # bump when the on-disk layout or the pickled value types change shape; a
-# store stamped with a different version is dropped wholesale at open time
-_FORMAT_VERSION = 1
+# store stamped with a *newer or unknown* version is dropped wholesale at
+# open time, while known older versions migrate in place (v1 → v2 adds the
+# cost column, defaulting every surviving entry to cost 0.0)
+_FORMAT_VERSION = 2
+
+#: the eviction orders a disk store supports: "cost-aware" ranks by persisted
+#: recomputation-seconds per byte (cheapest-densest evicted first, ties in
+#: insertion order), "fifo" is the pre-v2 oldest-rowid-first behaviour
+_DISK_POLICIES = ("cost-aware", "fifo")
 
 # everything pickle.loads can raise on a stale or damaged blob (missing
 # classes after an upgrade, truncated payloads, bogus opcodes)
@@ -82,9 +94,15 @@ class DiskHandle(BackendHandle):
     path: str
     capacity: int | None
     namespace: bytes = b""
+    policy: str = "cost-aware"
 
     def attach(self) -> "DiskBackend":
-        return DiskBackend(self.path, capacity=self.capacity, namespace=self.namespace)
+        return DiskBackend(
+            self.path,
+            capacity=self.capacity,
+            namespace=self.namespace,
+            policy=self.policy,
+        )
 
 
 class DiskBackend(CacheBackend):
@@ -97,13 +115,17 @@ class DiskBackend(CacheBackend):
         path: str | Path,
         capacity: int | None = None,
         namespace: bytes = b"",
+        policy: str = "cost-aware",
     ) -> None:
         super().__init__()
         if capacity is not None and capacity < 1:
             raise ValueError(f"cache capacity must be >= 1 or None, got {capacity}")
+        if policy not in _DISK_POLICIES:
+            raise ValueError(f"disk cache policy must be one of {_DISK_POLICIES}, got {policy!r}")
         self._path = Path(path)
         self._capacity = capacity
         self._namespace = namespace
+        self._policy = policy
         self._conn: sqlite3.Connection | None = None
         self._pid: int | None = None
         self._connection()  # fail fast on an unusable location
@@ -123,11 +145,25 @@ class DiskBackend(CacheBackend):
                 # (and silently refused) on filesystems that cannot support it
                 conn.execute("PRAGMA journal_mode=WAL")
                 (stamp,) = conn.execute("PRAGMA user_version").fetchone()
-                if stamp not in (0, _FORMAT_VERSION):
+                if stamp == 1:
+                    # v1 → v2 migrates in place: entries survive, their cost
+                    # defaults to 0.0 (all ties → rowid order, i.e. the old
+                    # FIFO) until new writes record real recomputation costs
+                    has_entries = conn.execute(
+                        "SELECT name FROM sqlite_master"
+                        " WHERE type = 'table' AND name = 'entries'"
+                    ).fetchone()
+                    if has_entries is not None:
+                        conn.execute(
+                            "ALTER TABLE entries"
+                            " ADD COLUMN cost REAL NOT NULL DEFAULT 0.0"
+                        )
+                elif stamp not in (0, _FORMAT_VERSION):
                     conn.execute("DROP TABLE IF EXISTS entries")
                 conn.execute(
                     "CREATE TABLE IF NOT EXISTS entries ("
-                    "key BLOB PRIMARY KEY, value BLOB NOT NULL)"
+                    "key BLOB PRIMARY KEY, value BLOB NOT NULL,"
+                    " cost REAL NOT NULL DEFAULT 0.0)"
                 )
                 conn.execute(f"PRAGMA user_version = {_FORMAT_VERSION}")
                 conn.commit()
@@ -188,16 +224,17 @@ class DiskBackend(CacheBackend):
             pass
 
     def put(self, key: Hashable, value: Any, cost_hint: float | None = None) -> None:
-        # cost_hint is ignored: cost-aware ranking on disk would need a cost
-        # column (a format bump) for a store whose FIFO bound is rarely hit —
-        # point a fleet that needs cost-aware retention at the cache server
+        # the v2 format persists cost_hint (observed recomputation seconds),
+        # so eviction under pressure can keep the entries most expensive for
+        # a future session to redo instead of blindly dropping the oldest
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
             conn = self._connection()
             with conn:
                 conn.execute(
-                    "INSERT OR REPLACE INTO entries (key, value) VALUES (?, ?)",
-                    (self._digest(key), payload),
+                    "INSERT OR REPLACE INTO entries (key, value, cost)"
+                    " VALUES (?, ?, ?)",
+                    (self._digest(key), payload, float(cost_hint or 0.0)),
                 )
                 if self._capacity is not None:
                     (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
@@ -205,7 +242,8 @@ class DiskBackend(CacheBackend):
                     if excess > 0:
                         conn.execute(
                             "DELETE FROM entries WHERE rowid IN ("
-                            "SELECT rowid FROM entries ORDER BY rowid LIMIT ?)",
+                            f"SELECT rowid FROM entries ORDER BY {self._eviction_order}"
+                            " LIMIT ?)",
                             (excess,),
                         )
                         self.evictions += excess
@@ -213,6 +251,19 @@ class DiskBackend(CacheBackend):
             # a cache write is an optimisation; a full or locked disk must not
             # abort the search — the entry is simply recomputed next time
             pass
+
+    @property
+    def _eviction_order(self) -> str:
+        """The SQL ordering that ranks eviction victims, cheapest first.
+
+        Cost-aware ranks by recomputation seconds per stored byte — the same
+        density the in-memory :class:`~repro.cachestore.policy.CostAwarePolicy`
+        uses — with ``rowid`` breaking ties, so a store of all-zero costs
+        (e.g. freshly migrated from v1) degenerates to exactly the old FIFO.
+        """
+        if self._policy == "cost-aware":
+            return "cost / (length(value) + 1) ASC, rowid ASC"
+        return "rowid ASC"
 
     def __len__(self) -> int:
         # counts every entry in the file, across namespaces; degrades to 0
@@ -259,9 +310,17 @@ class DiskBackend(CacheBackend):
     def shareable(self) -> bool:
         return True
 
+    @property
+    def policy(self) -> str:
+        """The eviction order this store applies under its capacity bound."""
+        return self._policy
+
     def handle(self) -> DiskHandle:
         return DiskHandle(
-            path=str(self._path), capacity=self._capacity, namespace=self._namespace
+            path=str(self._path),
+            capacity=self._capacity,
+            namespace=self._namespace,
+            policy=self._policy,
         )
 
     def close(self) -> None:

@@ -29,6 +29,7 @@ def build_search_backends(
     cache_dir: str | Path | None = None,
     namespace: bytes = b"",
     cache_url: str | None = None,
+    cache_replication: int = 1,
 ) -> tuple[CacheBackend, CacheBackend]:
     """The ``(fits, partitions)`` backend pair for one configuration.
 
@@ -40,9 +41,12 @@ def build_search_backends(
       interpreter restarts.
     * ``tiered-shared`` / ``tiered-disk`` — the same, fronted by a private
       in-process LRU (L1) per attached process.
-    * ``remote`` — the two regions of a fleet-shared
-      :class:`~repro.cacheserver.server.CacheServer` at ``cache_url``, so
-      engines on different machines pool their work.
+    * ``remote`` — the two regions of a fleet-shared cache service at
+      ``cache_url``, so engines on different machines pool their work.  A
+      comma-separated ``cache_url`` shards the regions over every listed
+      :class:`~repro.cacheserver.server.CacheServer` with consistent-hash
+      routing, and ``cache_replication`` > 1 stores each entry on that many
+      ring-adjacent shards so one shard death costs failovers, not reuse.
 
     ``capacity`` is applied to every constructed layer; the disk kinds
     require ``cache_dir``, the remote kind requires ``cache_url``, and both
@@ -65,12 +69,26 @@ def build_search_backends(
             )
         # imported lazily: the cacheserver package builds *on* the cachestore
         # contract, so the base package must not import it at module load
-        from repro.cacheserver.client import RemoteBackend
+        from repro.cacheserver.fabric import ShardedRemoteBackend
         from repro.cacheserver.protocol import REGION_FITS, REGION_PARTITIONS
 
+        # always the fabric, even for one endpoint: a 1-shard ring routes
+        # every key to that shard, so there is exactly one remote code path
         return (
-            RemoteBackend(cache_url, REGION_FITS, capacity, namespace=namespace),
-            RemoteBackend(cache_url, REGION_PARTITIONS, capacity, namespace=namespace),
+            ShardedRemoteBackend(
+                cache_url,
+                REGION_FITS,
+                capacity,
+                namespace=namespace,
+                replication=cache_replication,
+            ),
+            ShardedRemoteBackend(
+                cache_url,
+                REGION_PARTITIONS,
+                capacity,
+                namespace=namespace,
+                replication=cache_replication,
+            ),
         )
     if kind in ("shared", "tiered-shared"):
         fits, partitions = create_shared_backends(2, capacity)

@@ -168,8 +168,13 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for the on-disk cache (required by the disk backends)")
     parser.add_argument("--cache-url", default=None,
-                        help="host:port of a `charles cache-server` "
-                             "(required by the remote backend)")
+                        help="host:port of a `charles cache-server`, or a comma-"
+                             "separated list of them to shard the fleet cache "
+                             "over (required by the remote backend)")
+    parser.add_argument("--cache-replication", type=int, default=1,
+                        help="shards storing each entry when --cache-url lists "
+                             "several endpoints; at 2+ reads fail over around "
+                             "the ring when a shard dies (default 1)")
 
 
 def _load_pair(args: argparse.Namespace) -> SnapshotPair:
@@ -189,6 +194,7 @@ def _command_summarize(args: argparse.Namespace) -> int:
         cache_backend=args.cache_backend,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         cache_url=args.cache_url,
+        cache_replication=args.cache_replication,
     )
     pair = _load_pair(args)
     result = Charles(config).summarize_pair(
@@ -247,6 +253,7 @@ def _command_timeline(args: argparse.Namespace) -> int:
         cache_backend=args.cache_backend,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         cache_url=args.cache_url,
+        cache_replication=args.cache_replication,
         warm_start=not args.cold,
     )
     store = TimelineStore(key=args.key)
@@ -350,18 +357,60 @@ def _disk_cache_files(cache_dir: Path) -> list[Path]:
     return files
 
 
+def _shard_stats_table(per_shard: dict[str, dict]) -> str:
+    """A per-shard + aggregate table of every shard's STATS payload."""
+    regions = sorted({name for stats in per_shard.values() for name in stats["regions"]})
+    header = ["shard"] + [f"{name} entries" for name in regions] + ["hits", "misses", "evictions", "requests"]
+    rows = [header]
+    totals = {name: 0 for name in regions}
+    hits = misses = evictions = requests = 0
+    for url, stats in per_shard.items():
+        row = [url]
+        for name in regions:
+            entries = stats["regions"].get(name, {}).get("entries", 0)
+            totals[name] += entries
+            row.append(str(entries))
+        shard_hits = sum(r.get("hits", 0) for r in stats["regions"].values())
+        shard_misses = sum(r.get("misses", 0) for r in stats["regions"].values())
+        shard_evictions = sum(r.get("evictions", 0) for r in stats["regions"].values())
+        shard_requests = stats["server"].get("requests", 0)
+        hits += shard_hits
+        misses += shard_misses
+        evictions += shard_evictions
+        requests += shard_requests
+        row += [str(shard_hits), str(shard_misses), str(shard_evictions), str(shard_requests)]
+        rows.append(row)
+    aggregate = ["TOTAL"] + [str(totals[name]) for name in regions]
+    aggregate += [str(hits), str(misses), str(evictions), str(requests)]
+    rows.append(aggregate)
+    widths = [max(len(row[column]) for row in rows) for column in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if (args.cache_url is None) == (args.cache_dir is None):
         print("error: pass exactly one of --cache-url or --cache-dir", file=sys.stderr)
         return 2
     if args.cache_url is not None:
-        from repro.cacheserver import server_clear, server_stats
+        from repro.cacheserver import parse_endpoints, server_clear, server_stats
 
+        endpoints = parse_endpoints(args.cache_url)
         if args.action == "clear":
-            server_clear(args.cache_url)
-            print(f"cleared every region of {args.cache_url}")
+            # fan out to every shard; an unreachable one is an error the
+            # operator must see (a half-cleared fabric serves stale hit rates)
+            for endpoint in endpoints:
+                server_clear(endpoint)
+                print(f"cleared every region of {endpoint}")
             return 0
-        print(json.dumps(server_stats(args.cache_url), indent=2))
+        if len(endpoints) == 1:
+            print(json.dumps(server_stats(endpoints[0]), indent=2))
+            return 0
+        print(_shard_stats_table({url: server_stats(url) for url in endpoints}))
         return 0
     for path in _disk_cache_files(args.cache_dir):
         backend = DiskBackend(path)

@@ -35,6 +35,7 @@ _RESULT_NEUTRAL_FIELDS = frozenset(
         "cache_backend",
         "cache_dir",
         "cache_url",
+        "cache_replication",
         "warm_start",
         "warm_start_margin",
         "partition_maintenance",
@@ -182,7 +183,19 @@ class CharlesConfig:
         by the others.  Values cross the wire pickled, so the server must
         live on a trusted network — exactly the trust a shared ``cache_dir``
         needs; different configurations may safely share one server
-        (entries are namespaced by :meth:`cache_fingerprint`).
+        (entries are namespaced by :meth:`cache_fingerprint`).  A
+        comma-separated list of ``host:port`` endpoints shards the cache over
+        all of them with consistent-hash routing — every engine in the fleet
+        must list the *same* endpoints (order-insensitive routing, but the
+        strings themselves are hashed) to reach the same shard per key.
+    cache_replication:
+        How many shards store each entry when ``cache_url`` lists several
+        endpoints (clamped to the endpoint count).  At the default 1 a shard
+        death degrades its share of keys to cache misses; at 2+ writes go to
+        the owner and its ring successors and reads fail over around the
+        ring, so losing a shard costs a failover round trip instead of the
+        cached work.  Replication never changes results — only how much
+        recomputation a topology event causes.
     warm_start:
         Whether an :class:`~repro.timeline.session.EngineSession` may seed a
         run's pruning floor from the previous run's k-th best score for the
@@ -234,6 +247,7 @@ class CharlesConfig:
     cache_backend: str = "memory"
     cache_dir: str | None = None
     cache_url: str | None = None
+    cache_replication: int = 1
     warm_start: bool = True
     warm_start_margin: float = 0.15
     partition_maintenance: bool = True
@@ -310,7 +324,12 @@ class CharlesConfig:
         if self.cache_backend == "remote" and self.cache_url is None:
             raise ConfigurationError(
                 "cache_backend 'remote' requires cache_url (host:port of a "
-                "running `charles cache-server`)"
+                "running `charles cache-server`, or a comma-separated list "
+                "of them)"
+            )
+        if self.cache_replication < 1:
+            raise ConfigurationError(
+                f"cache_replication must be >= 1, got {self.cache_replication}"
             )
         if self.warm_start_margin < 0.0:
             raise ConfigurationError(

@@ -326,6 +326,7 @@ class SearchCaches:
                 getattr(config, "cache_dir", None),
                 namespace=fingerprint() if callable(fingerprint) else b"",
                 cache_url=getattr(config, "cache_url", None),
+                cache_replication=getattr(config, "cache_replication", 1),
             )
         )
 

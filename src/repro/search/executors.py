@@ -201,6 +201,9 @@ def _evaluate_specs(
 ) -> tuple[list[EvaluationOutcome], CacheCounters]:
     """Evaluate a batch of specs, reporting the cache-counter delta it caused."""
     before = evaluator.caches.counters()
+    # against a batching backend (the sharded remote fabric) this resolves the
+    # round's partition lookups in one MGET per shard; a no-op everywhere else
+    evaluator.prefetch_round(specs)
     outcomes = [evaluator.evaluate(spec, floor, known_signatures) for spec in specs]
     return outcomes, evaluator.caches.counters() - before
 

@@ -34,8 +34,11 @@ class SearchStats:
     entries and recovers the serial rate.  ``backend_counters`` breaks the
     same traffic down per physical layer (e.g. a tiered store's in-process L1
     versus its shared L2; a ``remote`` layer additionally reports the network
-    round-trips it actually made, which drop below its lookup count while the
-    client is degraded), and ``cache_backend`` records which store kind the
+    round-trips it actually made — below its lookup count while the client is
+    degraded or while batched prefetches answer many lookups per request —
+    and, on a sharded fabric, per-endpoint ``remote[host:port]`` component
+    layers plus the reads failed over around the ring when a replicated
+    shard was unreachable), and ``cache_backend`` records which store kind the
     run used.  When that differs from what the configuration asked for — a
     one-shot serial run quietly substitutes in-process caches for a ``shared``
     backend that would have nothing to share — the configured kind is kept in
@@ -159,6 +162,7 @@ class SearchStats:
                     "misses": counters.misses,
                     "evictions": counters.evictions,
                     "round_trips": counters.round_trips,
+                    "failovers": counters.failovers,
                     "hit_rate": counters.hit_rate,
                 }
                 for layer, counters in sorted(self.backend_counters.items())

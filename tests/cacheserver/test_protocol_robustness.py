@@ -1,0 +1,260 @@
+"""Hostile-wire robustness: garbage in, clean close or ERROR out — never a hang.
+
+The server must survive any byte sequence a broken (or malicious) client can
+produce: truncated frames, oversized length prefixes, short message bodies,
+unknown verbs, and plain fuzz.  The client must survive the mirror image — a
+server that dies mid-response, answers with garbage, or closes early — by
+degrading to misses, never by hanging or corrupting later traffic.
+"""
+
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cachestore import MISSING
+from repro.cacheserver import CacheServer, RemoteBackend, server_ping
+from repro.cacheserver import protocol
+from repro.cacheserver.pipeline import PipelinedConnection
+
+# short socket timeouts keep a would-be hang visible as a fast test failure
+_TIMEOUT = 5.0
+
+
+@pytest.fixture()
+def server():
+    with CacheServer() as running:
+        yield running
+
+
+def _connect(server) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=_TIMEOUT)
+    return sock
+
+
+class TestServerAgainstHostileClients:
+    def test_oversized_length_prefix_drops_the_connection(self, server):
+        with _connect(server) as sock:
+            sock.sendall(b"\xff\xff\xff\xff")  # a 4 GiB frame announcement
+            assert sock.recv(1024) == b""  # server closed on us
+        assert server_ping(server.url)  # and is still healthy
+
+    def test_truncated_frame_then_eof_is_quiet(self, server):
+        with _connect(server) as sock:
+            sock.sendall(struct.pack(">I", 100) + b"only-part-of-it")
+        assert server_ping(server.url)
+
+    def test_message_body_shorter_than_a_request_id(self, server):
+        # a 2-byte body cannot carry the 4-byte id; the server must treat the
+        # frame as unparseable and close, not index past the buffer
+        with _connect(server) as sock:
+            protocol.send_frame(sock, b"\x01\x00")
+            assert sock.recv(1024) == b""
+        assert server_ping(server.url)
+
+    def test_unknown_verb_is_an_error_response_not_a_close(self, server):
+        with _connect(server) as sock:
+            protocol.send_message(sock, 3, bytes((250, protocol.REGION_FITS)))
+            request_id, body = protocol.recv_message(sock)
+            status, payload = protocol.decode_response(body)
+            assert request_id == 3 and status == protocol.ERROR
+            assert b"verb" in payload
+            # the conversation continues after the error
+            protocol.send_message(
+                sock, 4, protocol.encode_request(protocol.PING, protocol.REGION_ALL)
+            )
+            assert protocol.recv_message(sock)[0] == 4
+
+    def test_mget_with_lying_count_is_rejected_cleanly(self, server):
+        with _connect(server) as sock:
+            # announce 1000 digests, send 2
+            body = bytes((protocol.MGET, protocol.REGION_FITS))
+            body += struct.pack(">I", 1000) + b"x" * 32
+            protocol.send_message(sock, 1, body)
+            _, response = protocol.recv_message(sock)
+            assert protocol.decode_response(response)[0] == protocol.ERROR
+        assert server_ping(server.url)
+
+    def test_zero_length_frame_is_rejected_without_crash(self, server):
+        with _connect(server) as sock:
+            protocol.send_frame(sock, b"")
+            assert sock.recv(1024) == b""
+        assert server_ping(server.url)
+
+    def test_seeded_fuzz_never_wedges_the_server(self, server):
+        # 50 connections each spraying random bytes; after every one of them
+        # the server must still answer a well-formed PING promptly
+        rng = random.Random(0xC0FFEE)
+        for round_number in range(50):
+            with _connect(server) as sock:
+                blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+                if rng.random() < 0.5:
+                    # half the rounds frame the garbage properly, exercising
+                    # the parser; half spray raw bytes at the framing layer
+                    try:
+                        protocol.send_frame(sock, blob)
+                    except protocol.ProtocolError:  # pragma: no cover
+                        continue
+                else:
+                    sock.sendall(blob)
+                # a short drain window: the server either answers/closes fast
+                # or is (legitimately) waiting for the rest of a partial frame
+                sock.settimeout(0.2)
+                try:
+                    while sock.recv(4096):
+                        pass  # drain whatever it answers until close
+                except (TimeoutError, OSError):
+                    pass
+            assert server_ping(server.url), f"server wedged after round {round_number}"
+
+    def test_fuzzed_valid_headers_with_garbage_tails(self, server):
+        # frames that *start* like real requests but carry malformed tails
+        rng = random.Random(42)
+        verbs = [protocol.GET, protocol.PUT, protocol.MGET, protocol.LEN]
+        for _ in range(40):
+            with _connect(server) as sock:
+                verb = rng.choice(verbs)
+                tail = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 40)))
+                protocol.send_message(
+                    sock, 9, bytes((verb, protocol.REGION_FITS)) + tail
+                )
+                sock.settimeout(_TIMEOUT)
+                answer = protocol.recv_message(sock)
+                if answer is not None:
+                    # whatever it was, the answer is a well-formed response
+                    status, _ = protocol.decode_response(answer[1])
+                    assert status in (
+                        protocol.OK,
+                        protocol.HIT,
+                        protocol.MISS,
+                        protocol.ERROR,
+                    )
+        assert server_ping(server.url)
+
+    def test_server_survives_concurrent_garbage_and_real_traffic(self, server):
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def spray() -> None:
+            rng = random.Random(7)
+            try:
+                while not stop.is_set():
+                    with _connect(server) as sock:
+                        sock.sendall(bytes(rng.randrange(256) for _ in range(64)))
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        attacker = threading.Thread(target=spray, daemon=True)
+        attacker.start()
+        try:
+            backend = RemoteBackend(server.url, namespace=b"fuzz-bystander")
+            for index in range(50):
+                backend.put(("k", index), index)
+                assert backend.get(("k", index)) == index
+            assert backend.connection_failures == 0  # garbage hurt nobody else
+            backend.close()
+        finally:
+            stop.set()
+            attacker.join(timeout=10)
+        assert not errors
+
+
+class _EvilServer:
+    """A one-connection server that answers every frame with scripted bytes."""
+
+    def __init__(self, raw_response: bytes, close_after: bool = True) -> None:
+        self._raw = raw_response
+        self._close_after = close_after
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()
+        self.url = f"127.0.0.1:{self.address[1]}"
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+            with conn:
+                conn.settimeout(_TIMEOUT)
+                try:
+                    protocol.recv_frame(conn)  # read one request, then misbehave
+                except protocol.ProtocolError:
+                    pass
+                conn.sendall(self._raw)
+                if not self._close_after:
+                    try:
+                        while protocol.recv_frame(conn) is not None:
+                            conn.sendall(self._raw)
+                    except (protocol.ProtocolError, OSError, TimeoutError):
+                        pass
+        except OSError:  # pragma: no cover - listener closed
+            pass
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+class TestClientAgainstHostileServers:
+    def test_response_without_request_id_fails_the_request_not_the_process(self):
+        # a 2-byte frame is too short to carry the id; the reader must fail
+        # the connection (and its pending futures) promptly — the degrade
+        # decision belongs to the ShardClient layer above, which catches this
+        evil = _EvilServer(struct.pack(">I", 2) + b"ok")
+        try:
+            connection = PipelinedConnection(evil.address, timeout=_TIMEOUT)
+            with pytest.raises(ConnectionError):
+                connection.request(
+                    protocol.encode_request(protocol.PING, protocol.REGION_ALL)
+                )
+            assert not connection.alive
+            connection.close()
+        finally:
+            evil.close()
+
+    def test_server_closing_mid_frame_fails_pending_requests(self):
+        evil = _EvilServer(struct.pack(">I", 100) + b"half")  # announces 100, sends 4
+        try:
+            connection = PipelinedConnection(evil.address, timeout=_TIMEOUT)
+            with pytest.raises(ConnectionError):
+                connection.request(
+                    protocol.encode_request(protocol.PING, protocol.REGION_ALL)
+                )
+            assert not connection.alive
+            connection.close()
+        finally:
+            evil.close()
+
+    def test_backend_degrades_to_miss_on_garbage_responses(self):
+        evil = _EvilServer(b"\x00" * 16, close_after=False)
+        try:
+            backend = RemoteBackend(evil.url)
+            assert backend.get("k") is MISSING  # garbage → degraded, not raised
+            assert backend.connection_failures >= 1
+            backend.close()
+        finally:
+            evil.close()
+
+    def test_unpack_multi_rejects_truncations_and_trailing_bytes(self):
+        value = b"payload"
+        good = protocol.pack_multi([value, None])
+        assert protocol.unpack_multi(good, 2) == [value, None]
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_multi(good[:-1], 2)  # truncated inside the value
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_multi(good + b"x", 2)  # trailing bytes
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_multi(good, 3)  # count lies high
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_multi(bytes((9,)), 1)  # unknown slot status
+
+    def test_seeded_fuzz_of_unpack_multi_never_hangs_or_crashes(self):
+        rng = random.Random(1234)
+        for _ in range(500):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 64)))
+            try:
+                values = protocol.unpack_multi(blob, rng.randrange(1, 8))
+            except protocol.ProtocolError:
+                continue
+            assert all(value is None or isinstance(value, bytes) for value in values)

@@ -1,0 +1,115 @@
+"""Consistent-hash routing: pure, deterministic, balanced, replica-aware."""
+
+import os
+
+import pytest
+
+from repro.cacheserver.ring import VNODES, HashRing, parse_endpoints
+from repro.exceptions import CacheStoreError
+
+ENDPOINTS = ("cache-a.internal:8737", "cache-b.internal:8737", "cache-c.internal:8737")
+
+
+def _digests(count: int, seed: int = 0) -> list[bytes]:
+    # deterministic pseudo-digests: the ring only looks at the first 8 bytes
+    import hashlib
+
+    return [
+        hashlib.blake2b(f"{seed}/{index}".encode(), digest_size=16).digest()
+        for index in range(count)
+    ]
+
+
+class TestParseEndpoints:
+    def test_single_endpoint_is_the_pr4_form(self):
+        assert parse_endpoints("cache.internal:8737") == ("cache.internal:8737",)
+
+    def test_comma_separated_list_with_whitespace(self):
+        assert parse_endpoints(" a:1, b:2 ,c:3 ") == ("a:1", "b:2", "c:3")
+
+    @pytest.mark.parametrize("bad", ["", " , ,", "a:1,notaport", "a:1,b:0", "a:1,:9"])
+    def test_malformed_lists_rejected(self, bad):
+        with pytest.raises(CacheStoreError):
+            parse_endpoints(bad)
+
+    def test_duplicate_endpoints_rejected(self):
+        # a repeated endpoint would silently halve the effective replication
+        with pytest.raises(CacheStoreError, match="twice"):
+            parse_endpoints("a:1,b:2,a:1")
+
+
+class TestRouting:
+    def test_placement_is_deterministic_across_ring_instances(self):
+        # every fleet member builds its own ring; they must all agree
+        first, second = HashRing(ENDPOINTS), HashRing(ENDPOINTS)
+        for digest in _digests(200):
+            assert first.owner(digest) == second.owner(digest)
+            assert first.preference(digest, 3) == second.preference(digest, 3)
+
+    def test_placement_ignores_endpoint_list_storage(self):
+        assert HashRing(list(ENDPOINTS)).owner(b"x" * 16) == HashRing(ENDPOINTS).owner(
+            b"x" * 16
+        )
+
+    def test_owner_is_first_preference(self):
+        ring = HashRing(ENDPOINTS)
+        for digest in _digests(100):
+            assert ring.preference(digest, 2)[0] == ring.owner(digest)
+
+    def test_load_spreads_over_every_shard(self):
+        ring = HashRing(ENDPOINTS)
+        counts = [0] * len(ENDPOINTS)
+        total = 3000
+        for digest in _digests(total):
+            counts[ring.owner(digest)] += 1
+        # with 64 vnodes per endpoint the split is rough, not exact — but no
+        # shard may be starved or hoard the space
+        for count in counts:
+            assert total / 10 < count < total / 2
+
+    def test_preference_lists_distinct_endpoints(self):
+        ring = HashRing(ENDPOINTS)
+        for digest in _digests(200):
+            preference = ring.preference(digest, 3)
+            assert len(preference) == len(set(preference)) == 3
+
+    def test_preference_clamped_to_fleet_size(self):
+        ring = HashRing(ENDPOINTS)
+        digest = os.urandom(16)
+        assert len(ring.preference(digest, 99)) == len(ENDPOINTS)
+        assert len(ring.preference(digest, 0)) == 1  # at least the owner
+
+    def test_single_endpoint_ring_routes_everything_to_it(self):
+        ring = HashRing(("only:1",))
+        for digest in _digests(50):
+            assert ring.owner(digest) == 0
+            assert ring.preference(digest, 5) == [0]
+
+    def test_removing_an_endpoint_moves_only_its_keys(self):
+        # the consistent-hash property that makes fleet growth cheap: keys
+        # owned by surviving shards must not move when one endpoint leaves
+        full = HashRing(ENDPOINTS)
+        shrunk = HashRing(ENDPOINTS[:2])
+        for digest in _digests(500):
+            owner = full.owner(digest)
+            if owner < 2:
+                assert shrunk.owner(digest) == owner
+
+    def test_replica_successor_absorbs_a_dead_owner(self):
+        # preference[1] under the full ring owns the key once the owner is
+        # gone — this is why replication R=2 makes shard death free
+        full = HashRing(ENDPOINTS)
+        for digest in _digests(300):
+            owner, successor = full.preference(digest, 2)
+            survivors = tuple(e for i, e in enumerate(ENDPOINTS) if i != owner)
+            reduced = HashRing(survivors)
+            assert survivors[reduced.owner(digest)] == ENDPOINTS[successor]
+
+    def test_empty_ring_and_bad_vnodes_rejected(self):
+        with pytest.raises(CacheStoreError):
+            HashRing(())
+        with pytest.raises(CacheStoreError):
+            HashRing(ENDPOINTS, vnodes=0)
+
+    def test_vnode_count_is_meaningfully_large(self):
+        assert VNODES >= 32  # balance depends on it; guard against regression

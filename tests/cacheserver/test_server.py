@@ -153,16 +153,18 @@ class TestAdminVerbs:
 
     def test_unknown_region_is_an_error_response_not_a_crash(self, server):
         with socket.create_connection(server.address) as sock:
-            protocol.send_frame(
-                sock, bytes((protocol.LEN, 77))  # no such region
-            )
-            status, payload = protocol.decode_response(protocol.recv_frame(sock))
+            protocol.send_message(sock, 7, bytes((protocol.LEN, 77)))  # no such region
+            request_id, body = protocol.recv_message(sock)
+            status, payload = protocol.decode_response(body)
+            assert request_id == 7  # errors still carry the request id back
             assert status == protocol.ERROR and b"region" in payload
             # the connection survives the error and keeps serving
-            protocol.send_frame(
-                sock, protocol.encode_request(protocol.PING, protocol.REGION_ALL)
+            protocol.send_message(
+                sock, 8, protocol.encode_request(protocol.PING, protocol.REGION_ALL)
             )
-            assert protocol.decode_response(protocol.recv_frame(sock))[0] == protocol.OK
+            request_id, body = protocol.recv_message(sock)
+            assert request_id == 8
+            assert protocol.decode_response(body)[0] == protocol.OK
 
     def test_unframeable_client_is_dropped_quietly(self, server):
         with socket.create_connection(server.address) as sock:

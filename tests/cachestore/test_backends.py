@@ -375,16 +375,29 @@ class TestFactory:
         assert "cache_url" in str(excinfo.value)
 
     def test_remote_pair_uses_distinct_regions(self):
-        from repro.cacheserver.client import RemoteBackend
+        # the factory always builds the sharded fabric, even for a single
+        # endpoint — one remote code path, a 1-shard ring
+        from repro.cacheserver.fabric import ShardedRemoteBackend
         from repro.cacheserver.protocol import REGION_FITS, REGION_PARTITIONS
 
         fits, partitions = build_search_backends(
             "remote", capacity=9, namespace=b"ns", cache_url="127.0.0.1:1"
         )
-        assert isinstance(fits, RemoteBackend) and isinstance(partitions, RemoteBackend)
+        assert isinstance(fits, ShardedRemoteBackend)
+        assert isinstance(partitions, ShardedRemoteBackend)
         assert fits._region == REGION_FITS and partitions._region == REGION_PARTITIONS
         assert fits.capacity == 9 and fits.namespace == b"ns"
         assert fits.shareable and fits.kind == "remote"
+
+    def test_remote_pair_with_sharded_url_and_replication(self):
+        fits, _ = build_search_backends(
+            "remote",
+            namespace=b"ns",
+            cache_url="127.0.0.1:1,127.0.0.1:2,127.0.0.1:3",
+            cache_replication=2,
+        )
+        assert fits.endpoints == ("127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3")
+        assert fits.replication == 2 and fits.kind == "remote"
 
     def test_choices_cover_every_kind(self):
         assert set(BACKEND_CHOICES) == {

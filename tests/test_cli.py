@@ -53,6 +53,17 @@ class TestParser:
         )
         assert args.cache_capacity == 128
         assert args.cache_backend == "remote" and args.cache_url == "127.0.0.1:8737"
+        assert args.cache_replication == 1  # single copy unless asked
+
+    def test_summarize_accepts_sharded_url_and_replication(self):
+        args = build_parser().parse_args(
+            ["summarize", "a.csv", "b.csv", "--target", "x",
+             "--cache-backend", "remote",
+             "--cache-url", "shard-a:8737,shard-b:8737,shard-c:8737",
+             "--cache-replication", "2"]
+        )
+        assert args.cache_url == "shard-a:8737,shard-b:8737,shard-c:8737"
+        assert args.cache_replication == 2
 
 
 class TestCommands:
@@ -320,6 +331,63 @@ class TestCacheCommands:
         cleared = json.loads(capsys.readouterr().out)
         assert cleared["regions"]["fits"]["entries"] == 0
         assert cleared["regions"]["partitions"]["entries"] == 0
+
+    def test_summarize_against_a_sharded_fleet_matches_memory(self, example_csvs, capsys):
+        from repro.cacheserver import CacheServer
+
+        source, target = example_csvs
+        argv = ["summarize", str(source), str(target), "--key", "name", "--target", "bonus"]
+        assert main(argv) == 0
+        memory_output = capsys.readouterr().out
+        shards = [CacheServer().start() for _ in range(2)]
+        try:
+            url = ",".join(shard.url for shard in shards)
+            sharded_argv = argv + [
+                "--cache-backend", "remote", "--cache-url", url,
+                "--cache-replication", "2",
+            ]
+            assert main(sharded_argv) == 0
+            sharded_output = capsys.readouterr().out
+            assert memory_output.split("search:")[0] == sharded_output.split("search:")[0]
+        finally:
+            for shard in shards:
+                shard.shutdown()
+
+    def test_cache_stats_and_clear_fan_out_across_shards(self, example_csvs, capsys):
+        from repro.cacheserver import CacheServer
+
+        source, target = example_csvs
+        shards = [CacheServer().start() for _ in range(2)]
+        try:
+            url = ",".join(shard.url for shard in shards)
+            assert main([
+                "summarize", str(source), str(target), "--key", "name",
+                "--target", "bonus", "--cache-backend", "remote", "--cache-url", url,
+            ]) == 0
+            capsys.readouterr()
+            assert main(["cache", "stats", "--cache-url", url]) == 0
+            table = capsys.readouterr().out
+            # one row per shard plus the aggregate, not a JSON blob
+            for shard in shards:
+                assert shard.url in table
+            assert "TOTAL" in table and "entries" in table
+            assert main(["cache", "clear", "--cache-url", url]) == 0
+            clear_output = capsys.readouterr().out
+            for shard in shards:
+                assert shard.url in clear_output
+            from repro.cacheserver import server_stats
+
+            for shard in shards:
+                regions = server_stats(shard.url)["regions"]
+                assert all(region["entries"] == 0 for region in regions.values())
+        finally:
+            for shard in shards:
+                shard.shutdown()
+
+    def test_cache_stats_with_one_dead_shard_errors(self, server, capsys):
+        url = f"{server.url},127.0.0.1:9"
+        assert main(["cache", "stats", "--cache-url", url]) == 2
+        assert "cannot reach" in capsys.readouterr().err
 
     def test_cache_stats_and_clear_against_cache_dir(self, example_csvs, tmp_path, capsys):
         source, target = example_csvs
