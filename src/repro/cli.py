@@ -7,6 +7,9 @@ summaries (Fig. 4).  The ``charles`` command exposes the same workflow:
 * ``charles suggest``   — steps 2–5: attribute shortlists for a target.
 * ``charles summarize`` — steps 1–10: ranked summaries, optionally with the
   model tree / treemap details or a full markdown report.
+* ``charles plan``      — the dry run: plan size, per-round spec counts and
+  score-bound histograms for a summarize run, without evaluating anything
+  (also available as ``charles summarize --plan-only``).
 * ``charles diff``      — the syntactic view: cell diff, update distance and
   distribution drift.
 * ``charles timeline``  — the incremental view: summarize every hop of a chain
@@ -39,6 +42,7 @@ from repro.diff import batch_update_distance, diff_snapshots, drift_report, upda
 from repro.exceptions import CharlesError
 from repro.relational.csv_io import read_csv, write_csv
 from repro.relational.snapshot import SnapshotPair
+from repro.search.bounds import bound_histogram
 from repro.timeline import EngineSession, TimelineStore
 from repro.viz.report import result_to_markdown
 from repro.viz.tree_render import render_summary_tree
@@ -74,8 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="max entries per memo cache, evicting beyond it "
                                 "(default unbounded)")
     _add_cache_arguments(summarize)
+    _add_planning_arguments(summarize)
     summarize.add_argument("--condition-attributes", nargs="*", default=None)
     summarize.add_argument("--transformation-attributes", nargs="*", default=None)
+    summarize.add_argument("--plan-only", action="store_true",
+                           help="print the search plan (size, rounds, bound histograms) "
+                                "and exit without evaluating")
     summarize.add_argument("--details", action="store_true", help="show tree and treemap for the best summary")
     summarize.add_argument("--sql", action="store_true",
                            help="print the best summary as a SQL UPDATE statement")
@@ -84,6 +92,21 @@ def build_parser() -> argparse.ArgumentParser:
     suggest = subparsers.add_parser("suggest", help="show the setup assistant's attribute shortlists")
     _add_pair_arguments(suggest)
     suggest.add_argument("--target", required=True)
+
+    plan = subparsers.add_parser(
+        "plan",
+        help="dry-run a summarize: plan size, per-round spec counts and "
+             "score-bound histograms, nothing evaluated",
+    )
+    _add_pair_arguments(plan)
+    plan.add_argument("--target", required=True, help="numeric attribute to explain")
+    plan.add_argument("--alpha", type=float, default=0.5, help="accuracy weight (default 0.5)")
+    plan.add_argument("--max-condition-attributes", "-c", type=int, default=3)
+    plan.add_argument("--max-transformation-attributes", "-t", type=int, default=2)
+    plan.add_argument("--top", type=int, default=10, help="top-k the planned run would keep")
+    _add_planning_arguments(plan)
+    plan.add_argument("--condition-attributes", nargs="*", default=None)
+    plan.add_argument("--transformation-attributes", nargs="*", default=None)
 
     diff = subparsers.add_parser("diff", help="syntactic diff: cells, update distance, drift")
     _add_pair_arguments(diff)
@@ -109,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--cache-capacity", type=int, default=None,
                           help="LRU capacity of each session memo cache (default unbounded)")
     _add_cache_arguments(timeline)
+    _add_planning_arguments(timeline)
     timeline.add_argument("--cold", action="store_true",
                           help="run every hop with a fresh cold engine (baseline for comparison)")
     timeline.add_argument("--condition-attributes", nargs="*", default=None)
@@ -158,6 +182,17 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--key", default=None, help="entity-identifying column")
 
 
+def _add_planning_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-bound-pruning", action="store_true",
+                        help="disable pre-discovery score-bound pruning and "
+                             "bound-ordered scheduling (rankings are identical "
+                             "either way; this only changes speed)")
+    parser.add_argument("--no-cost-routing", action="store_true",
+                        help="disable the learned cost model that packs worker "
+                             "chunks and prefetch batches (rankings are "
+                             "identical either way)")
+
+
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-backend", choices=BACKEND_CHOICES, default="memory",
                         help="where memo-cache entries live: 'memory' (private LRU), "
@@ -183,6 +218,42 @@ def _load_pair(args: argparse.Namespace) -> SnapshotPair:
     return SnapshotPair.align(source, target, key=args.key)
 
 
+def _render_plan(plan, index) -> str:
+    """The dry-run report: the plan's shape plus per-round bound histograms."""
+    lines = [plan.describe()]
+    if index is not None:
+        lines.append("  score-bound histogram per round (bucket:specs):")
+        for round_number, round_specs in enumerate(plan.rounds):
+            if not round_specs:
+                continue
+            label = "global" if round_number == 0 else f"k={round_number}"
+            histogram = bound_histogram(index.round_bounds(round_specs))
+            lines.append(f"    round {round_number} ({label}): {histogram}")
+    else:
+        lines.append("  (bound pruning disabled: no score bounds computed)")
+    return "\n".join(lines)
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    config = CharlesConfig(
+        alpha=args.alpha,
+        max_condition_attributes=args.max_condition_attributes,
+        max_transformation_attributes=args.max_transformation_attributes,
+        top_k=args.top,
+        bound_pruning=not args.no_bound_pruning,
+        cost_routing=not args.no_cost_routing,
+    )
+    pair = _load_pair(args)
+    plan, index = Charles(config).plan_pair(
+        pair,
+        args.target,
+        condition_attributes=args.condition_attributes,
+        transformation_attributes=args.transformation_attributes,
+    )
+    print(_render_plan(plan, index))
+    return 0
+
+
 def _command_summarize(args: argparse.Namespace) -> int:
     config = CharlesConfig(
         alpha=args.alpha,
@@ -195,8 +266,19 @@ def _command_summarize(args: argparse.Namespace) -> int:
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         cache_url=args.cache_url,
         cache_replication=args.cache_replication,
+        bound_pruning=not args.no_bound_pruning,
+        cost_routing=not args.no_cost_routing,
     )
     pair = _load_pair(args)
+    if args.plan_only:
+        plan, index = Charles(config).plan_pair(
+            pair,
+            args.target,
+            condition_attributes=args.condition_attributes,
+            transformation_attributes=args.transformation_attributes,
+        )
+        print(_render_plan(plan, index))
+        return 0
     result = Charles(config).summarize_pair(
         pair,
         args.target,
@@ -254,6 +336,8 @@ def _command_timeline(args: argparse.Namespace) -> int:
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         cache_url=args.cache_url,
         cache_replication=args.cache_replication,
+        bound_pruning=not args.no_bound_pruning,
+        cost_routing=not args.no_cost_routing,
         warm_start=not args.cold,
     )
     store = TimelineStore(key=args.key)
@@ -431,6 +515,7 @@ def _command_cache(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "summarize": _command_summarize,
     "suggest": _command_suggest,
+    "plan": _command_plan,
     "diff": _command_diff,
     "timeline": _command_timeline,
     "generate": _command_generate,

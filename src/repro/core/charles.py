@@ -28,8 +28,10 @@ from repro.core.setup_assistant import SetupAssistant, SetupSuggestions
 from repro.exceptions import DiscoveryError
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
+from repro.search.bounds import ScoreBoundIndex
 from repro.search.cache import SearchCaches
 from repro.search.maintenance import MaintenanceContext
+from repro.search.planner import SearchPlan, build_search_plan
 from repro.search.stats import SearchStats
 
 __all__ = ["Charles", "CharlesResult"]
@@ -160,6 +162,34 @@ class Charles:
             window=window,
         )
 
+    def plan_pair(
+        self,
+        pair: SnapshotPair,
+        target: str,
+        condition_attributes: Sequence[str] | None = None,
+        transformation_attributes: Sequence[str] | None = None,
+    ) -> tuple[SearchPlan, ScoreBoundIndex | None]:
+        """Dry-run of :meth:`summarize_pair`: the search plan, nothing evaluated.
+
+        Returns the fully enumerated :class:`~repro.search.planner.SearchPlan`
+        the search would execute (same setup-assistant shortlists, same
+        rounds) plus — when ``bound_pruning`` is enabled — the
+        :class:`~repro.search.bounds.ScoreBoundIndex` over the pair, so
+        operators can see plan size, per-round spec counts and bound
+        histograms before paying for a run (``charles plan`` /
+        ``charles summarize --plan-only``).
+        """
+        suggestions = self._assistant.suggest(pair, target)
+        if condition_attributes is None:
+            condition_attributes = suggestions.selected_condition_attributes
+        if transformation_attributes is None:
+            transformation_attributes = suggestions.selected_transformation_attributes
+        plan = build_search_plan(condition_attributes, transformation_attributes, self._config)
+        index = None
+        if self._config.prune_search and self._config.bound_pruning and len(plan):
+            index = ScoreBoundIndex(pair, target, self._config)
+        return plan, index
+
     # -- the demo workflow -------------------------------------------------------
 
     def suggest_attributes(
@@ -266,9 +296,12 @@ class Charles:
             config=self._config,
             condition_attributes=tuple(condition_attributes),
             transformation_attributes=tuple(transformation_attributes),
-            # bound-pruned specs were distinct summaries that provably fell
-            # below the top-k; duplicate-pruned specs are not counted — they
-            # would have merged into an existing candidate anyway
+            # score-bound-pruned specs were distinct summaries that provably
+            # fell below the top-k; duplicate-pruned specs are not counted —
+            # they would have merged into an existing candidate anyway — and
+            # neither are spec-bound prunes, which never built a summary (so
+            # whether they were distinct candidates is unknowable without
+            # paying for the discovery the bound exists to avoid)
             total_candidates=len(ranked) + stats.candidates_pruned_bounds,
             search_stats=stats,
         )

@@ -31,6 +31,8 @@ _RESULT_NEUTRAL_FIELDS = frozenset(
         "n_jobs",
         "top_k",
         "prune_search",
+        "bound_pruning",
+        "cost_routing",
         "search_cache_capacity",
         "cache_backend",
         "cache_dir",
@@ -149,6 +151,23 @@ class CharlesConfig:
         ranked top-k (score upper bound below the current k-th best score).
         Pruning never changes the top-k; disable it to rank the complete
         candidate space, e.g. for exhaustive analyses.
+    bound_pruning:
+        Whether the executor computes pre-discovery admissible score bounds
+        (:class:`~repro.search.bounds.ScoreBoundIndex`) and skips specs whose
+        bound falls below the current top-k floor *before* partition
+        discovery runs — plus schedules each round's survivors in descending
+        bound order.  The bound is provable (see :mod:`repro.search.bounds`),
+        so rankings stay byte-identical with the knob on or off; it is
+        execution-only and does not rotate the cache fingerprint.
+    cost_routing:
+        Whether the executors route candidates by predicted evaluation cost:
+        an :class:`~repro.search.costmodel.OnlineCostModel` learns from the
+        recomputation seconds every evaluation already reports, the parallel
+        executor packs rounds into balanced worker chunks
+        (longest-predicted-first) and the serial executor splits prefetches
+        into cost-bounded batches.  Routing changes where and when specs are
+        evaluated, never which or how — rankings are byte-identical either
+        way, so the knob is execution-only like ``n_jobs``.
     search_cache_capacity:
         Maximum number of entries each memo cache (fits, partitions) keeps,
         with least-recently-used eviction beyond it.  ``None`` (the default)
@@ -243,6 +262,8 @@ class CharlesConfig:
     seed: int = 0
     n_jobs: int = 1
     prune_search: bool = True
+    bound_pruning: bool = True
+    cost_routing: bool = True
     search_cache_capacity: int | None = None
     cache_backend: str = "memory"
     cache_dir: str | None = None

@@ -49,6 +49,17 @@ it is computed, in three layers:
    interpretability`` cannot beat the current top-k floor are dropped without
    paying for the accuracy pass.
 
+Since the bound-planning layer (:mod:`repro.search.bounds`,
+:mod:`repro.search.costmodel`) the executors additionally *plan* each round
+before paying for it: a once-per-search :class:`~repro.search.bounds.
+ScoreBoundIndex` bounds every spec's achievable score from the pair state
+alone, specs provably below the top-k floor are skipped before partition
+discovery runs (``CharlesConfig.bound_pruning``), survivors are scheduled in
+descending bound order, and an online cost model trained on each outcome's
+observed seconds packs worker chunks and prefetch batches
+(``CharlesConfig.cost_routing``).  Both knobs are execution-only: rankings
+stay byte-identical with them on or off.
+
 Adding a new backend
 --------------------
 
@@ -105,6 +116,7 @@ into :class:`~repro.search.stats.SearchStats`, so a workload that keeps
 falling back is visible in ``describe()`` rather than silently slow.
 """
 
+from repro.search.bounds import ScoreBoundIndex, SpecBound, bound_histogram
 from repro.search.cache import (
     CacheCounters,
     MemoCache,
@@ -112,6 +124,7 @@ from repro.search.cache import (
     SearchCaches,
     mask_digest,
 )
+from repro.search.costmodel import OnlineCostModel, batch_indices, pack_indices
 from repro.search.evaluator import CandidateEvaluator, EvaluationOutcome, ScoredSummary
 from repro.search.executors import (
     ParallelExecutor,
@@ -142,6 +155,12 @@ __all__ = [
     "SearchPlan",
     "attribute_subsets",
     "build_search_plan",
+    "SpecBound",
+    "ScoreBoundIndex",
+    "bound_histogram",
+    "OnlineCostModel",
+    "pack_indices",
+    "batch_indices",
     "MemoCache",
     "CacheCounters",
     "SearchCaches",

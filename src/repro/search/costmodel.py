@@ -1,0 +1,133 @@
+"""A tiny online cost model for candidate evaluation, and the routing it feeds.
+
+The memo layer already times every recomputation — the seconds travel to the
+cache backends as ``put(cost_hint=...)`` so cost-aware eviction can rank
+entries.  This module turns the same signal into *scheduling*: every evaluated
+spec reports its observed seconds (:attr:`~repro.search.evaluator.
+EvaluationOutcome.seconds`), an :class:`OnlineCostModel` folds them into
+running means keyed by spec features, and the executors use the predictions to
+
+* pack a round into balanced worker chunks (:func:`pack_indices`, longest
+  predicted first — the classic LPT heuristic) instead of naive contiguous
+  striding, so one expensive chunk cannot straggle a whole round; and
+* split a serial round's prefetch into cost-bounded batches
+  (:func:`batch_indices`), so a remote backend's prefetch buffer holds keys
+  for the next few predicted seconds of work rather than the whole round.
+
+Routing never changes what is evaluated — only where and when — so rankings
+stay byte-identical with the model on, off, cold or wrong.  A cold model
+predicts a uniform default, which reproduces the naive schedules exactly.
+"""
+
+from __future__ import annotations
+
+from repro.search.planner import CandidateSpec
+
+__all__ = ["OnlineCostModel", "pack_indices", "batch_indices"]
+
+#: prediction for a spec shape never observed (seconds); only the *relative*
+#: ordering matters for routing, so the absolute value is uncritical
+_DEFAULT_SECONDS = 0.05
+
+#: predicted seconds of work one serial prefetch batch should cover
+PREFETCH_BATCH_SECONDS = 2.0
+
+
+class OnlineCostModel:
+    """Hierarchical running means of observed evaluation seconds per spec shape.
+
+    Observations are keyed at three levels of specificity and prediction backs
+    off to the most specific level with data::
+
+        (kind, n_partitions, |C|, |T|)  ->  (kind, |C|, |T|)  ->  (kind,)
+
+    falling back to the global mean, then to a uniform default while nothing
+    has been observed at all.  Running means need two numbers per key, so the
+    model costs nothing to keep per search and is trivially picklable.
+    """
+
+    def __init__(self) -> None:
+        self._sums: dict[tuple, float] = {}
+        self._counts: dict[tuple, int] = {}
+        self._total = 0.0
+        self._observations = 0
+
+    @staticmethod
+    def _keys(spec: CandidateSpec) -> tuple[tuple, ...]:
+        shape = (len(spec.condition_subset), len(spec.transformation_subset))
+        return (
+            (spec.kind, spec.n_partitions) + shape,
+            (spec.kind,) + shape,
+            (spec.kind,),
+        )
+
+    def observe(self, spec: CandidateSpec, seconds: float) -> None:
+        """Fold one evaluated spec's observed wall seconds into the means."""
+        if seconds <= 0.0:
+            return
+        for key in self._keys(spec):
+            self._sums[key] = self._sums.get(key, 0.0) + seconds
+            self._counts[key] = self._counts.get(key, 0) + 1
+        self._total += seconds
+        self._observations += 1
+
+    def predict(self, spec: CandidateSpec) -> float:
+        """Predicted evaluation seconds for ``spec`` (most specific mean wins)."""
+        for key in self._keys(spec):
+            count = self._counts.get(key, 0)
+            if count:
+                return self._sums[key] / count
+        if self._observations:
+            return self._total / self._observations
+        return _DEFAULT_SECONDS
+
+    @property
+    def observations(self) -> int:
+        """How many evaluated specs have been folded in so far."""
+        return self._observations
+
+
+def pack_indices(costs: list[float], n_chunks: int) -> list[tuple[int, ...]]:
+    """Pack item indices into ``n_chunks`` load-balanced groups (LPT).
+
+    Items are assigned longest-predicted-first to the currently lightest
+    chunk; within a chunk, indices stay in ascending (original) order.  Ties
+    are broken deterministically (by index, then by chunk number), so the
+    packing — and therefore the parallel executor's payloads — is reproducible
+    for a given cost vector.  Empty chunks are dropped.
+    """
+    n_chunks = max(1, min(n_chunks, len(costs)))
+    if n_chunks == 1:
+        return [tuple(range(len(costs)))] if costs else []
+    order = sorted(range(len(costs)), key=lambda index: (-costs[index], index))
+    loads = [0.0] * n_chunks
+    members: list[list[int]] = [[] for _ in range(n_chunks)]
+    for index in order:
+        lightest = min(range(n_chunks), key=lambda chunk: (loads[chunk], chunk))
+        loads[lightest] += costs[index]
+        members[lightest].append(index)
+    return [tuple(sorted(chunk)) for chunk in members if chunk]
+
+
+def batch_indices(
+    costs: list[float], budget_seconds: float = PREFETCH_BATCH_SECONDS
+) -> list[tuple[int, ...]]:
+    """Split item indices into contiguous batches of bounded predicted cost.
+
+    Each batch holds at least one item and stops before its predicted total
+    would exceed ``budget_seconds``; order is preserved, so a serial executor
+    can prefetch one batch ahead without reordering its evaluations.
+    """
+    batches: list[tuple[int, ...]] = []
+    current: list[int] = []
+    spent = 0.0
+    for index, cost in enumerate(costs):
+        if current and spent + cost > budget_seconds:
+            batches.append(tuple(current))
+            current = []
+            spent = 0.0
+        current.append(index)
+        spent += cost
+    if current:
+        batches.append(tuple(current))
+    return batches

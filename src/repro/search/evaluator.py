@@ -27,7 +27,7 @@ Two kinds of pruning happen here, both exact:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -83,6 +83,7 @@ class ScoredSummary:
 
 PRUNED_DUPLICATE = "duplicate"
 PRUNED_SCORE_BOUND = "score-bound"
+PRUNED_SPEC_BOUND = "spec-bound"
 
 
 @dataclass(frozen=True)
@@ -92,17 +93,25 @@ class EvaluationOutcome:
     ``scored`` is ``None`` when the spec yielded no candidate (infeasible) or
     was pruned; ``signature`` identifies the discovered partition structure of
     partitioned specs so later rounds can skip provable duplicates.
-    ``pruned_reason`` distinguishes the two prune kinds:
+    ``pruned_reason`` distinguishes the prune kinds:
     :data:`PRUNED_DUPLICATE` (identical partition structure already evaluated
-    — the summary would be a byte-identical duplicate) and
+    — the summary would be a byte-identical duplicate),
     :data:`PRUNED_SCORE_BOUND` (a distinct summary was built but provably
-    cannot enter the top-k).
+    cannot enter the top-k) and :data:`PRUNED_SPEC_BOUND` (the executor's
+    pre-discovery :class:`~repro.search.bounds.SpecBound` proved the spec
+    could not reach the floor — the evaluator never saw it, so no partition
+    discovery, fit or prefetch was spent on it).
+
+    ``seconds`` is the observed wall time of the evaluation; the executors
+    feed it to the :class:`~repro.search.costmodel.OnlineCostModel` that
+    routes later rounds.  Synthesised outcomes (spec-bound prunes) carry 0.
     """
 
     spec: CandidateSpec
     scored: ScoredSummary | None
     signature: tuple | None
     pruned_reason: str | None = None
+    seconds: float = 0.0
 
     @property
     def pruned(self) -> bool:
@@ -144,7 +153,21 @@ class CandidateEvaluator:
         *earlier* rounds; the evaluator never mutates it, which keeps the
         outcome independent of how specs within a round are ordered or
         distributed over workers.
+
+        The outcome records its own wall seconds so executors can train the
+        cost model that routes later rounds — timing changes nothing about
+        the outcome itself.
         """
+        started = time.perf_counter()
+        outcome = self._evaluate(spec, floor, known_signatures)
+        return replace(outcome, seconds=time.perf_counter() - started)
+
+    def _evaluate(
+        self,
+        spec: CandidateSpec,
+        floor: float,
+        known_signatures: frozenset,
+    ) -> EvaluationOutcome:
         if spec.kind == GLOBAL:
             return EvaluationOutcome(spec, self._global_summary(spec), None)
         partitions = self._cached_partitions(

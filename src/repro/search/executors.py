@@ -40,9 +40,12 @@ from typing import Sequence
 
 from repro.core.config import CharlesConfig
 from repro.relational.snapshot import SnapshotPair
+from repro.search.bounds import ScoreBoundIndex
 from repro.search.cache import CacheCounters, SearchCaches
+from repro.search.costmodel import OnlineCostModel, batch_indices, pack_indices
 from repro.search.evaluator import (
     PRUNED_DUPLICATE,
+    PRUNED_SPEC_BOUND,
     CandidateEvaluator,
     EvaluationOutcome,
     ScoredSummary,
@@ -80,9 +83,29 @@ def _top_k_floor(candidates: dict[tuple, ScoredSummary], top_k: int) -> float:
 
 
 class SearchExecutor:
-    """Template for executors: the round loop and the deterministic reduce."""
+    """Template for executors: the round loop and the deterministic reduce.
+
+    Since the bound-planning layer landed, the base class also owns two
+    execution-only optimisations that subclasses inherit for free:
+
+    * **pre-discovery bound pruning** (``config.bound_pruning``, gated on
+      ``prune_search``) — a :class:`~repro.search.bounds.ScoreBoundIndex` is
+      built once per search, and specs whose admissible score bound falls
+      below the round's frozen floor are answered with a synthesised
+      :data:`~repro.search.evaluator.PRUNED_SPEC_BOUND` outcome *here*, so
+      they never reach ``_run_round`` — no partition discovery, no fit, no
+      prefetch key.  Survivors are dispatched in descending bound order;
+      outcomes are slotted back into plan order before the reduce, so
+      tie-breaking (and therefore the ranking) is byte-identical to the
+      unpruned, unordered path.
+    * **cost routing** (``config.cost_routing``) — every outcome reports its
+      observed evaluation seconds; an :class:`~repro.search.costmodel.
+      OnlineCostModel` folds them in between rounds and the subclasses use
+      its predictions to pack worker chunks / prefetch batches.
+    """
 
     n_jobs: int = 1
+    _cost_model: OnlineCostModel | None = None
 
     def execute(
         self,
@@ -129,6 +152,17 @@ class SearchExecutor:
         candidates: dict[tuple, ScoredSummary] = {}
         signatures: set = set()
         floor = initial_floor
+        # bound pruning is a top-k skip like score-bound pruning, so it obeys
+        # the same master switch; the index reads only the pair state, so it
+        # is identical across executors (serial/parallel prune the same specs)
+        bound_index = (
+            ScoreBoundIndex(pair, target, config)
+            if config.prune_search and config.bound_pruning and len(plan)
+            else None
+        )
+        self._cost_model = OnlineCostModel() if config.cost_routing else None
+        stats.bound_pruning = bound_index is not None
+        stats.cost_routing = self._cost_model is not None
         self._setup(pair, target, config, caches, maintenance)
         stats.cache_backend = self._cache_backend_kind()
         stats.cache_backend_requested = self._cache_backend_requested()
@@ -136,13 +170,54 @@ class SearchExecutor:
             for round_specs in plan.rounds:
                 if not round_specs:
                     continue
-                outcomes, delta = self._run_round(round_specs, floor, frozenset(signatures))
+                run_specs = round_specs
+                survivor_positions: list[int] | None = None
+                slotted: list[EvaluationOutcome | None] | None = None
+                if bound_index is not None:
+                    bounds = bound_index.round_bounds(round_specs)
+                    slotted = [
+                        None
+                        if bounds[position] >= floor
+                        else EvaluationOutcome(
+                            round_specs[position],
+                            None,
+                            None,
+                            pruned_reason=PRUNED_SPEC_BOUND,
+                        )
+                        for position in range(len(round_specs))
+                    ]
+                    # dispatch survivors in descending bound order (stable by
+                    # plan position); the frozen floor/signature contract makes
+                    # intra-round order invisible to outcomes
+                    survivor_positions = sorted(
+                        (p for p in range(len(round_specs)) if slotted[p] is None),
+                        key=lambda p: (-bounds[p], p),
+                    )
+                    run_specs = tuple(round_specs[p] for p in survivor_positions)
+                if run_specs:
+                    outcomes, delta = self._run_round(
+                        run_specs, floor, frozenset(signatures)
+                    )
+                else:
+                    outcomes, delta = [], CacheCounters()
+                if self._cost_model is not None:
+                    for outcome in outcomes:
+                        self._cost_model.observe(outcome.spec, outcome.seconds)
+                if slotted is not None:
+                    # restore plan order before the reduce: equal-score merges
+                    # in add_candidate keep the first-seen summary, so the
+                    # consumption order must not depend on the bound ordering
+                    for position, outcome in zip(survivor_positions, outcomes):
+                        slotted[position] = outcome
+                    outcomes = [outcome for outcome in slotted if outcome is not None]
                 for outcome in outcomes:
                     if outcome.signature is not None:
                         signatures.add(outcome.signature)
                     if outcome.pruned:
                         if outcome.pruned_reason == PRUNED_DUPLICATE:
                             stats.candidates_pruned_duplicates += 1
+                        elif outcome.pruned_reason == PRUNED_SPEC_BOUND:
+                            stats.candidates_pruned_spec_bounds += 1
                         else:
                             stats.candidates_pruned_bounds += 1
                         continue
@@ -198,13 +273,32 @@ def _evaluate_specs(
     specs: Sequence[CandidateSpec],
     floor: float,
     known_signatures: frozenset,
+    cost_model: OnlineCostModel | None = None,
 ) -> tuple[list[EvaluationOutcome], CacheCounters]:
     """Evaluate a batch of specs, reporting the cache-counter delta it caused."""
     before = evaluator.caches.counters()
-    # against a batching backend (the sharded remote fabric) this resolves the
-    # round's partition lookups in one MGET per shard; a no-op everywhere else
-    evaluator.prefetch_round(specs)
-    outcomes = [evaluator.evaluate(spec, floor, known_signatures) for spec in specs]
+    # against a batching backend (the sharded remote fabric) prefetching
+    # resolves partition lookups in one MGET per shard; a no-op everywhere
+    # else.  With a trained cost model the prefetch covers only the next few
+    # predicted seconds of evaluations instead of the whole round, so the
+    # buffer holds keys that are about to be used rather than keys that may
+    # age out of the server before their turn.
+    if (
+        cost_model is not None
+        and cost_model.observations
+        and len(specs) > 1
+        and evaluator.caches.partitions.backend.supports_prefetch
+    ):
+        batches = batch_indices([cost_model.predict(spec) for spec in specs])
+    else:
+        batches = [tuple(range(len(specs)))] if specs else []
+    outcomes: list[EvaluationOutcome] = []
+    for batch in batches:
+        batch_specs = [specs[position] for position in batch]
+        evaluator.prefetch_round(batch_specs)
+        outcomes.extend(
+            evaluator.evaluate(spec, floor, known_signatures) for spec in batch_specs
+        )
     return outcomes, evaluator.caches.counters() - before
 
 
@@ -253,7 +347,9 @@ class SerialExecutor(SearchExecutor):
         floor: float,
         known_signatures: frozenset,
     ) -> tuple[list[EvaluationOutcome], CacheCounters]:
-        return _evaluate_specs(self._evaluator, specs, floor, known_signatures)
+        return _evaluate_specs(
+            self._evaluator, specs, floor, known_signatures, self._cost_model
+        )
 
     def _teardown(self) -> None:
         self._evaluator = None
@@ -389,35 +485,67 @@ class ParallelExecutor(SearchExecutor):
         known_signatures: frozenset,
     ) -> tuple[list[EvaluationOutcome], CacheCounters]:
         if self._pool is not None:
-            chunks = self._chunk(specs)
-            payloads = [(chunk, floor, known_signatures) for chunk in chunks]
-            outcomes: list[EvaluationOutcome] = []
+            index_chunks = self._route(specs)
+            payloads = [
+                (tuple(specs[position] for position in chunk), floor, known_signatures)
+                for chunk in index_chunks
+            ]
+            slots: list[EvaluationOutcome | None] = [None] * len(specs)
             delta = CacheCounters()
             try:
-                # map() preserves payload order, so outcomes arrive in spec order
-                # and the reduce's tie-breaking matches the serial executor exactly
-                for chunk_outcomes, chunk_delta in self._pool.map(_evaluate_batch, payloads):
-                    outcomes.extend(chunk_outcomes)
+                # map() preserves payload order, but routed chunks interleave
+                # spec positions, so outcomes are slotted back into spec order
+                # — the reduce's tie-breaking must match the serial executor
+                for chunk, (chunk_outcomes, chunk_delta) in zip(
+                    index_chunks, self._pool.map(_evaluate_batch, payloads)
+                ):
                     delta = delta + chunk_delta
-                return outcomes, delta
+                    for position, outcome in zip(chunk, chunk_outcomes):
+                        slots[position] = outcome
+                return [outcome for outcome in slots if outcome is not None], delta
             except (BrokenProcessPool, OSError, pickle.PicklingError) as error:
                 self._fall_back_to_serial(error)
         assert self._fallback is not None
-        return _evaluate_specs(self._fallback, specs, floor, known_signatures)
+        return _evaluate_specs(
+            self._fallback, specs, floor, known_signatures, self._cost_model
+        )
 
-    def _chunk(self, specs: Sequence[CandidateSpec]) -> list[tuple[CandidateSpec, ...]]:
-        """Split a round into at most ``2 * n_jobs`` contiguous, ordered chunks."""
-        n_chunks = min(len(specs), 2 * self.n_jobs)
+    def _route(self, specs: Sequence[CandidateSpec]) -> list[tuple[int, ...]]:
+        """The round's worker chunks, as index groups over ``specs``.
+
+        With a trained cost model the chunks are packed longest-predicted-first
+        into balanced loads (:func:`~repro.search.costmodel.pack_indices`), so
+        an expensive corner of the round cannot straggle behind ``n_jobs - 1``
+        idle workers; cold (or disabled) models fall back to the historical
+        contiguous striding, which the balanced packing degenerates to under a
+        uniform cost vector anyway.
+        """
+        model = self._cost_model
+        if model is not None and model.observations and len(specs) > 1:
+            costs = [model.predict(spec) for spec in specs]
+            return pack_indices(costs, 2 * self.n_jobs)
+        return self._chunk_indices(len(specs))
+
+    def _chunk_indices(self, count: int) -> list[tuple[int, ...]]:
+        """At most ``2 * n_jobs`` contiguous, ordered index chunks over a round."""
+        n_chunks = min(count, 2 * self.n_jobs)
         if n_chunks <= 1:
-            return [tuple(specs)]
-        size, remainder = divmod(len(specs), n_chunks)
+            return [tuple(range(count))]
+        size, remainder = divmod(count, n_chunks)
         chunks = []
         start = 0
         for index in range(n_chunks):
             end = start + size + (1 if index < remainder else 0)
-            chunks.append(tuple(specs[start:end]))
+            chunks.append(tuple(range(start, end)))
             start = end
         return chunks
+
+    def _chunk(self, specs: Sequence[CandidateSpec]) -> list[tuple[CandidateSpec, ...]]:
+        """Split a round into at most ``2 * n_jobs`` contiguous, ordered chunks."""
+        return [
+            tuple(specs[position] for position in chunk)
+            for chunk in self._chunk_indices(len(specs))
+        ]
 
     def _teardown(self) -> None:
         # _fallback is kept: _effective_n_jobs reads it after the round loop,

@@ -23,6 +23,7 @@ round are distributed over workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from itertools import combinations
 from typing import Iterator, Sequence
 
@@ -69,10 +70,25 @@ class SearchPlan:
     condition_attributes: tuple[str, ...]
     transformation_attributes: tuple[str, ...]
 
-    @property
+    # cached_property works on a frozen dataclass: it writes the computed
+    # value straight into the instance __dict__, bypassing the frozen
+    # __setattr__, so every call site after the first reads a plain attribute
+    # instead of re-materialising tuples over the whole candidate space
+
+    @cached_property
     def specs(self) -> tuple[CandidateSpec, ...]:
-        """Every spec of the plan, in evaluation order."""
+        """Every spec of the plan, in evaluation order (materialised once)."""
         return tuple(spec for round_specs in self.rounds for spec in round_specs)
+
+    @cached_property
+    def spec_count(self) -> int:
+        """Total number of candidate specs across all rounds."""
+        return sum(len(round_specs) for round_specs in self.rounds)
+
+    @cached_property
+    def round_sizes(self) -> tuple[int, ...]:
+        """Number of specs per round, in round order."""
+        return tuple(len(round_specs) for round_specs in self.rounds)
 
     @property
     def num_rounds(self) -> int:
@@ -80,21 +96,21 @@ class SearchPlan:
         return len(self.rounds)
 
     def __len__(self) -> int:
-        return sum(len(round_specs) for round_specs in self.rounds)
+        return self.spec_count
 
     def __iter__(self) -> Iterator[CandidateSpec]:
-        return iter(self.specs)
+        return (spec for round_specs in self.rounds for spec in round_specs)
 
     def describe(self) -> str:
         """A short multi-line account of the planned space."""
         lines = [
-            f"search plan: {len(self)} candidate specs in {self.num_rounds} round(s)",
+            f"search plan: {self.spec_count} candidate specs in {self.num_rounds} round(s)",
             f"  condition attributes: {list(self.condition_attributes)}",
             f"  transformation attributes: {list(self.transformation_attributes)}",
         ]
-        for index, round_specs in enumerate(self.rounds):
+        for index, size in enumerate(self.round_sizes):
             label = "global" if index == 0 else f"k={index}"
-            lines.append(f"  round {index} ({label}): {len(round_specs)} spec(s)")
+            lines.append(f"  round {index} ({label}): {size} spec(s)")
         return "\n".join(lines)
 
 

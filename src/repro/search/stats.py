@@ -23,10 +23,16 @@ class SearchStats:
 
     ``candidates_enumerated`` is the size of the planned candidate space;
     every spec ends up either ``evaluated`` (partitions discovered, models
-    fitted, summary scored — or found infeasible) or pruned — either as a
-    provable *duplicate* of an earlier spec's partition structure, or because
-    a built summary's score upper *bound* could not beat the current top-k
-    floor.  Cache counters come from the memo caches of
+    fitted, summary scored — or found infeasible) or pruned — as a provable
+    *duplicate* of an earlier spec's partition structure, because a built
+    summary's score upper *bound* could not beat the current top-k floor, or
+    — with ``bound_pruning`` on — because the pre-discovery
+    :class:`~repro.search.bounds.SpecBound` already proved the spec could not
+    reach the floor (``candidates_pruned_spec_bounds``; these specs never
+    invoked partition discovery, fits or prefetches at all).
+    ``cost_routing`` records whether the executor packed rounds and prefetch
+    batches with the online cost model; neither knob ever changes rankings,
+    only wall time.  Cache counters come from the memo caches of
     :mod:`repro.search.cache`; in parallel runs they are aggregated across
     worker processes.  With the default in-process backend each worker has
     private caches, so parallel hit rates are typically lower than serial
@@ -66,6 +72,9 @@ class SearchStats:
     candidates_evaluated: int = 0
     candidates_pruned_duplicates: int = 0
     candidates_pruned_bounds: int = 0
+    candidates_pruned_spec_bounds: int = 0
+    bound_pruning: bool = False
+    cost_routing: bool = False
     fit_cache_hits: int = 0
     fit_cache_misses: int = 0
     partition_cache_hits: int = 0
@@ -87,8 +96,12 @@ class SearchStats:
 
     @property
     def candidates_pruned(self) -> int:
-        """Total specs skipped or dropped (duplicates + score-bound prunes)."""
-        return self.candidates_pruned_duplicates + self.candidates_pruned_bounds
+        """Total specs skipped or dropped (duplicate, score-bound and spec-bound)."""
+        return (
+            self.candidates_pruned_duplicates
+            + self.candidates_pruned_bounds
+            + self.candidates_pruned_spec_bounds
+        )
 
     @property
     def cache_hits(self) -> int:
@@ -145,6 +158,9 @@ class SearchStats:
             "candidates_pruned": self.candidates_pruned,
             "candidates_pruned_duplicates": self.candidates_pruned_duplicates,
             "candidates_pruned_bounds": self.candidates_pruned_bounds,
+            "candidates_pruned_spec_bounds": self.candidates_pruned_spec_bounds,
+            "bound_pruning": self.bound_pruning,
+            "cost_routing": self.cost_routing,
             "fit_cache_hits": self.fit_cache_hits,
             "fit_cache_misses": self.fit_cache_misses,
             "partition_cache_hits": self.partition_cache_hits,
@@ -183,6 +199,12 @@ class SearchStats:
             f"cache hit rate {100.0 * self.cache_hit_rate:.1f}%, "
             f"{self.wall_time_seconds:.2f}s, jobs={self.n_jobs}"
         )
+        if self.candidates_pruned_spec_bounds:
+            text += (
+                f", {self.candidates_pruned_spec_bounds} bound-pruned before discovery"
+            )
+        if self.cost_routing:
+            text += ", cost-routed"
         if self.cache_backend != "memory":
             text += f", cache={self.cache_backend}"
         if self.cache_backend_requested is not None:

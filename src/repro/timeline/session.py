@@ -140,22 +140,32 @@ class EngineSession:
         floor = self.warm_floor(target)
         seed = _COLD if floor is None else floor
         maintenance = self._maintenance_context(pair, target)
-        result = self._charles.summarize_pair(
-            pair,
-            target,
-            condition_attributes=condition_attributes,
-            transformation_attributes=transformation_attributes,
-            caches=self._caches,
-            initial_floor=seed,
-            maintenance=maintenance,
-        )
-        if seed != _COLD and not self._floor_verified(result, seed):
+        try:
+            result = self._charles.summarize_pair(
+                pair,
+                target,
+                condition_attributes=condition_attributes,
+                transformation_attributes=transformation_attributes,
+                caches=self._caches,
+                initial_floor=seed,
+                maintenance=maintenance,
+            )
+        except DiscoveryError:
+            if seed == _COLD:
+                raise
+            # the extreme form of an overshooting seed: a floor above every
+            # spec's score bound prunes the entire plan before discovery, so
+            # the run yields no candidates at all instead of a short ranking
+            result = None
+        if seed != _COLD and (result is None or not self._floor_verified(result, seed)):
             # the seed exceeded this run's true k-th best score, so pruning may
             # have dropped genuine top-k members: redo with an open floor (the
             # caches are warm, so the retry costs far less than a cold run)
             self.warm_start_fallbacks += 1
             aborted_seconds = (
-                result.search_stats.wall_time_seconds if result.search_stats else 0.0
+                result.search_stats.wall_time_seconds
+                if result is not None and result.search_stats
+                else 0.0
             )
             result = self._charles.summarize_pair(
                 pair,

@@ -1,0 +1,234 @@
+"""Pre-discovery score bounds: admissibility, ranking invariance, no waste.
+
+Three contracts keep ``bound_pruning`` safe to leave on:
+
+* **admissibility** — for every spec the executor could run, the true score of
+  whatever summary it produces never exceeds :meth:`ScoreBoundIndex.bound`
+  (property-tested over generated pair states);
+* **ranking invariance** — turning the knob off changes wall clock only, the
+  ranked output is byte-identical;
+* **no wasted work** — a spec pruned by its bound reaches neither partition
+  discovery nor the prefetch batch, so a remote fabric sees no MGET keys for
+  it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachestore.memory import InProcessBackend
+from repro.core import Charles, CharlesConfig
+from repro.relational.snapshot import SnapshotPair
+from repro.relational.table import Table
+from repro.search import GLOBAL, SearchCaches, SerialExecutor, build_search_plan
+from repro.search.bounds import ScoreBoundIndex, bound_histogram
+from repro.search.evaluator import CandidateEvaluator
+from repro.workloads import employee_pair
+
+_EDUCATIONS = ["BS", "MS", "PhD"]
+
+
+def _ranking(result):
+    return [
+        (
+            scored.summary.describe(),
+            scored.score,
+            scored.condition_attributes,
+            scored.transformation_attributes,
+            scored.n_partitions,
+        )
+        for scored in result.summaries
+    ]
+
+
+@st.composite
+def perturbed_pairs(draw) -> SnapshotPair:
+    """Employee-like pairs whose bonus evolves by a drawn, messy rule mix.
+
+    Deliberately *not* a clean policy: per-row multipliers, shifts and
+    untouched rows are drawn independently, so grouped rows frequently end at
+    different targets and the residual floor is exercised away from zero.
+    """
+    n = draw(st.integers(4, 24))
+    rows = []
+    new_bonus = []
+    for index in range(n):
+        bonus = float(draw(st.integers(1, 40)) * 500)
+        rows.append(
+            {
+                "id": f"r{index}",
+                "edu": draw(st.sampled_from(_EDUCATIONS)),
+                "exp": float(draw(st.integers(0, 4))),
+                "bonus": bonus,
+            }
+        )
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            new_bonus.append(bonus)
+        elif kind == 1:
+            new_bonus.append(round(bonus * draw(st.sampled_from([0.5, 1.2, 2.0])), 2))
+        elif kind == 2:
+            new_bonus.append(bonus + float(draw(st.integers(-4, 8)) * 250))
+        else:
+            new_bonus.append(float(draw(st.integers(1, 40)) * 500))
+    source = Table.from_rows(rows, primary_key="id")
+    target = source.with_column("bonus", new_bonus)
+    return SnapshotPair.align(source, target, key="id")
+
+
+class TestAdmissibility:
+    @settings(max_examples=20, deadline=None)
+    @given(pair=perturbed_pairs())
+    def test_no_achievable_score_exceeds_the_bound(self, pair):
+        config = CharlesConfig(max_partitions=2, prune_search=False)
+        if not pair.changed_mask("bonus").any():
+            return
+        plan = build_search_plan(["edu", "exp"], ["bonus"], config)
+        index = ScoreBoundIndex(pair, "bonus", config)
+        evaluator = CandidateEvaluator(pair, "bonus", config)
+        for spec in plan.specs:
+            outcome = evaluator.evaluate(spec)
+            if outcome.scored is None:
+                continue
+            assert outcome.scored.score <= index.bound(spec), (
+                f"spec {spec} scored {outcome.scored.score} above its "
+                f"admissible bound {index.bound(spec)}"
+            )
+
+    def test_bound_is_shared_across_partition_counts_and_weights(self):
+        pair = employee_pair(80, seed=3)
+        config = CharlesConfig()
+        plan = build_search_plan(["edu", "exp"], ["bonus"], config)
+        index = ScoreBoundIndex(pair, "bonus", config)
+        by_union = {}
+        for spec in plan.specs:
+            union = tuple(dict.fromkeys(spec.condition_subset + spec.transformation_subset))
+            record = index.spec_bound(spec)
+            assert by_union.setdefault(union, record) is record, (
+                "specs sharing an attribute union must share one cached bound"
+            )
+
+    def test_unchanged_pair_bounds_at_one(self):
+        # a zero baseline means "nothing changed" is already perfect; the
+        # ceiling must not divide by it, and the bound stays admissible
+        source = employee_pair(30, seed=1).source
+        pair = SnapshotPair.align(source, source, key="name")
+        index = ScoreBoundIndex(pair, "bonus", CharlesConfig())
+        plan = build_search_plan(["edu"], ["bonus"], CharlesConfig())
+        record = index.spec_bound(plan.specs[0])
+        assert record.baseline == 0.0
+        assert record.accuracy_ceiling == 1.0
+        assert record.score_bound >= 1.0
+
+    def test_no_usable_rows_bounds_at_one(self):
+        rows = [
+            {"id": f"r{i}", "edu": _EDUCATIONS[i % 3], "bonus": float("nan")}
+            for i in range(6)
+        ]
+        source = Table.from_rows(rows, primary_key="id")
+        target = source.with_column("bonus", [float("nan")] * 6)
+        pair = SnapshotPair.align(source, target, key="id")
+        index = ScoreBoundIndex(pair, "bonus", CharlesConfig())
+        plan = build_search_plan(["edu"], ["bonus"], CharlesConfig())
+        record = index.spec_bound(plan.specs[0])
+        assert record.accuracy_ceiling == 1.0
+        assert record.residual_floor == 0.0
+
+    def test_residual_floor_is_never_negative(self):
+        # prefix-sum cancellation must not leak a tiny negative E_min (it
+        # would raise a negative float to a fractional power -> complex)
+        pair = employee_pair(150, seed=9)
+        config = CharlesConfig()
+        index = ScoreBoundIndex(pair, "bonus", config)
+        for spec in build_search_plan(["edu", "exp"], ["bonus"], config).specs:
+            record = index.spec_bound(spec)
+            assert record.residual_floor >= 0.0
+            assert 0.0 <= record.accuracy_ceiling <= 1.0
+
+
+class TestRankingInvariance:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_differential_rankings_with_pruning_on_and_off(self, seed):
+        pair = employee_pair(150, seed=seed, noise_fraction=0.05)
+        kwargs = dict(
+            condition_attributes=["edu", "exp"], transformation_attributes=["bonus"]
+        )
+        on = Charles(CharlesConfig(bound_pruning=True)).summarize_pair(
+            pair, "bonus", **kwargs
+        )
+        off = Charles(CharlesConfig(bound_pruning=False)).summarize_pair(
+            pair, "bonus", **kwargs
+        )
+        assert _ranking(on) == _ranking(off)
+        assert on.search_stats.bound_pruning
+        assert not off.search_stats.bound_pruning
+        assert off.search_stats.candidates_pruned_spec_bounds == 0
+
+    def test_exhaustive_mode_disables_bound_pruning(self):
+        # prune_search=False promises an exhaustive enumeration; bound_pruning
+        # must not undercut that even when left at its default
+        pair = employee_pair(60, seed=2)
+        result = Charles(CharlesConfig(prune_search=False)).summarize_pair(
+            pair, "bonus",
+            condition_attributes=["edu"], transformation_attributes=["bonus"],
+        )
+        assert not result.search_stats.bound_pruning
+        assert result.search_stats.candidates_pruned_spec_bounds == 0
+
+
+class _RecordingPrefetchBackend(InProcessBackend):
+    """An in-process store that pretends to batch wire traffic like the fabric."""
+
+    supports_prefetch = True
+
+    def __init__(self):
+        super().__init__()
+        self.prefetched: list = []
+
+    def prefetch(self, keys) -> None:
+        self.prefetched.extend(keys)
+
+
+class TestNoWastedPrefetch:
+    def _run(self, initial_floor: float):
+        pair = employee_pair(100, seed=5)
+        config = CharlesConfig(bound_pruning=True, cost_routing=False)
+        backend = _RecordingPrefetchBackend()
+        caches = SearchCaches(backends=(InProcessBackend(), backend))
+        plan = build_search_plan(["edu", "exp"], ["bonus"], config)
+        ranked, stats = SerialExecutor().execute(
+            pair, "bonus", plan, config, caches=caches, initial_floor=initial_floor
+        )
+        return plan, ranked, stats, backend
+
+    def test_bound_pruned_specs_send_no_prefetch_keys(self):
+        # a floor above every admissible bound prunes the whole plan before
+        # discovery: no candidate, no partition lookup, no MGET key
+        plan, ranked, stats, backend = self._run(initial_floor=2.0)
+        assert ranked == []
+        assert stats.candidates_pruned_spec_bounds == len(plan)
+        assert backend.prefetched == []
+        counters = backend.counters()
+        assert counters.hits + counters.misses == 0
+        assert counters.round_trips == 0
+
+    def test_surviving_specs_still_prefetch(self):
+        plan, ranked, stats, backend = self._run(initial_floor=float("-inf"))
+        assert ranked
+        assert backend.prefetched  # the open-floor run batches as before
+        partitioned = sum(1 for spec in plan.specs if spec.kind != GLOBAL)
+        assert len(backend.prefetched) <= partitioned
+
+
+class TestHistogram:
+    def test_empty_plan_renders_placeholder(self):
+        assert bound_histogram([]) == "(no specs)"
+
+    def test_buckets_cover_all_bounds(self):
+        text = bound_histogram([0.05, 0.05, 0.62, 0.95, 1.2, -0.1])
+        counted = sum(int(part.split(":")[1]) for part in text.split())
+        assert counted == 6
+        assert "0.0-0.1:3" in text  # -0.1 clips into the first bucket

@@ -100,3 +100,26 @@ class TestConfigValidation:
 
     def test_prune_search_defaults_on(self):
         assert CharlesConfig().prune_search is True
+
+
+class TestPlanCaching:
+    def test_spec_count_matches_materialised_specs(self):
+        plan = build_search_plan(["edu", "exp"], ["bonus"], CharlesConfig())
+        assert plan.spec_count == len(plan.specs) == len(plan)
+
+    def test_round_sizes_match_rounds(self):
+        plan = build_search_plan(["edu", "exp"], ["bonus"], CharlesConfig())
+        assert list(plan.round_sizes) == [len(r) for r in plan.rounds]
+        assert sum(plan.round_sizes) == plan.spec_count
+
+    def test_specs_tuple_is_cached_not_rebuilt(self):
+        # cached_property: repeated access must return the same object, not a
+        # fresh tuple per call (describe()/len() used to rebuild it each time)
+        plan = build_search_plan(["edu", "exp"], ["bonus"], CharlesConfig())
+        assert plan.specs is plan.specs
+        assert plan.round_sizes is plan.round_sizes
+
+    def test_iteration_is_lazy_and_ordered(self):
+        plan = build_search_plan(["edu"], ["bonus"], CharlesConfig())
+        iterated = tuple(iter(plan))
+        assert iterated == plan.specs

@@ -429,3 +429,48 @@ class TestCacheCommands:
     def test_cache_server_invalid_capacity_exits_cleanly(self, capsys):
         assert main(["cache-server", "--port", "0", "--capacity", "0"]) == 2
         assert "capacity" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_plan_prints_rounds_and_histograms_without_evaluating(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "plan", str(source), str(target), "--key", "name", "--target", "bonus",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "search plan:" in output
+        assert "candidate specs" in output
+        assert "score-bound histogram" in output
+        assert "round 0 (global)" in output
+
+    def test_plan_without_bound_pruning_skips_histograms(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "plan", str(source), str(target), "--key", "name", "--target", "bonus",
+            "--no-bound-pruning",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "bound pruning disabled" in output
+
+    def test_summarize_plan_only_short_circuits(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name",
+            "--target", "bonus", "--plan-only",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "search plan:" in output
+        # no summaries were ranked or printed
+        assert "#1" not in output
+
+    def test_summarize_accepts_planning_flags(self, example_csvs, capsys):
+        source, target = example_csvs
+        code = main([
+            "summarize", str(source), str(target), "--key", "name",
+            "--target", "bonus", "--no-bound-pruning", "--no-cost-routing",
+        ])
+        assert code == 0
+        assert "#1" in capsys.readouterr().out
