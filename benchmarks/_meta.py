@@ -1,0 +1,56 @@
+"""Shared provenance stamping for benchmark reports.
+
+Every ``bench_*.py`` that writes a JSON report stamps it through
+:func:`stamp` before serialising, so any two report files — from different
+machines, branches or months — carry enough context to be compared honestly:
+a schema version, the host that produced them and a UTC timestamp.
+
+The import is deliberately soft at the call sites::
+
+    try:
+        from _meta import stamp as _stamp
+    except ImportError:  # imported as a module, not run as a script
+        def _stamp(report):
+            return report
+
+so the benchmarks keep working when pytest (or a spawn-context worker)
+imports them outside the ``benchmarks/`` directory.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import socket
+
+#: bump when the stamped envelope (not a benchmark's own payload) changes shape
+SCHEMA_VERSION = 1
+
+__all__ = ["SCHEMA_VERSION", "bench_meta", "stamp"]
+
+
+def bench_meta() -> dict:
+    """The provenance block stamped into every benchmark report."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": {
+            "hostname": socket.gethostname(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+    }
+
+
+def stamp(report: dict) -> dict:
+    """Return ``report`` with the provenance block merged in under ``meta``.
+
+    The report's own keys win on collision — stamping must never overwrite a
+    benchmark's payload — and the input dict is not mutated.
+    """
+    stamped = dict(report)
+    stamped.setdefault("meta", bench_meta())
+    return stamped

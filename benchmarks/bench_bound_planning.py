@@ -60,6 +60,13 @@ from repro.core import Charles, CharlesConfig
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 
+try:
+    from _meta import stamp as _stamp
+except ImportError:  # imported as a module (pytest, spawn workers), not run directly
+    def _stamp(report):
+        return report
+
+
 _DEPARTMENTS = ["ENG", "FIN", "OPS", "POL"]
 _REGIONS = ["N", "S", "W"]
 _TEAMS = ["alpha", "beta", "gamma", "delta", "epsilon"]
@@ -187,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     # quantised workload's irrelevant unions bound near 0.2 and prune early
     report = run_benchmark(rows, args.seed, CharlesConfig(alpha=0.8, top_k=5))
     report["smoke"] = args.smoke
-    text = json.dumps(report, indent=2)
+    text = json.dumps(_stamp(report), indent=2)
     print(text)
     if args.output is not None:
         args.output.write_text(text + "\n", encoding="utf-8")

@@ -53,6 +53,13 @@ from repro.cacheserver import CacheServer, server_stats
 from repro.timeline import EngineSession, TimelineStore
 from repro.workloads import streaming_employee_timeline
 
+try:
+    from _meta import stamp as _stamp
+except ImportError:  # imported as a module (pytest, spawn workers), not run directly
+    def _stamp(report):
+        return report
+
+
 TARGET = "bonus"
 
 
@@ -173,7 +180,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_benchmark(rows, versions, args.seed)
     report["smoke"] = args.smoke
-    text = json.dumps(report, indent=2)
+    text = json.dumps(_stamp(report), indent=2)
     print(text)
     if args.output is not None:
         args.output.write_text(text + "\n", encoding="utf-8")

@@ -48,6 +48,13 @@ from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 from repro.timeline import EngineSession
 
+try:
+    from _meta import stamp as _stamp
+except ImportError:  # imported as a module (pytest, spawn workers), not run directly
+    def _stamp(report):
+        return report
+
+
 _EDUCATIONS = ["BS", "MS", "PhD"]
 _DEPARTMENTS = ["ENG", "FIN", "OPS", "POL"]
 
@@ -202,7 +209,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_benchmark(rows, args.refreshes, args.fraction, args.seed, CharlesConfig())
     report["smoke"] = args.smoke
-    text = json.dumps(report, indent=2)
+    text = json.dumps(_stamp(report), indent=2)
     print(text)
     if args.output is not None:
         args.output.write_text(text + "\n", encoding="utf-8")

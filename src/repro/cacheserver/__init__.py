@@ -52,8 +52,10 @@ from repro.cacheserver.client import (
     ShardClient,
     parse_url,
     server_clear,
+    server_metrics,
     server_ping,
     server_stats,
+    server_trace,
 )
 from repro.cacheserver.fabric import ShardedRemoteBackend, ShardedRemoteHandle
 from repro.cacheserver.pipeline import PipelinedConnection
@@ -73,6 +75,8 @@ __all__ = [
     "server_ping",
     "server_stats",
     "server_clear",
+    "server_metrics",
+    "server_trace",
     "CacheServer",
     "DEFAULT_PORT",
 ]

@@ -59,6 +59,8 @@ from repro.cachestore.disk import _UNPICKLE_ERRORS
 from repro.cacheserver import protocol
 from repro.cacheserver.pipeline import PipelinedConnection
 from repro.exceptions import CacheStoreError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import wire_context
 
 __all__ = [
     "ShardClient",
@@ -68,7 +70,18 @@ __all__ = [
     "server_stats",
     "server_clear",
     "server_ping",
+    "server_metrics",
+    "server_trace",
 ]
+
+#: engine-side per-endpoint round-trip latency, labelled by shard URL — the
+#: "which shard is slow" half of the fabric's observability (the server-side
+#: half is each shard's own ``METRICS`` exposition)
+_RPC_SECONDS = get_registry().histogram(
+    "charles_remote_rpc_seconds",
+    "Blocking cache-server round-trip latency, by endpoint",
+    labels=("endpoint",),
+)
 
 #: operations answered locally (miss / dropped put) after a connection
 #: failure before the next reconnection attempt
@@ -201,11 +214,13 @@ class ShardClient:
         conn = self._acquire()
         if conn is None:
             return None
+        started = time.perf_counter()
         try:
             response = conn.request(body)
         except (OSError, protocol.ProtocolError):
             self._record_failure()
             return None
+        _RPC_SECONDS.observe(time.perf_counter() - started, endpoint=self.url)
         self.round_trips += 1
         self._current_backoff = RETRY_BACKOFF_SECONDS  # healthy again
         return response
@@ -221,28 +236,31 @@ class ShardClient:
         self.round_trips += 1
         return True
 
-    def mget_begin(self, region: int, digests: tuple[bytes, ...]):
+    def mget_begin(self, region: int, digests: tuple[bytes, ...], trace: bytes = b""):
         """Start a batched lookup without waiting; ``None`` while degraded.
 
         The fabric fans one ``MGET`` out per shard and *then* collects, so a
         round's lookups across N shards overlap instead of paying N
         sequential round trips.  Pass the returned future to
-        :meth:`mget_finish`.
+        :meth:`mget_finish`.  ``trace`` (a packed wire context) makes the
+        server record its handling as a span under the caller's.
         """
         conn = self._acquire()
         if conn is None:
             return None
         return conn.submit(
-            protocol.encode_request(protocol.MGET, region, digests=digests)
+            protocol.encode_request(protocol.MGET, region, digests=digests, trace=trace)
         )
 
     def mget_finish(self, future, count: int) -> list[bytes | None] | None:
         """Collect a started batch: per-key value bytes, or ``None`` degraded."""
+        started = time.perf_counter()
         try:
             answer = future.result(timeout=self._timeout)
         except Exception:
             self._record_failure()
             return None
+        _RPC_SECONDS.observe(time.perf_counter() - started, endpoint=self.url)
         self.round_trips += 1
         self._current_backoff = RETRY_BACKOFF_SECONDS  # healthy again
         if answer[0] != protocol.OK:
@@ -336,7 +354,9 @@ class RemoteBackend(CacheBackend):
 
     def get(self, key: Hashable) -> Any:
         answer = self._client.call(
-            protocol.encode_request(protocol.GET, self._region, digest=self._digest(key))
+            protocol.encode_request(
+                protocol.GET, self._region, digest=self._digest(key), trace=wire_context()
+            )
         )
         if answer is not None and answer[0] == protocol.HIT:
             value = decode_value(answer[1])
@@ -362,6 +382,7 @@ class RemoteBackend(CacheBackend):
                 digest=self._digest(key),
                 cost=cost_hint or 0.0,
                 payload=payload,
+                trace=wire_context(),
             )
         )
 
@@ -467,3 +488,30 @@ def server_clear(url: str, timeout: float = DEFAULT_TIMEOUT) -> None:
     _admin_request(
         url, protocol.encode_request(protocol.CLEAR, protocol.REGION_ALL), timeout
     )
+
+
+def server_metrics(url: str, timeout: float = DEFAULT_TIMEOUT) -> str:
+    """The server's Prometheus text exposition (the ``METRICS`` payload)."""
+    _, payload = _admin_request(
+        url, protocol.encode_request(protocol.METRICS, protocol.REGION_ALL), timeout
+    )
+    return payload.decode("utf-8")
+
+
+def server_trace(
+    url: str, trace_id: str | None = None, timeout: float = DEFAULT_TIMEOUT
+) -> list[dict]:
+    """Drain the server's buffered spans (optionally one trace's) as dicts.
+
+    A traced engine calls this per shard after a run and absorbs the result
+    into its own sink, stitching server-side verb handling into the client
+    trace.  Passing ``trace_id`` leaves other engines' spans buffered for
+    *their* collection.
+    """
+    filter_bytes = bytes.fromhex(trace_id) if trace_id else b""
+    _, payload = _admin_request(
+        url,
+        protocol.encode_request(protocol.TRACE, protocol.REGION_ALL, payload=filter_bytes),
+        timeout,
+    )
+    return json.loads(payload.decode("utf-8"))

@@ -35,6 +35,7 @@ N-shard, and degraded-shard topologies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable
 
@@ -53,6 +54,7 @@ from repro.cacheserver.client import (
     encode_value,
 )
 from repro.cacheserver.ring import HashRing, parse_endpoints
+from repro.obs.trace import get_tracer, wire_context
 
 __all__ = ["ShardedRemoteBackend", "ShardedRemoteHandle"]
 
@@ -134,7 +136,9 @@ class ShardedRemoteBackend(CacheBackend):
         only consulted when a preferred shard cannot answer at all, so a
         healthy fleet never pays extra round trips for replication.
         """
-        body = protocol.encode_request(protocol.GET, self._region, digest=digest)
+        body = protocol.encode_request(
+            protocol.GET, self._region, digest=digest, trace=wire_context()
+        )
         for position, client in enumerate(self._preferred(digest)):
             if position:
                 self.failovers += 1
@@ -173,6 +177,7 @@ class ShardedRemoteBackend(CacheBackend):
             digest=digest,
             cost=cost_hint or 0.0,
             payload=payload,
+            trace=wire_context(),
         )
         for client in self._preferred(digest):
             client.cast(body)
@@ -216,6 +221,7 @@ class ShardedRemoteBackend(CacheBackend):
         single-key reads; keys whose whole replica set is down buffer as
         misses (degrade, never abort).
         """
+        tracer = get_tracer()
         pending: list[bytes] = []
         seen: set[bytes] = set()
         for key in keys:
@@ -223,41 +229,56 @@ class ShardedRemoteBackend(CacheBackend):
             if digest not in self._prefetched and digest not in seen:
                 seen.add(digest)
                 pending.append(digest)
-        # walk the preference ladder: rung 0 groups keys by owner, rung 1
-        # regroups only the failed shards' keys onto their first successor, ...
-        for rung in range(self._replication):
-            if not pending:
-                return
-            groups: dict[int, list[bytes]] = {}
-            orphans: list[bytes] = []
-            for digest in pending:
-                preference = self._ring.preference(digest, self._replication)
-                if rung < len(preference):
-                    groups.setdefault(preference[rung], []).append(digest)
-                else:  # pragma: no cover - replication already clamped to fleet
-                    orphans.append(digest)
-            pending = orphans
-            # fan the rung's MGETs out to every shard before collecting any,
-            # so N shards answer in one overlapped round trip, not N serial ones
-            started: list[tuple[int, list[bytes], Any]] = []
-            for index, digests in groups.items():
-                if rung:
-                    self.failovers += 1
-                future = self._clients[index].mget_begin(self._region, tuple(digests))
-                started.append((index, digests, future))
-            for index, digests, future in started:
-                values = (
-                    None
-                    if future is None
-                    else self._clients[index].mget_finish(future, len(digests))
-                )
-                if values is None:
-                    pending.extend(digests)  # shard down: next rung tries successors
-                    continue
-                for digest, value in zip(digests, values):
-                    self._prefetched[digest] = value
-        for digest in pending:  # every replica down: buffered as misses
-            self._prefetched[digest] = None
+        with tracer.span("fabric.prefetch", keys=len(pending), shards=len(self._clients)):
+            trace = tracer.wire_bytes()
+            # walk the preference ladder: rung 0 groups keys by owner, rung 1
+            # regroups only the failed shards' keys onto their first successor, ...
+            for rung in range(self._replication):
+                if not pending:
+                    return
+                groups: dict[int, list[bytes]] = {}
+                orphans: list[bytes] = []
+                for digest in pending:
+                    preference = self._ring.preference(digest, self._replication)
+                    if rung < len(preference):
+                        groups.setdefault(preference[rung], []).append(digest)
+                    else:  # pragma: no cover - replication already clamped to fleet
+                        orphans.append(digest)
+                pending = orphans
+                # fan the rung's MGETs out to every shard before collecting any,
+                # so N shards answer in one overlapped round trip, not N serial ones
+                started: list[tuple[int, list[bytes], Any, float, float]] = []
+                for index, digests in groups.items():
+                    if rung:
+                        self.failovers += 1
+                    future = self._clients[index].mget_begin(
+                        self._region, tuple(digests), trace=trace
+                    )
+                    started.append(
+                        (index, digests, future, time.time(), time.perf_counter())
+                    )
+                for index, digests, future, begun_wall, begun in started:
+                    values = (
+                        None
+                        if future is None
+                        else self._clients[index].mget_finish(future, len(digests))
+                    )
+                    tracer.record(
+                        "fabric.mget",
+                        begun_wall,
+                        time.perf_counter() - begun,
+                        shard=self._clients[index].url,
+                        keys=len(digests),
+                        rung=rung,
+                        degraded=values is None,
+                    )
+                    if values is None:
+                        pending.extend(digests)  # shard down: next rung tries successors
+                        continue
+                    for digest, value in zip(digests, values):
+                        self._prefetched[digest] = value
+            for digest in pending:  # every replica down: buffered as misses
+                self._prefetched[digest] = None
 
     # -- accounting, sharing, lifecycle --------------------------------------------
 

@@ -69,6 +69,9 @@ class PipelinedConnection:
         self._order: list[int] = []  # insertion order, for backpressure
         self._next_id = 0
         self._dead = False
+        #: high-water mark of requests simultaneously in flight — how much of
+        #: the pipelining headroom traffic actually used (observability only)
+        self.peak_in_flight = 0
         self._reader = threading.Thread(
             target=self._read_loop, name="charles-cache-pipeline", daemon=True
         )
@@ -97,6 +100,8 @@ class PipelinedConnection:
             self._next_id = (self._next_id + 1) & 0xFFFFFFFF
             self._pending[request_id] = future
             self._order.append(request_id)
+            if len(self._pending) > self.peak_in_flight:
+                self.peak_in_flight = len(self._pending)
             oldest = self._order[0] if len(self._pending) > MAX_IN_FLIGHT else None
             oldest_future = self._pending.get(oldest) if oldest is not None else None
         if oldest_future is not None:

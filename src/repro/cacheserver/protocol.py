@@ -27,7 +27,18 @@ verb      message after the (verb, region) header
 ``LEN``   empty — entry count of the region (or all regions)
 ``CLEAR`` empty — drop the region's entries (or all regions')
 ``STATS`` empty — per-region counters as UTF-8 JSON
+``TRACE`` optional 16-byte trace id — drain buffered server spans
+``METRICS`` empty — Prometheus text exposition of the server
 ========  =======================================================
+
+Any request may additionally carry a **trace-context header**: setting the
+high bit (:data:`TRACE_FLAG`) on the verb byte inserts
+:data:`TRACE_CONTEXT_SIZE` bytes — a 16-byte trace id followed by an 8-byte
+parent span id — between the (verb, region) head and the verb's message.
+The server then records its handling of the request as a span under that
+parent (collectable via ``TRACE``), so client-side traces extend across the
+socket.  Peers that never send the header (every pre-observability client)
+are byte-for-byte unchanged.
 
 Responses start with a status byte: ``HIT`` carries the stored value bytes,
 ``MISS`` is empty, ``OK`` carries verb-specific payloads (an 8-byte count for
@@ -65,6 +76,11 @@ __all__ = [
     "LEN",
     "CLEAR",
     "STATS",
+    "TRACE",
+    "METRICS",
+    "VERB_NAMES",
+    "TRACE_FLAG",
+    "TRACE_CONTEXT_SIZE",
     "REGION_FITS",
     "REGION_PARTITIONS",
     "REGION_ALL",
@@ -111,7 +127,26 @@ LEN = 4
 CLEAR = 5
 STATS = 6
 MGET = 7
-_VERBS = frozenset({PING, GET, PUT, LEN, CLEAR, STATS, MGET})
+TRACE = 8
+METRICS = 9
+_VERBS = frozenset({PING, GET, PUT, LEN, CLEAR, STATS, MGET, TRACE, METRICS})
+VERB_NAMES = {
+    PING: "PING",
+    GET: "GET",
+    PUT: "PUT",
+    LEN: "LEN",
+    CLEAR: "CLEAR",
+    STATS: "STATS",
+    MGET: "MGET",
+    TRACE: "TRACE",
+    METRICS: "METRICS",
+}
+
+#: high bit of the verb byte: set when a trace-context header follows the
+#: (verb, region) head
+TRACE_FLAG = 0x80
+#: the header's size: a 16-byte trace id followed by an 8-byte parent span id
+TRACE_CONTEXT_SIZE = 24
 
 # regions: one per memo cache the search layer carries, plus the admin "all"
 REGION_FITS = 0
@@ -138,7 +173,11 @@ MAX_BATCH_KEYS = 65536
 
 @dataclass(frozen=True)
 class Request:
-    """One decoded request frame."""
+    """One decoded request frame.
+
+    ``trace`` carries the raw trace-context header bytes (trace id + parent
+    span id) when the client sent one, ``b""`` otherwise.
+    """
 
     verb: int
     region: int
@@ -146,6 +185,7 @@ class Request:
     cost: float = 0.0
     payload: bytes = b""
     digests: tuple[bytes, ...] = ()
+    trace: bytes = b""
 
 
 def encode_request(
@@ -155,13 +195,21 @@ def encode_request(
     cost: float = 0.0,
     payload: bytes = b"",
     digests: tuple[bytes, ...] = (),
+    trace: bytes = b"",
 ) -> bytes:
     """The body bytes of one request message."""
     if verb in (GET, PUT) and len(digest) != DIGEST_SIZE:
         raise ProtocolError(
             f"key digest must be {DIGEST_SIZE} bytes, got {len(digest)}"
         )
-    head = bytes((verb, region))
+    if trace:
+        if len(trace) != TRACE_CONTEXT_SIZE:
+            raise ProtocolError(
+                f"trace context must be {TRACE_CONTEXT_SIZE} bytes, got {len(trace)}"
+            )
+        head = bytes((verb | TRACE_FLAG, region)) + trace
+    else:
+        head = bytes((verb, region))
     if verb == GET:
         return head + digest
     if verb == PUT:
@@ -177,6 +225,12 @@ def encode_request(
                     f"key digest must be {DIGEST_SIZE} bytes, got {len(entry)}"
                 )
         return head + _SHORT.pack(len(digests)) + b"".join(digests)
+    if verb == TRACE:
+        if payload and len(payload) != DIGEST_SIZE:
+            raise ProtocolError(
+                f"TRACE filter must be empty or {DIGEST_SIZE} bytes, got {len(payload)}"
+            )
+        return head + payload
     return head
 
 
@@ -184,21 +238,38 @@ def decode_request(body: bytes) -> Request:
     """Parse one request body (raises :class:`ProtocolError` on malformed frames)."""
     if len(body) < 2:
         raise ProtocolError(f"request frame too short ({len(body)} bytes)")
-    verb, region = body[0], body[1]
+    flagged, region = body[0], body[1]
+    verb = flagged & ~TRACE_FLAG
     if verb not in _VERBS:
-        raise ProtocolError(f"unknown verb {verb}")
+        raise ProtocolError(f"unknown verb {flagged}")
+    trace = b""
+    if flagged & TRACE_FLAG:
+        if len(body) < 2 + TRACE_CONTEXT_SIZE:
+            raise ProtocolError(
+                f"trace-context header truncated on verb {VERB_NAMES[verb]}"
+            )
+        trace = body[2 : 2 + TRACE_CONTEXT_SIZE]
+        # strip the header so the verb-specific offsets below stay fixed
+        body = bytes((verb, region)) + body[2 + TRACE_CONTEXT_SIZE :]
+    if verb == TRACE:
+        payload = body[2:]
+        if payload and len(payload) != DIGEST_SIZE:
+            raise ProtocolError(
+                f"TRACE filter must be empty or {DIGEST_SIZE} bytes, got {len(payload)}"
+            )
+        return Request(verb, region, payload=payload, trace=trace)
     if verb == GET:
         digest = body[2:]
         if len(digest) != DIGEST_SIZE:
             raise ProtocolError(f"GET digest must be {DIGEST_SIZE} bytes, got {len(digest)}")
-        return Request(verb, region, digest=digest)
+        return Request(verb, region, digest=digest, trace=trace)
     if verb == PUT:
         fixed = 2 + DIGEST_SIZE + _COST.size
         if len(body) < fixed:
             raise ProtocolError(f"PUT frame too short ({len(body)} bytes)")
         digest = body[2 : 2 + DIGEST_SIZE]
         (cost,) = _COST.unpack_from(body, 2 + DIGEST_SIZE)
-        return Request(verb, region, digest=digest, cost=cost, payload=body[fixed:])
+        return Request(verb, region, digest=digest, cost=cost, payload=body[fixed:], trace=trace)
     if verb == MGET:
         if len(body) < 2 + _SHORT.size:
             raise ProtocolError(f"MGET frame too short ({len(body)} bytes)")
@@ -215,8 +286,8 @@ def decode_request(body: bytes) -> Request:
             body[start + index * DIGEST_SIZE : start + (index + 1) * DIGEST_SIZE]
             for index in range(count)
         )
-        return Request(verb, region, digests=digests)
-    return Request(verb, region)
+        return Request(verb, region, digests=digests, trace=trace)
+    return Request(verb, region, trace=trace)
 
 
 def encode_response(status: int, payload: bytes = b"") -> bytes:

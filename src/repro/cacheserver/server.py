@@ -21,6 +21,15 @@ Operational surface:
 * ``PING``/``STATS`` admin verbs (liveness; per-region entry counts and
   hit/miss/eviction counters as JSON) — also reachable from the shell via
   ``charles cache {stats,clear} --cache-url`` and ``charles cache-server``;
+* ``METRICS``: a Prometheus text exposition (per-verb request counters and
+  latency histograms, in-flight connections, region sizes and evictions,
+  uptime) rendered by a per-server :class:`~repro.obs.metrics.
+  MetricsRegistry` — ``charles cache stats --metrics`` scrapes it per shard;
+* ``TRACE``: requests whose verb byte carries the protocol's trace-context
+  header are recorded as spans (name ``server.<verb>``, parented under the
+  client-side span that issued them) into a bounded in-memory buffer, which
+  ``TRACE`` drains — optionally filtered to one trace id, so concurrent
+  engines sharing a shard each collect only their own spans;
 * graceful shutdown: :meth:`CacheServer.shutdown` stops accepting, unblocks
   :meth:`serve_forever`, closes the listening socket and tears down every
   live client connection, so a stopped server immediately looks *down* to
@@ -36,17 +45,26 @@ import socket
 import socketserver
 import threading
 import time
+from collections import deque
 
 from repro.cachestore.base import MISSING
 from repro.cachestore.memory import InProcessBackend
 from repro.cachestore.policy import make_policy
 from repro.cacheserver import protocol
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SPAN_ID_BYTES, TRACE_ID_BYTES, Span, new_span_id
 
-__all__ = ["CacheServer", "DEFAULT_PORT"]
+__all__ = ["CacheServer", "DEFAULT_PORT", "MAX_BUFFERED_SPANS"]
 
 #: the port ``charles cache-server`` binds when none is given
 DEFAULT_PORT = 8737
+
+#: bound on the server-side span buffer: uncollected spans (a client that
+#: enabled tracing but never drained) age out instead of growing the server
+MAX_BUFFERED_SPANS = 10000
+
+_ZERO_PARENT = b"\x00" * SPAN_ID_BYTES
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -145,6 +163,33 @@ class CacheServer:
         self._requests = 0
         self._requests_lock = threading.Lock()
         self._started = time.time()
+        self._spans: deque = deque(maxlen=MAX_BUFFERED_SPANS)
+        self._spans_lock = threading.Lock()
+        self._metrics = MetricsRegistry()
+        self._requests_total = self._metrics.counter(
+            "cacheserver_requests_total", "Requests handled, by verb", labels=("verb",)
+        )
+        self._request_seconds = self._metrics.histogram(
+            "cacheserver_request_seconds", "Request handling latency, by verb", labels=("verb",)
+        )
+        self._inflight = self._metrics.gauge(
+            "cacheserver_connections_inflight", "Currently open client connections"
+        )
+        self._region_entries = self._metrics.gauge(
+            "cacheserver_region_entries", "Entries held per region", labels=("region",)
+        )
+        self._region_evictions = self._metrics.gauge(
+            "cacheserver_region_evictions", "Entries evicted per region", labels=("region",)
+        )
+        self._region_hits = self._metrics.gauge(
+            "cacheserver_region_hits", "Lookup hits per region", labels=("region",)
+        )
+        self._region_misses = self._metrics.gauge(
+            "cacheserver_region_misses", "Lookup misses per region", labels=("region",)
+        )
+        self._uptime = self._metrics.gauge(
+            "cacheserver_uptime_seconds", "Seconds since the server started"
+        )
         self._tcp = _ThreadingServer((host, port), _Handler)
         self._tcp.cache_server = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -211,10 +256,12 @@ class CacheServer:
     def _track(self, connection) -> None:
         with self._connections_lock:
             self._connections.add(connection)
+            self._inflight.set(len(self._connections))
 
     def _untrack(self, connection) -> None:
         with self._connections_lock:
             self._connections.discard(connection)
+            self._inflight.set(len(self._connections))
 
     def __enter__(self) -> "CacheServer":
         return self.start()
@@ -225,12 +272,46 @@ class CacheServer:
     # -- request handling --------------------------------------------------------
 
     def dispatch(self, body: bytes) -> bytes:
-        """The response body for one request body (used by the handler threads)."""
+        """The response body for one request body (used by the handler threads).
+
+        All observability happens here, around :meth:`_handle`: the per-verb
+        request counter and latency histogram always run (they are two dict
+        updates), a span is recorded only when the client shipped a
+        trace-context header on the verb byte.
+        """
         request = protocol.decode_request(body)
         with self._requests_lock:
             self._requests += 1
+        verb_name = protocol.VERB_NAMES[request.verb]
+        started_wall = time.time()
+        started = time.perf_counter()
+        outcome = "ok"
+        try:
+            return self._handle(request)
+        except protocol.ProtocolError:
+            outcome = "error"
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            self._requests_total.inc(verb=verb_name)
+            self._request_seconds.observe(elapsed, verb=verb_name)
+            if request.trace:
+                self._record_span(request, verb_name, started_wall, elapsed, outcome)
+
+    def _handle(self, request: protocol.Request) -> bytes:
         if request.verb == protocol.PING:
             return protocol.encode_response(protocol.OK, b"pong")
+        if request.verb == protocol.METRICS:
+            return protocol.encode_response(
+                protocol.OK, self.metrics_text().encode("utf-8")
+            )
+        if request.verb == protocol.TRACE:
+            drained = self._drain_spans(
+                request.payload.hex() if request.payload else None
+            )
+            return protocol.encode_response(
+                protocol.OK, json.dumps(drained).encode("utf-8")
+            )
         if request.verb == protocol.STATS:
             payload = json.dumps(self.stats()).encode("utf-8")
             return protocol.encode_response(protocol.OK, payload)
@@ -266,6 +347,48 @@ class CacheServer:
         with lock:
             region.put(request.digest, request.payload, cost_hint=request.cost)
         return protocol.encode_response(protocol.OK)
+
+    def _record_span(
+        self,
+        request: protocol.Request,
+        verb_name: str,
+        started_wall: float,
+        elapsed: float,
+        outcome: str,
+    ) -> None:
+        """Buffer one server-side span under the client's wire context."""
+        trace_id = request.trace[:TRACE_ID_BYTES].hex()
+        parent = request.trace[TRACE_ID_BYTES:]
+        record = Span(
+            name=f"server.{verb_name.lower()}",
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=None if parent == _ZERO_PARENT else parent.hex(),
+            start=started_wall,
+            duration=elapsed,
+            attributes={
+                "url": self.url,
+                "region": protocol.REGION_NAMES.get(request.region, "all"),
+                "keys": len(request.digests) if request.digests else 1,
+            },
+            outcome=outcome,
+            process="server",
+        ).as_dict()
+        with self._spans_lock:
+            self._spans.append(record)
+
+    def _drain_spans(self, trace_id: str | None) -> list[dict]:
+        """Remove and return buffered spans, optionally for one trace only."""
+        with self._spans_lock:
+            if trace_id is None:
+                drained = list(self._spans)
+                self._spans.clear()
+                return drained
+            drained = [span for span in self._spans if span["trace"] == trace_id]
+            kept = [span for span in self._spans if span["trace"] != trace_id]
+            self._spans.clear()
+            self._spans.extend(kept)
+            return drained
 
     def _selected(self, region: int) -> list[int]:
         if region == protocol.REGION_ALL:
@@ -314,3 +437,22 @@ class CacheServer:
             },
             "regions": regions,
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (the ``METRICS`` payload).
+
+        Request counters and latency histograms accumulate as traffic flows;
+        the scrape-time state (region sizes and counters, uptime) is set into
+        its gauges here so every exposition is current.
+        """
+        for region, backend in self._regions.items():
+            with self._locks[region]:
+                counters = backend.counters()
+                entries = len(backend)
+            name = protocol.REGION_NAMES[region]
+            self._region_entries.set(entries, region=name)
+            self._region_evictions.set(counters.evictions, region=name)
+            self._region_hits.set(counters.hits, region=name)
+            self._region_misses.set(counters.misses, region=name)
+        self._uptime.set(time.time() - self._started)
+        return self._metrics.render()

@@ -125,6 +125,17 @@ class BackendCounters:
             failovers=self.failovers - other.failovers,
         )
 
+    def as_dict(self) -> dict[str, float]:
+        """Every raw counter plus the derived hit rate, JSON-friendly."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "round_trips": self.round_trips,
+            "failovers": self.failovers,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class BackendHandle(ABC):
     """A picklable token that reconnects a worker process to a shared store."""

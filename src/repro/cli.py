@@ -22,9 +22,16 @@ fleet cache service:
 
 * ``charles cache-server`` — host the memo regions for a fleet of engines
   (``--cache-backend remote --cache-url host:port`` on the other commands).
-* ``charles cache``        — inspect (``stats``) or reset (``clear``) a cache
-  store, either a running server (``--cache-url``) or an on-disk directory
-  (``--cache-dir``), without writing python.
+* ``charles cache``        — inspect (``stats``, optionally ``--metrics`` for
+  the Prometheus exposition) or reset (``clear``) a cache store, either a
+  running server (``--cache-url``) or an on-disk directory (``--cache-dir``),
+  without writing python.
+
+Observability rides along on the workflow commands: ``--trace PATH`` records
+every layer of a run (rounds, partition discovery, fits, per-shard cache
+traffic, server-side handling) as JSONL spans, ``--stats-json PATH`` dumps the
+machine-readable search statistics, and ``charles trace summarize|tree``
+analyses a recorded trace file.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.cachestore import BACKEND_CHOICES, POLICY_CHOICES, DiskBackend
@@ -88,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--sql", action="store_true",
                            help="print the best summary as a SQL UPDATE statement")
     summarize.add_argument("--markdown", type=Path, default=None, help="write a full markdown report here")
+    _add_observability_arguments(summarize)
 
     suggest = subparsers.add_parser("suggest", help="show the setup assistant's attribute shortlists")
     _add_pair_arguments(suggest)
@@ -137,6 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run every hop with a fresh cold engine (baseline for comparison)")
     timeline.add_argument("--condition-attributes", nargs="*", default=None)
     timeline.add_argument("--transformation-attributes", nargs="*", default=None)
+    _add_observability_arguments(timeline)
+
+    trace = subparsers.add_parser(
+        "trace", help="analyse a JSONL trace file recorded with --trace"
+    )
+    trace.add_argument("action", choices=["summarize", "tree"],
+                       help="summarize: per-span-name self/cumulative time, "
+                            "slowest rounds and per-shard network time; "
+                            "tree: the full span hierarchy")
+    trace.add_argument("trace_file", type=Path, help="JSONL trace file to analyse")
+    trace.add_argument("--slowest", type=int, default=5,
+                       help="rounds listed in the summary's slowest-rounds section")
+    trace.add_argument("--trace-id", default=None,
+                       help="render only this trace (tree; default: the largest one)")
 
     generate = subparsers.add_parser("generate", help="write a synthetic workload pair to CSV")
     generate.add_argument("workload", choices=["example", "employee", "montgomery", "billionaires"])
@@ -173,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="host:port of a running cache server")
     cache.add_argument("--cache-dir", type=Path, default=None,
                        help="directory holding on-disk cache files")
+    cache.add_argument("--metrics", action="store_true",
+                       help="with stats --cache-url: print each server's "
+                            "Prometheus metrics exposition instead of the table")
     return parser
 
 
@@ -193,6 +219,18 @@ def _add_planning_arguments(parser: argparse.ArgumentParser) -> None:
                              "identical either way)")
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="record a JSONL trace of the run here (spans for "
+                             "rounds, partition discovery, fits, cache traffic "
+                             "and — with --cache-url — server-side handling); "
+                             "analyse it with `charles trace summarize|tree`")
+    parser.add_argument("--stats-json", type=Path, default=None,
+                        help="write the machine-readable search statistics "
+                             "(SearchStats plus wall clock and the config "
+                             "fingerprint) here as JSON")
+
+
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-backend", choices=BACKEND_CHOICES, default="memory",
                         help="where memo-cache entries live: 'memory' (private LRU), "
@@ -210,6 +248,59 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
                         help="shards storing each entry when --cache-url lists "
                              "several endpoints; at 2+ reads fail over around "
                              "the ring when a shard dies (default 1)")
+
+
+def _begin_tracing(args: argparse.Namespace) -> None:
+    """Open the trace sink before any engine work when ``--trace`` was given."""
+    if args.trace is not None:
+        from repro.obs.trace import configure_tracing
+
+        configure_tracing(str(args.trace))
+
+
+def _collect_server_spans(cache_url: str | None) -> None:
+    """Merge the shards' server-side spans for this trace into the local sink.
+
+    Each cache server buffers the spans of the traced requests it handled;
+    draining them here gives the trace file one coherent tree in which
+    ``server.*`` spans sit under the client spans that issued the requests.
+    A dead shard simply contributes nothing — exactly like its cache entries.
+    """
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if not tracer.enabled or not cache_url:
+        return
+    from repro.cacheserver import parse_endpoints, server_trace
+
+    for endpoint in parse_endpoints(cache_url):
+        try:
+            tracer.absorb(server_trace(endpoint, trace_id=tracer.trace_id))
+        except CharlesError:
+            continue
+
+
+def _write_stats_json(
+    path: Path,
+    command: str,
+    target: str,
+    config: CharlesConfig,
+    wall_seconds: float,
+    stats,
+    extra: dict | None = None,
+) -> None:
+    payload = {
+        "command": command,
+        "target": target,
+        "config_fingerprint": config.cache_fingerprint().hex(),
+        "wall_time_seconds": wall_seconds,
+        "stats": stats.as_dict() if stats is not None else None,
+    }
+    if extra:
+        payload.update(extra)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def _load_pair(args: argparse.Namespace) -> SnapshotPair:
@@ -268,6 +359,7 @@ def _command_summarize(args: argparse.Namespace) -> int:
         cache_replication=args.cache_replication,
         bound_pruning=not args.no_bound_pruning,
         cost_routing=not args.no_cost_routing,
+        trace_path=str(args.trace) if args.trace is not None else None,
     )
     pair = _load_pair(args)
     if args.plan_only:
@@ -279,12 +371,26 @@ def _command_summarize(args: argparse.Namespace) -> int:
         )
         print(_render_plan(plan, index))
         return 0
+    _begin_tracing(args)
+    started = time.perf_counter()
     result = Charles(config).summarize_pair(
         pair,
         args.target,
         condition_attributes=args.condition_attributes,
         transformation_attributes=args.transformation_attributes,
     )
+    wall_seconds = time.perf_counter() - started
+    if args.trace is not None:
+        _collect_server_spans(args.cache_url)
+    if args.stats_json is not None:
+        _write_stats_json(
+            args.stats_json,
+            "summarize",
+            args.target,
+            config,
+            wall_seconds,
+            result.search_stats,
+        )
     print(result.describe())
     if result.search_stats is not None:
         print(f"search: {result.search_stats.describe()}")
@@ -339,6 +445,7 @@ def _command_timeline(args: argparse.Namespace) -> int:
         bound_pruning=not args.no_bound_pruning,
         cost_routing=not args.no_cost_routing,
         warm_start=not args.cold,
+        trace_path=str(args.trace) if args.trace is not None else None,
     )
     store = TimelineStore(key=args.key)
     for path in args.versions:
@@ -351,8 +458,11 @@ def _command_timeline(args: argparse.Namespace) -> int:
         )
         return 2
 
+    _begin_tracing(args)
+    started = time.perf_counter()
     if args.cold:
         # per-hop cold baseline: fresh engine (and caches) for every hop
+        hop_stats = []
         for source, target_version, pair in store.windowed_pairs(args.window):
             result = Charles(config).summarize_pair(
                 pair,
@@ -360,11 +470,16 @@ def _command_timeline(args: argparse.Namespace) -> int:
                 condition_attributes=args.condition_attributes,
                 transformation_attributes=args.transformation_attributes,
             )
+            hop_stats.append((source.name, target_version.name, result.search_stats))
             print(f"== {source.name} -> {target_version.name} (cold) ==")
             print(result.describe(limit=args.limit))
             if result.search_stats is not None:
                 print(f"search: {result.search_stats.describe()}")
             print()
+        if args.trace is not None:
+            _collect_server_spans(args.cache_url)
+        if args.stats_json is not None:
+            _write_timeline_stats(args, config, time.perf_counter() - started, hop_stats)
         return 0
 
     with EngineSession(config) as session:
@@ -378,6 +493,50 @@ def _command_timeline(args: argparse.Namespace) -> int:
         print(timeline_result.describe(limit=args.limit))
         if session.warm_start_fallbacks:
             print(f"warm-start fallbacks: {session.warm_start_fallbacks}")
+    if args.trace is not None:
+        _collect_server_spans(args.cache_url)
+    if args.stats_json is not None:
+        hop_stats = [
+            (hop.source_version, hop.target_version, hop.stats)
+            for hop in timeline_result.hops
+        ]
+        _write_timeline_stats(args, config, time.perf_counter() - started, hop_stats)
+    return 0
+
+
+def _write_timeline_stats(
+    args: argparse.Namespace,
+    config: CharlesConfig,
+    wall_seconds: float,
+    hop_stats: list[tuple[str, str, object]],
+) -> None:
+    hops = [
+        {
+            "source": source,
+            "version": version,
+            "stats": stats.as_dict() if stats is not None else None,
+        }
+        for source, version, stats in hop_stats
+    ]
+    _write_stats_json(
+        args.stats_json,
+        "timeline",
+        args.target,
+        config,
+        wall_seconds,
+        None,
+        extra={"hops": hops},
+    )
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import load_trace, render_tree, summarize_trace
+
+    spans = load_trace(args.trace_file)
+    if args.action == "summarize":
+        print(summarize_trace(spans, slowest=args.slowest))
+    else:
+        print(render_tree(spans, trace_id=args.trace_id))
     return 0
 
 
@@ -481,9 +640,21 @@ def _command_cache(args: argparse.Namespace) -> int:
         print("error: pass exactly one of --cache-url or --cache-dir", file=sys.stderr)
         return 2
     if args.cache_url is not None:
-        from repro.cacheserver import parse_endpoints, server_clear, server_stats
+        from repro.cacheserver import (
+            parse_endpoints,
+            server_clear,
+            server_metrics,
+            server_stats,
+        )
 
         endpoints = parse_endpoints(args.cache_url)
+        if args.action == "stats" and args.metrics:
+            # the same exposition a Prometheus scrape of each shard would see
+            for endpoint in endpoints:
+                if len(endpoints) > 1:
+                    print(f"== {endpoint} ==")
+                print(server_metrics(endpoint), end="")
+            return 0
         if args.action == "clear":
             # fan out to every shard; an unreachable one is an error the
             # operator must see (a half-cleared fabric serves stale hit rates)
@@ -518,6 +689,7 @@ _COMMANDS = {
     "plan": _command_plan,
     "diff": _command_diff,
     "timeline": _command_timeline,
+    "trace": _command_trace,
     "generate": _command_generate,
     "cache-server": _command_cache_server,
     "cache": _command_cache,
@@ -533,6 +705,13 @@ def main(argv: list[str] | None = None) -> int:
     except CharlesError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `charles trace tree | head`); not an error
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

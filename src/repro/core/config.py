@@ -41,6 +41,7 @@ _RESULT_NEUTRAL_FIELDS = frozenset(
         "warm_start",
         "warm_start_margin",
         "partition_maintenance",
+        "trace_path",
     }
 )
 
@@ -238,6 +239,16 @@ class CharlesConfig:
         execution-only (like ``n_jobs``) and does not rotate the cache
         fingerprint.  One-shot ``Charles`` calls are unaffected (they have no
         previous pair state to patch from).
+    trace_path:
+        When set, the engine enables the process-wide tracer
+        (:mod:`repro.obs.trace`) and appends one JSON span record per line to
+        this file: search rounds, bound pruning, partition discoveries and
+        patches, per-mask fits, cache prefetches — including spans collected
+        back from parallel workers and (via the ``TRACE`` verb) from remote
+        cache shards.  Read the file with ``charles trace summarize`` /
+        ``charles trace tree``.  Tracing is execution-only: it never feeds
+        :meth:`cache_fingerprint` or any scoring path, and rankings are
+        byte-identical with tracing on or off.
     """
 
     alpha: float = 0.5
@@ -272,6 +283,7 @@ class CharlesConfig:
     warm_start: bool = True
     warm_start_margin: float = 0.15
     partition_maintenance: bool = True
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:

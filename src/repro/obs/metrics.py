@@ -1,0 +1,315 @@
+"""A zero-dependency metrics registry with Prometheus text exposition.
+
+Three instrument kinds cover everything the engine and the cache fabric
+report: monotonic :class:`Counter`\\ s (requests served, specs pruned),
+:class:`Gauge`\\ s (in-flight connections, region sizes, uptime) and
+fixed-bucket :class:`Histogram`\\ s (per-verb and per-round latency).  Each
+instrument may carry a fixed tuple of label names; every observation then
+names a value per label.
+
+The registry renders the standard Prometheus text exposition format
+(`# HELP` / `# TYPE` comments, `name{label="v"} value` samples, histogram
+`_bucket`/`_sum`/`_count` series) so the ``METRICS`` verb of a cache server
+— and any future HTTP endpoint — is scrapeable by stock tooling.  A minimal
+:func:`parse_prometheus` parser rides along for tests and the CLI to verify
+and consume expositions without external dependencies.
+
+Instruments are get-or-create by name (:meth:`MetricsRegistry.counter` et
+al. return the existing instrument on repeat registration), so module-level
+hooks in long-lived processes stay cheap and idempotent.  All mutation is
+lock-guarded; observing a disabled/unused metric costs a dict lookup and an
+add.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "parse_prometheus",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: fixed latency buckets (seconds) shared by the engine and server histograms:
+#: spans sub-millisecond memo hits through multi-second discovery rounds
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_string(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    parts = ", ".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values)
+    )
+    return "{" + parts + "}"
+
+
+class _Instrument:
+    """Shared label plumbing for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def _samples(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_label_string(self.label_names, key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (set on observation or scrape)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        super().__init__(name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def _samples(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_label_string(self.label_names, key)} {_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution (cumulative buckets, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Iterable[str] = (),
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.buckets = bounds
+        # per label key: [count per finite bucket] + overflow, sum, count
+        self._series: dict[tuple[str, ...], list] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [[0] * (len(self.buckets) + 1), 0.0, 0]
+                self._series[key] = series
+            counts, total, count = series
+            placed = False
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    placed = True
+                    break
+            if not placed:
+                counts[-1] += 1
+            series[1] = total + float(value)
+            series[2] = count + 1
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return series[2] if series else 0
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return series[1] if series else 0.0
+
+    def _samples(self) -> list[str]:
+        with self._lock:
+            items = sorted((key, [list(s[0]), s[1], s[2]]) for key, s in self._series.items())
+        lines: list[str] = []
+        bucket_names = self.label_names + ("le",)
+        for key, (counts, total, count) in items:
+            cumulative = 0
+            for index, bound in enumerate(self.buckets):
+                cumulative += counts[index]
+                labels = _label_string(bucket_names, key + (_format_value(bound),))
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _label_string(bucket_names, key + ("+Inf",))
+            lines.append(f"{self.name}_bucket{labels} {count}")
+            lines.append(
+                f"{self.name}_sum{_label_string(self.label_names, key)} {_format_value(total)}"
+            )
+            lines.append(f"{self.name}_count{_label_string(self.label_names, key)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with Prometheus text rendering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _register(self, cls, name: str, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Counter:
+        return self._register(Counter, name, help=help, labels=labels)
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help=help, labels=labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Iterable[str] = (),
+    ) -> Histogram:
+        return self._register(Histogram, name, help=help, buckets=buckets, labels=labels)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition of every instrument."""
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            lines.extend(instrument._samples())
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every instrument (tests only)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide engine-side registry."""
+    return _REGISTRY
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a Prometheus text exposition into ``{sample_name: value}``.
+
+    The sample name keeps its label string verbatim (``name{a="b"}``), which
+    is exactly what tests and the CLI need to assert on individual series.
+    Raises :class:`ValueError` on any line that is neither a comment, blank,
+    nor a well-formed sample.
+    """
+    samples: dict[str, float] = {}
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value_text = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"malformed exposition line {line_number}: {raw!r}")
+        if "{" in name and not name.endswith("}"):
+            raise ValueError(f"malformed label set on line {line_number}: {raw!r}")
+        try:
+            value = float(value_text.replace("+Inf", "inf"))
+        except ValueError as error:
+            raise ValueError(f"malformed sample value on line {line_number}: {raw!r}") from error
+        samples[name] = value
+    return samples

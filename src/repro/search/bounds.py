@@ -64,6 +64,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import CharlesConfig
+from repro.obs.trace import get_tracer
 from repro.relational.snapshot import SnapshotPair
 from repro.search.cache import PairFingerprints
 from repro.search.planner import CandidateSpec
@@ -112,16 +113,19 @@ class ScoreBoundIndex:
     """
 
     def __init__(self, pair: SnapshotPair, target: str, config: CharlesConfig) -> None:
-        self._pair = pair
-        self._target = target
-        self._config = config
-        actual = pair.target.numeric_column(target)
-        original = pair.source.numeric_column(target)
-        self._usable = ~np.isnan(actual) & ~np.isnan(original)
-        self._actual = actual[self._usable]
-        self._baseline = float(np.sum(np.abs(original[self._usable] - actual[self._usable])))
-        self._prints: dict[str, np.ndarray] = {}
-        self._by_union: dict[tuple[str, ...], SpecBound] = {}
+        with get_tracer().span("bounds.build", target=target, rows=pair.num_rows):
+            self._pair = pair
+            self._target = target
+            self._config = config
+            actual = pair.target.numeric_column(target)
+            original = pair.source.numeric_column(target)
+            self._usable = ~np.isnan(actual) & ~np.isnan(original)
+            self._actual = actual[self._usable]
+            self._baseline = float(
+                np.sum(np.abs(original[self._usable] - actual[self._usable]))
+            )
+            self._prints: dict[str, np.ndarray] = {}
+            self._by_union: dict[tuple[str, ...], SpecBound] = {}
 
     # -- public API ------------------------------------------------------------
 

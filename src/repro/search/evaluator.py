@@ -46,6 +46,8 @@ from repro.core.summary import ChangeSummary, ConditionalTransformation
 from repro.core.transformation import LinearTransformation
 from repro.exceptions import ModelFitError
 from repro.ml.linreg import LinearRegression
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.relational.snapshot import SnapshotPair
 from repro.relational.table import Table
 from repro.search.cache import PairFingerprints, SearchCaches, mask_digest
@@ -59,6 +61,14 @@ from repro.search.maintenance import (
 from repro.search.planner import GLOBAL, CandidateSpec
 
 __all__ = ["ScoredSummary", "EvaluationOutcome", "CandidateEvaluator"]
+
+# how top-level partition lookups were satisfied, across every evaluator in
+# the process; cheap enough (one dict update) to stay on without tracing
+_PARTITION_RESOLUTION = get_registry().counter(
+    "charles_partition_resolution_total",
+    "Top-level partition lookups by how they were satisfied",
+    labels=("outcome",),
+)
 
 
 @dataclass(frozen=True)
@@ -138,6 +148,9 @@ class CandidateEvaluator:
         self._maintenance = maintenance
         self._changed_cache: np.ndarray | None = None
         self.caches = caches or SearchCaches(config.search_cache_capacity)
+        # the process-wide tracer singleton; its `.enabled` flag is the only
+        # overhead evaluation pays when tracing is off
+        self._tracer = get_tracer()
 
     # -- public API ------------------------------------------------------------
 
@@ -159,7 +172,18 @@ class CandidateEvaluator:
         the outcome itself.
         """
         started = time.perf_counter()
-        outcome = self._evaluate(spec, floor, known_signatures)
+        if not self._tracer.enabled:
+            outcome = self._evaluate(spec, floor, known_signatures)
+            return replace(outcome, seconds=time.perf_counter() - started)
+        with self._tracer.span(
+            "spec",
+            kind=spec.kind,
+            conditions=list(spec.condition_subset),
+            transformations=list(spec.transformation_subset),
+            k=spec.n_partitions,
+        ) as span:
+            outcome = self._evaluate(spec, floor, known_signatures)
+            span.set(pruned=outcome.pruned_reason, scored=outcome.scored is not None)
         return replace(outcome, seconds=time.perf_counter() - started)
 
     def _evaluate(
@@ -219,7 +243,8 @@ class CandidateEvaluator:
             if spec.kind != GLOBAL
         ]
         if keys:
-            backend.prefetch(keys)
+            with self._tracer.span("prefetch", keys=len(keys)):
+                backend.prefetch(keys)
 
     # -- cached building blocks --------------------------------------------------
 
@@ -280,31 +305,38 @@ class CandidateEvaluator:
         )
         cached = self.caches.partitions.lookup(key)
         if cached is not MISSING:
+            _PARTITION_RESOLUTION.inc(outcome="cached")
             return list(as_entry(cached).partitions)
         top_level = scope_mask is self._full_mask
         started = time.perf_counter()
-        entry: PartitionIndexEntry | None = None
-        status = "absent"
-        if top_level and self._maintenance is not None:
-            status, entry = self._try_patch(
-                key, condition_subset, transformation_subset, n_partitions, residual_weight
-            )
-        if status == "patched":
-            self.caches.partitions_patched += 1
-        else:
-            if status == "fallback":
-                self.caches.partition_patch_fallbacks += 1
+        with self._tracer.span("partitions.resolve", top_level=top_level) as span:
+            entry: PartitionIndexEntry | None = None
+            status = "absent"
+            if top_level and self._maintenance is not None:
+                status, entry = self._try_patch(
+                    key, condition_subset, transformation_subset, n_partitions, residual_weight
+                )
+            if status == "patched":
+                self.caches.partitions_patched += 1
+                outcome = "patched"
             else:
-                self.caches.partitions_recomputed += 1
-            entry = self._discover_entry(
-                scope_pair,
-                condition_subset,
-                transformation_subset,
-                n_partitions,
-                residual_weight,
-                with_certificate=top_level,
-            )
-        assert entry is not None
+                if status == "fallback":
+                    self.caches.partition_patch_fallbacks += 1
+                    outcome = "fallback"
+                else:
+                    self.caches.partitions_recomputed += 1
+                    outcome = "recomputed"
+                entry = self._discover_entry(
+                    scope_pair,
+                    condition_subset,
+                    transformation_subset,
+                    n_partitions,
+                    residual_weight,
+                    with_certificate=top_level,
+                )
+            assert entry is not None
+            _PARTITION_RESOLUTION.inc(outcome=outcome)
+            span.set(status=outcome, partitions=len(entry.partitions))
         # cost-aware stores should value the entry at what a true recompute
         # costs, which for a patched entry is the certified discovery time,
         # not the milliseconds the patch took
@@ -476,9 +508,19 @@ class CandidateEvaluator:
             transformation_subset,
             self._prints.token(transformation_subset, mask),
         )
-        return self.caches.fits.get_or_compute(
-            key, lambda: self._fit_transformation(transformation_subset, mask)
-        )
+        if not self._tracer.enabled:
+            return self.caches.fits.get_or_compute(
+                key, lambda: self._fit_transformation(transformation_subset, mask)
+            )
+
+        def compute() -> LinearTransformation | None:
+            # only cache misses open a span: a hit costs nothing and says nothing
+            with self._tracer.span(
+                "fit", features=len(transformation_subset), rows=int(mask.sum())
+            ):
+                return self._fit_transformation(transformation_subset, mask)
+
+        return self.caches.fits.get_or_compute(key, compute)
 
     @staticmethod
     def _partition_signature(spec: CandidateSpec, partitions: list[Partition]) -> tuple:

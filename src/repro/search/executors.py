@@ -31,6 +31,7 @@ only ever memoise deterministic functions.)
 from __future__ import annotations
 
 import heapq
+import os
 import pickle
 import time
 import warnings
@@ -39,6 +40,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
 from repro.core.config import CharlesConfig
+from repro.obs.metrics import get_registry
+from repro.obs.trace import configure_tracing, get_tracer
 from repro.relational.snapshot import SnapshotPair
 from repro.search.bounds import ScoreBoundIndex
 from repro.search.cache import CacheCounters, SearchCaches
@@ -55,6 +58,16 @@ from repro.search.planner import CandidateSpec, SearchPlan
 from repro.search.stats import SearchStats
 
 __all__ = ["SearchExecutor", "SerialExecutor", "ParallelExecutor", "select_executor"]
+
+# engine-side metrics, fed from the same hooks as the spans; always cheap
+# (two dict updates per observation) so they are not gated on tracing
+_METRICS = get_registry()
+_ROUND_SECONDS = _METRICS.histogram(
+    "charles_round_seconds", "Wall-clock seconds per search round"
+)
+_SPECS_TOTAL = _METRICS.counter(
+    "charles_specs_total", "Candidate specs by outcome", labels=("status",)
+)
 
 
 def add_candidate(candidates: dict[tuple, ScoredSummary], scored: ScoredSummary) -> None:
@@ -143,6 +156,11 @@ class SearchExecutor:
         resolved.
         """
         started = time.perf_counter()
+        tracer = get_tracer()
+        if config.trace_path and not tracer.enabled:
+            # library callers get tracing by setting the config field alone;
+            # the CLI configures the same process-wide tracer up front
+            configure_tracing(config.trace_path)
         stats = SearchStats(
             candidates_enumerated=len(plan),
             n_jobs=self.n_jobs,
@@ -152,82 +170,113 @@ class SearchExecutor:
         candidates: dict[tuple, ScoredSummary] = {}
         signatures: set = set()
         floor = initial_floor
-        # bound pruning is a top-k skip like score-bound pruning, so it obeys
-        # the same master switch; the index reads only the pair state, so it
-        # is identical across executors (serial/parallel prune the same specs)
-        bound_index = (
-            ScoreBoundIndex(pair, target, config)
-            if config.prune_search and config.bound_pruning and len(plan)
-            else None
-        )
-        self._cost_model = OnlineCostModel() if config.cost_routing else None
-        stats.bound_pruning = bound_index is not None
-        stats.cost_routing = self._cost_model is not None
-        self._setup(pair, target, config, caches, maintenance)
-        stats.cache_backend = self._cache_backend_kind()
-        stats.cache_backend_requested = self._cache_backend_requested()
-        try:
-            for round_specs in plan.rounds:
-                if not round_specs:
-                    continue
-                run_specs = round_specs
-                survivor_positions: list[int] | None = None
-                slotted: list[EvaluationOutcome | None] | None = None
-                if bound_index is not None:
-                    bounds = bound_index.round_bounds(round_specs)
-                    slotted = [
-                        None
-                        if bounds[position] >= floor
-                        else EvaluationOutcome(
-                            round_specs[position],
-                            None,
-                            None,
-                            pruned_reason=PRUNED_SPEC_BOUND,
-                        )
-                        for position in range(len(round_specs))
-                    ]
-                    # dispatch survivors in descending bound order (stable by
-                    # plan position); the frozen floor/signature contract makes
-                    # intra-round order invisible to outcomes
-                    survivor_positions = sorted(
-                        (p for p in range(len(round_specs)) if slotted[p] is None),
-                        key=lambda p: (-bounds[p], p),
-                    )
-                    run_specs = tuple(round_specs[p] for p in survivor_positions)
-                if run_specs:
-                    outcomes, delta = self._run_round(
-                        run_specs, floor, frozenset(signatures)
-                    )
-                else:
-                    outcomes, delta = [], CacheCounters()
-                if self._cost_model is not None:
-                    for outcome in outcomes:
-                        self._cost_model.observe(outcome.spec, outcome.seconds)
-                if slotted is not None:
-                    # restore plan order before the reduce: equal-score merges
-                    # in add_candidate keep the first-seen summary, so the
-                    # consumption order must not depend on the bound ordering
-                    for position, outcome in zip(survivor_positions, outcomes):
-                        slotted[position] = outcome
-                    outcomes = [outcome for outcome in slotted if outcome is not None]
-                for outcome in outcomes:
-                    if outcome.signature is not None:
-                        signatures.add(outcome.signature)
-                    if outcome.pruned:
-                        if outcome.pruned_reason == PRUNED_DUPLICATE:
-                            stats.candidates_pruned_duplicates += 1
-                        elif outcome.pruned_reason == PRUNED_SPEC_BOUND:
-                            stats.candidates_pruned_spec_bounds += 1
-                        else:
-                            stats.candidates_pruned_bounds += 1
+        with tracer.span(
+            "search",
+            target=target,
+            specs=len(plan),
+            rounds=plan.num_rounds,
+            executor=type(self).__name__,
+            n_jobs=self.n_jobs,
+        ):
+            # bound pruning is a top-k skip like score-bound pruning, so it obeys
+            # the same master switch; the index reads only the pair state, so it
+            # is identical across executors (serial/parallel prune the same specs)
+            bound_index = (
+                ScoreBoundIndex(pair, target, config)
+                if config.prune_search and config.bound_pruning and len(plan)
+                else None
+            )
+            self._cost_model = OnlineCostModel() if config.cost_routing else None
+            stats.bound_pruning = bound_index is not None
+            stats.cost_routing = self._cost_model is not None
+            self._setup(pair, target, config, caches, maintenance)
+            stats.cache_backend = self._cache_backend_kind()
+            stats.cache_backend_requested = self._cache_backend_requested()
+            try:
+                for round_number, round_specs in enumerate(plan.rounds):
+                    if not round_specs:
                         continue
-                    stats.candidates_evaluated += 1
-                    if outcome.scored is not None:
-                        add_candidate(candidates, outcome.scored)
-                stats.merge_cache_counters(delta)
-                floor = max(initial_floor, _top_k_floor(candidates, config.top_k))
-        finally:
-            self._teardown()
+                    round_started = time.perf_counter()
+                    with tracer.span(
+                        "round", index=round_number, specs=len(round_specs)
+                    ) as round_span:
+                        run_specs = round_specs
+                        survivor_positions: list[int] | None = None
+                        slotted: list[EvaluationOutcome | None] | None = None
+                        if bound_index is not None:
+                            with tracer.span("round.bounds") as bounds_span:
+                                bounds = bound_index.round_bounds(round_specs)
+                                slotted = [
+                                    None
+                                    if bounds[position] >= floor
+                                    else EvaluationOutcome(
+                                        round_specs[position],
+                                        None,
+                                        None,
+                                        pruned_reason=PRUNED_SPEC_BOUND,
+                                    )
+                                    for position in range(len(round_specs))
+                                ]
+                                # dispatch survivors in descending bound order (stable by
+                                # plan position); the frozen floor/signature contract makes
+                                # intra-round order invisible to outcomes
+                                survivor_positions = sorted(
+                                    (p for p in range(len(round_specs)) if slotted[p] is None),
+                                    key=lambda p: (-bounds[p], p),
+                                )
+                                run_specs = tuple(
+                                    round_specs[p] for p in survivor_positions
+                                )
+                                bounds_span.set(
+                                    pruned=len(round_specs) - len(run_specs),
+                                    survivors=len(run_specs),
+                                )
+                        if run_specs:
+                            with tracer.span(
+                                "round.dispatch", specs=len(run_specs)
+                            ):
+                                outcomes, delta = self._run_round(
+                                    run_specs, floor, frozenset(signatures)
+                                )
+                        else:
+                            outcomes, delta = [], CacheCounters()
+                        if self._cost_model is not None:
+                            for outcome in outcomes:
+                                self._cost_model.observe(outcome.spec, outcome.seconds)
+                        if slotted is not None:
+                            # restore plan order before the reduce: equal-score merges
+                            # in add_candidate keep the first-seen summary, so the
+                            # consumption order must not depend on the bound ordering
+                            for position, outcome in zip(survivor_positions, outcomes):
+                                slotted[position] = outcome
+                            outcomes = [
+                                outcome for outcome in slotted if outcome is not None
+                            ]
+                        for outcome in outcomes:
+                            if outcome.signature is not None:
+                                signatures.add(outcome.signature)
+                            if outcome.pruned:
+                                _SPECS_TOTAL.inc(status=outcome.pruned_reason)
+                                if outcome.pruned_reason == PRUNED_DUPLICATE:
+                                    stats.candidates_pruned_duplicates += 1
+                                elif outcome.pruned_reason == PRUNED_SPEC_BOUND:
+                                    stats.candidates_pruned_spec_bounds += 1
+                                else:
+                                    stats.candidates_pruned_bounds += 1
+                                continue
+                            _SPECS_TOTAL.inc(status="evaluated")
+                            stats.candidates_evaluated += 1
+                            if outcome.scored is not None:
+                                add_candidate(candidates, outcome.scored)
+                        stats.merge_cache_counters(delta)
+                        floor = max(initial_floor, _top_k_floor(candidates, config.top_k))
+                        round_span.set(
+                            floor=None if floor == float("-inf") else floor,
+                            candidates=len(candidates),
+                        )
+                    _ROUND_SECONDS.observe(time.perf_counter() - round_started)
+            finally:
+                self._teardown()
         stats.n_jobs = self._effective_n_jobs()
         stats.wall_time_seconds = time.perf_counter() - started
         return rank_candidates(candidates), stats
@@ -388,11 +437,24 @@ def _init_worker(
 
 
 def _evaluate_batch(
-    payload: tuple[tuple[CandidateSpec, ...], float, frozenset],
-) -> tuple[list[EvaluationOutcome], CacheCounters]:
-    specs, floor, known_signatures = payload
+    payload: tuple[tuple[CandidateSpec, ...], float, frozenset, tuple[str, str] | None],
+) -> tuple[list[EvaluationOutcome], CacheCounters, list[dict]]:
+    specs, floor, known_signatures, trace_context = payload
     assert _WORKER_EVALUATOR is not None, "worker pool was not initialised"
-    return _evaluate_specs(_WORKER_EVALUATOR, specs, floor, known_signatures)
+    if trace_context is None:
+        outcomes, delta = _evaluate_specs(_WORKER_EVALUATOR, specs, floor, known_signatures)
+        return outcomes, delta, []
+    # the parent's (trace id, dispatching span id) rode the pickled payload;
+    # adopt it so this chunk's spans join the search trace, buffer them, and
+    # ship the records back with the outcomes for the parent to absorb
+    tracer = get_tracer()
+    with tracer.adopt(trace_context) as buffer:
+        with tracer.span("worker.chunk", specs=len(specs), pid=os.getpid()):
+            outcomes, delta = _evaluate_specs(
+                _WORKER_EVALUATOR, specs, floor, known_signatures
+            )
+        records = buffer.drain()
+    return outcomes, delta, records
 
 
 class ParallelExecutor(SearchExecutor):
@@ -485,9 +547,16 @@ class ParallelExecutor(SearchExecutor):
         known_signatures: frozenset,
     ) -> tuple[list[EvaluationOutcome], CacheCounters]:
         if self._pool is not None:
+            tracer = get_tracer()
+            trace_context = tracer.context() if tracer.enabled else None
             index_chunks = self._route(specs)
             payloads = [
-                (tuple(specs[position] for position in chunk), floor, known_signatures)
+                (
+                    tuple(specs[position] for position in chunk),
+                    floor,
+                    known_signatures,
+                    trace_context,
+                )
                 for chunk in index_chunks
             ]
             slots: list[EvaluationOutcome | None] = [None] * len(specs)
@@ -496,10 +565,11 @@ class ParallelExecutor(SearchExecutor):
                 # map() preserves payload order, but routed chunks interleave
                 # spec positions, so outcomes are slotted back into spec order
                 # — the reduce's tie-breaking must match the serial executor
-                for chunk, (chunk_outcomes, chunk_delta) in zip(
+                for chunk, (chunk_outcomes, chunk_delta, chunk_spans) in zip(
                     index_chunks, self._pool.map(_evaluate_batch, payloads)
                 ):
                     delta = delta + chunk_delta
+                    tracer.absorb(chunk_spans)
                     for position, outcome in zip(chunk, chunk_outcomes):
                         slots[position] = outcome
                 return [outcome for outcome in slots if outcome is not None], delta

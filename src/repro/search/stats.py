@@ -173,14 +173,7 @@ class SearchStats:
             "cache_backend": self.cache_backend,
             "cache_backend_requested": self.cache_backend_requested,
             "backend_counters": {
-                layer: {
-                    "hits": counters.hits,
-                    "misses": counters.misses,
-                    "evictions": counters.evictions,
-                    "round_trips": counters.round_trips,
-                    "failovers": counters.failovers,
-                    "hit_rate": counters.hit_rate,
-                }
+                layer: counters.as_dict()
                 for layer, counters in sorted(self.backend_counters.items())
             },
             "wall_time_seconds": self.wall_time_seconds,

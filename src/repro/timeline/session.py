@@ -46,6 +46,7 @@ from repro.core.config import CharlesConfig
 from repro.core.setup_assistant import SetupSuggestions
 from repro.core.summary import ChangeSummary
 from repro.exceptions import DiscoveryError
+from repro.obs.trace import configure_tracing, get_tracer
 from repro.relational.snapshot import SnapshotPair
 from repro.search.cache import CacheCounters, SearchCaches
 from repro.search.evaluator import CandidateEvaluator
@@ -65,6 +66,10 @@ class EngineSession:
 
     def __init__(self, config: CharlesConfig | None = None):
         self._config = config or CharlesConfig()
+        if self._config.trace_path:
+            # idempotent: joins the already-configured trace when the CLI (or
+            # an earlier session in this process) opened one
+            configure_tracing(self._config.trace_path)
         self._charles = Charles(self._config)
         self._caches = SearchCaches.from_config(self._config)
         self._floors: dict[str, float] = {}
@@ -137,49 +142,58 @@ class EngineSession:
         aggressive).  The ranking is byte-identical to a cold run on the same
         pair.
         """
+        tracer = get_tracer()
         floor = self.warm_floor(target)
         seed = _COLD if floor is None else floor
         maintenance = self._maintenance_context(pair, target)
-        try:
-            result = self._charles.summarize_pair(
-                pair,
-                target,
-                condition_attributes=condition_attributes,
-                transformation_attributes=transformation_attributes,
-                caches=self._caches,
-                initial_floor=seed,
-                maintenance=maintenance,
-            )
-        except DiscoveryError:
-            if seed == _COLD:
-                raise
-            # the extreme form of an overshooting seed: a floor above every
-            # spec's score bound prunes the entire plan before discovery, so
-            # the run yields no candidates at all instead of a short ranking
-            result = None
-        if seed != _COLD and (result is None or not self._floor_verified(result, seed)):
-            # the seed exceeded this run's true k-th best score, so pruning may
-            # have dropped genuine top-k members: redo with an open floor (the
-            # caches are warm, so the retry costs far less than a cold run)
-            self.warm_start_fallbacks += 1
-            aborted_seconds = (
-                result.search_stats.wall_time_seconds
-                if result is not None and result.search_stats
-                else 0.0
-            )
-            result = self._charles.summarize_pair(
-                pair,
-                target,
-                condition_attributes=condition_attributes,
-                transformation_attributes=transformation_attributes,
-                caches=self._caches,
-                initial_floor=_COLD,
-                maintenance=maintenance,
-            )
-            if result.search_stats is not None:
-                result.search_stats.warm_start_floor = seed
-                result.search_stats.warm_start_fallback = True
-                result.search_stats.wall_time_seconds += aborted_seconds
+        with tracer.span(
+            "session.summarize",
+            target=target,
+            warm=seed != _COLD,
+            maintenance=maintenance is not None,
+        ) as session_span:
+            try:
+                result = self._charles.summarize_pair(
+                    pair,
+                    target,
+                    condition_attributes=condition_attributes,
+                    transformation_attributes=transformation_attributes,
+                    caches=self._caches,
+                    initial_floor=seed,
+                    maintenance=maintenance,
+                )
+            except DiscoveryError:
+                if seed == _COLD:
+                    raise
+                # the extreme form of an overshooting seed: a floor above every
+                # spec's score bound prunes the entire plan before discovery, so
+                # the run yields no candidates at all instead of a short ranking
+                result = None
+            if seed != _COLD and (result is None or not self._floor_verified(result, seed)):
+                # the seed exceeded this run's true k-th best score, so pruning may
+                # have dropped genuine top-k members: redo with an open floor (the
+                # caches are warm, so the retry costs far less than a cold run)
+                self.warm_start_fallbacks += 1
+                session_span.set(fallback=True)
+                aborted_seconds = (
+                    result.search_stats.wall_time_seconds
+                    if result is not None and result.search_stats
+                    else 0.0
+                )
+                with tracer.span("session.warm_fallback", target=target, seed=seed):
+                    result = self._charles.summarize_pair(
+                        pair,
+                        target,
+                        condition_attributes=condition_attributes,
+                        transformation_attributes=transformation_attributes,
+                        caches=self._caches,
+                        initial_floor=_COLD,
+                        maintenance=maintenance,
+                    )
+                if result.search_stats is not None:
+                    result.search_stats.warm_start_floor = seed
+                    result.search_stats.warm_start_fallback = True
+                    result.search_stats.wall_time_seconds += aborted_seconds
         self.runs_completed += 1
         self._remember_floor(target, result)
         if self._config.partition_maintenance:
@@ -205,18 +219,25 @@ class EngineSession:
         session's warmth.  Rankings per hop are byte-identical to independent
         cold ``Charles`` runs on the same pairs.
         """
+        tracer = get_tracer()
         hops: list[TimelineHop] = []
         for source, target_version, pair in timeline.windowed_pairs(window):
             delta = VersionDelta.from_pair(pair, source.name, target_version.name)
-            if target in delta:
-                result = self.summarize_pair(
-                    pair,
-                    target,
-                    condition_attributes=condition_attributes,
-                    transformation_attributes=transformation_attributes,
-                )
-            else:
-                result = self._unchanged_result(pair, target)
+            with tracer.span(
+                "timeline.hop",
+                source=source.name,
+                version=target_version.name,
+                skipped=target not in delta,
+            ):
+                if target in delta:
+                    result = self.summarize_pair(
+                        pair,
+                        target,
+                        condition_attributes=condition_attributes,
+                        transformation_attributes=transformation_attributes,
+                    )
+                else:
+                    result = self._unchanged_result(pair, target)
             hops.append(TimelineHop(source.name, target_version.name, delta, result))
         return TimelineResult(target=target, hops=tuple(hops))
 

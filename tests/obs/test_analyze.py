@@ -1,0 +1,121 @@
+"""Offline trace analysis: loading, the summary breakdown, the span tree."""
+
+import json
+
+import pytest
+
+from repro.exceptions import CharlesError
+from repro.obs.analyze import load_trace, render_tree, summarize_trace
+
+
+def _span(name, span_id, parent=None, trace="t1", duration=0.0, start=0.0, **attrs):
+    return {
+        "trace": trace,
+        "span": span_id,
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "duration": duration,
+        "outcome": attrs.pop("outcome", "ok"),
+        "process": attrs.pop("process", "engine"),
+        "attributes": attrs,
+    }
+
+
+@pytest.fixture()
+def search_spans():
+    """A miniature two-round search trace with one server-side span."""
+    return [
+        _span("search", "s1", duration=1.0, start=0.0),
+        _span("round", "r1", parent="s1", duration=0.6, start=0.01, index=0, specs=9),
+        _span("round", "r2", parent="s1", duration=0.3, start=0.7, index=1, specs=4),
+        _span("fit", "f1", parent="r1", duration=0.2, start=0.02),
+        _span(
+            "server.mget", "m1", parent="r2", duration=0.05, start=0.71,
+            process="server", url="shard:1",
+        ),
+    ]
+
+
+class TestLoadTrace:
+    def test_round_trips_a_jsonl_file(self, tmp_path, search_spans):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(span) for span in search_spans), encoding="utf-8"
+        )
+        assert load_trace(path) == search_spans
+
+    def test_missing_file_raises_charles_error(self, tmp_path):
+        with pytest.raises(CharlesError, match="cannot read"):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_invalid_json_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"span": "a", "name": "x"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(CharlesError, match="line 2"):
+            load_trace(path)
+
+    def test_non_span_record_rejected(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"foo": 1}\n', encoding="utf-8")
+        with pytest.raises(CharlesError, match="not a span record"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n", encoding="utf-8")
+        with pytest.raises(CharlesError, match="no spans"):
+            load_trace(path)
+
+
+class TestSummarize:
+    def test_reports_span_and_round_counts(self, search_spans):
+        text = summarize_trace(search_spans)
+        assert "trace summary: 5 spans, 1 trace(s), processes: engine, server" in text
+        assert "round spans: 2" in text
+
+    def test_self_time_subtracts_children(self, search_spans):
+        text = summarize_trace(search_spans)
+        # search: 1.0s cumulative, minus its two rounds -> 0.1s self
+        line = next(l for l in text.splitlines() if l.startswith("search"))
+        assert "1.0000s" in line and "0.1000s" in line
+
+    def test_slowest_rounds_ranked_and_limited(self, search_spans):
+        text = summarize_trace(search_spans, slowest=1)
+        assert "slowest rounds:" in text
+        assert "round 0 (0.6000s" in text
+        assert "round 1" not in text
+
+    def test_per_shard_network_time_from_server_spans(self, search_spans):
+        text = summarize_trace(search_spans)
+        assert "per-shard network time:" in text
+        assert "shard:1" in text
+
+
+class TestRenderTree:
+    def test_indentation_follows_parentage(self, search_spans):
+        text = render_tree(search_spans)
+        lines = text.splitlines()
+        assert lines[0] == "trace t1"
+        by_name = {line.strip().split(" ")[0]: line for line in lines[1:]}
+        indent = {name: len(line) - len(line.lstrip()) for name, line in by_name.items()}
+        assert indent["search"] < indent["round"] < indent["fit"]
+        assert "[server]" in by_name["server.mget"]
+
+    def test_picks_the_most_populous_trace_by_default(self, search_spans):
+        other = [_span("stray", "x1", trace="t2", duration=0.1)]
+        text = render_tree(search_spans + other)
+        assert text.startswith("trace t1")
+        assert "stray" not in text
+
+    def test_explicit_trace_id_selects_and_missing_id_raises(self, search_spans):
+        other = [_span("stray", "x1", trace="t2", duration=0.1)]
+        assert "stray" in render_tree(search_spans + other, trace_id="t2")
+        with pytest.raises(CharlesError, match="not present"):
+            render_tree(search_spans, trace_id="t9")
+
+    def test_error_outcome_marked(self, search_spans):
+        spans = search_spans + [
+            _span("spec", "e1", parent="r1", duration=0.01, outcome="error")
+        ]
+        assert "!error" in render_tree(spans)

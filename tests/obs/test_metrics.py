@@ -1,0 +1,129 @@
+"""The metrics registry: instruments, exposition rendering, the parser."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        requests = registry.counter("requests_total", "Requests served")
+        requests.inc()
+        requests.inc(2.5)
+        assert requests.value() == 3.5
+
+    def test_labelled_series_are_independent(self, registry):
+        specs = registry.counter("specs_total", labels=("status",))
+        specs.inc(status="evaluated")
+        specs.inc(3, status="pruned")
+        assert specs.value(status="evaluated") == 1
+        assert specs.value(status="pruned") == 3
+        assert specs.value(status="other") == 0
+
+    def test_counters_only_go_up(self, registry):
+        counter = registry.counter("ups")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_label_set_rejected(self, registry):
+        specs = registry.counter("specs_total", labels=("status",))
+        with pytest.raises(ValueError):
+            specs.inc(verb="GET")
+        with pytest.raises(ValueError):
+            specs.inc()
+
+
+class TestGauge:
+    def test_set_inc_value(self, registry):
+        inflight = registry.gauge("inflight")
+        inflight.set(5)
+        inflight.inc(-2)
+        assert inflight.value() == 3
+
+
+class TestHistogram:
+    def test_observe_count_sum(self, registry):
+        latency = registry.histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            latency.observe(value)
+        assert latency.count() == 4
+        assert latency.sum() == pytest.approx(5.555)
+
+    def test_buckets_render_cumulatively(self, registry):
+        latency = registry.histogram("latency_seconds", buckets=(0.01, 0.1))
+        for value in (0.005, 0.009, 0.05, 7.0):
+            latency.observe(value)
+        samples = parse_prometheus(registry.render())
+        assert samples['latency_seconds_bucket{le="0.01"}'] == 2
+        assert samples['latency_seconds_bucket{le="0.1"}'] == 3
+        assert samples['latency_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["latency_seconds_count"] == 4
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self, registry):
+        first = registry.counter("hits_total")
+        second = registry.counter("hits_total")
+        assert first is second
+
+    def test_kind_mismatch_on_reregistration_rejected(self, registry):
+        registry.counter("traffic")
+        with pytest.raises(ValueError):
+            registry.gauge("traffic")
+
+    def test_process_wide_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestExposition:
+    def test_render_parse_round_trip(self, registry):
+        requests = registry.counter("requests_total", "Requests", labels=("verb",))
+        requests.inc(4, verb="GET")
+        requests.inc(1, verb="PUT")
+        registry.gauge("uptime_seconds", "Uptime").set(12.5)
+        registry.histogram("rtt_seconds", buckets=(0.1,)).observe(0.05)
+        text = registry.render()
+        assert "# TYPE requests_total counter" in text
+        assert "# HELP requests_total Requests" in text
+        samples = parse_prometheus(text)
+        assert samples['requests_total{verb="GET"}'] == 4
+        assert samples['requests_total{verb="PUT"}'] == 1
+        assert samples["uptime_seconds"] == 12.5
+        assert samples["rtt_seconds_count"] == 1
+
+    def test_label_values_escaped(self, registry):
+        weird = registry.counter("weird_total", labels=("path",))
+        weird.inc(path='a"b\\c\nd')
+        text = registry.render()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        samples = parse_prometheus(text)
+        assert samples['weird_total{path="a\\"b\\\\c\\nd"}'] == 1
+
+    def test_default_latency_buckets_are_sorted_and_nonempty(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert DEFAULT_LATENCY_BUCKETS
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["no_value_here", 'broken{label="x" 3', "name notanumber"],
+    )
+    def test_parser_rejects_malformed_lines(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus(bad)
+
+    def test_parser_skips_comments_and_blanks(self):
+        assert parse_prometheus("# HELP x y\n\n# TYPE x counter\nx 1\n") == {"x": 1.0}

@@ -1,0 +1,214 @@
+"""The tracer: span lifecycle, nesting, propagation, sinks, neutrality."""
+
+import json
+
+import pytest
+
+from repro.core import Charles, CharlesConfig
+from repro.obs.trace import (
+    BufferSink,
+    JsonlSink,
+    SPAN_ID_BYTES,
+    TRACE_ID_BYTES,
+    WIRE_CONTEXT_BYTES,
+    Span,
+    configure_tracing,
+    disable_tracing,
+    get_tracer,
+    new_span_id,
+    new_trace_id,
+    wire_context,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with the process-wide tracer disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+@pytest.fixture()
+def buffered_tracer():
+    tracer = get_tracer()
+    sink = BufferSink()
+    tracer.configure(sink)
+    return tracer, sink
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        first = tracer.span("a", attr=1)
+        second = tracer.span("b")
+        assert first is second  # one shared object, no allocation per call
+        with first as span:
+            span.set(extra=2)  # must not raise
+
+    def test_disabled_tracer_emits_and_propagates_nothing(self):
+        tracer = get_tracer()
+        tracer.record("late", start=0.0, duration=1.0)
+        assert tracer.context() is None
+        assert tracer.wire_bytes() == b""
+        assert wire_context() == b""
+
+
+class TestSpans:
+    def test_nesting_sets_parent_and_shares_trace(self, buffered_tracer):
+        tracer, sink = buffered_tracer
+        with tracer.span("outer", layer="search") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        # children finish (and emit) before their parents
+        names = [record["name"] for record in sink.records]
+        assert names == ["inner", "outer"]
+        outer_record = sink.records[1]
+        assert outer_record["parent"] is None
+        assert outer_record["attributes"] == {"layer": "search"}
+        assert outer_record["duration"] >= 0.0
+
+    def test_siblings_share_a_parent_not_each_other(self, buffered_tracer):
+        tracer, sink = buffered_tracer
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        first, second = sink.records[0], sink.records[1]
+        assert first["parent"] == parent.span_id
+        assert second["parent"] == parent.span_id
+        assert first["span"] != second["span"]
+
+    def test_set_attaches_attributes_to_the_live_span(self, buffered_tracer):
+        tracer, sink = buffered_tracer
+        with tracer.span("round", index=0) as span:
+            span.set(survivors=7, floor=None)
+        assert sink.records[0]["attributes"] == {
+            "index": 0,
+            "survivors": 7,
+            "floor": None,
+        }
+
+    def test_exception_marks_outcome_error_and_propagates(self, buffered_tracer):
+        tracer, sink = buffered_tracer
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        record = sink.records[0]
+        assert record["outcome"] == "error"
+        assert record["attributes"]["error"] == "RuntimeError"
+
+    def test_record_emits_under_the_current_span(self, buffered_tracer):
+        tracer, sink = buffered_tracer
+        with tracer.span("prefetch") as span:
+            tracer.record("fabric.mget", start=123.0, duration=0.5, shard="a:1")
+        mget = sink.records[0]
+        assert mget["parent"] == span.span_id
+        assert mget["start"] == 123.0 and mget["duration"] == 0.5
+
+
+class TestPropagation:
+    def test_wire_bytes_packs_trace_and_parent(self, buffered_tracer):
+        tracer, _ = buffered_tracer
+        with tracer.span("client") as span:
+            packed = tracer.wire_bytes()
+            assert len(packed) == WIRE_CONTEXT_BYTES
+            assert packed[:TRACE_ID_BYTES].hex() == span.trace_id
+            assert packed[TRACE_ID_BYTES:].hex() == span.span_id
+
+    def test_wire_bytes_outside_spans_has_zero_parent(self, buffered_tracer):
+        tracer, _ = buffered_tracer
+        packed = tracer.wire_bytes()
+        assert packed[TRACE_ID_BYTES:] == bytes(SPAN_ID_BYTES)
+
+    def test_adopt_buffers_spans_under_the_remote_parent(self):
+        tracer = get_tracer()
+        context = (new_trace_id(), new_span_id())
+        with tracer.adopt(context) as buffer:
+            assert tracer.enabled
+            with tracer.span("worker.chunk", pid=1):
+                pass
+            records = buffer.drain()
+        assert not tracer.enabled  # adoption restores the disabled state
+        (chunk,) = records
+        assert chunk["trace"] == context[0]
+        assert chunk["parent"] == context[1]
+        assert chunk["process"] == "worker"
+
+    def test_absorb_feeds_foreign_records_to_the_sink(self, buffered_tracer):
+        tracer, sink = buffered_tracer
+        foreign = Span(
+            name="server.get",
+            trace_id=tracer.trace_id,
+            span_id=new_span_id(),
+            parent_id=new_span_id(),
+            start=1.0,
+            duration=0.001,
+            process="server",
+        ).as_dict()
+        tracer.absorb([foreign])
+        assert sink.records == [foreign]
+
+
+class TestJsonlSink:
+    def test_configure_is_idempotent_and_file_holds_valid_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_id = configure_tracing(str(path))
+        assert configure_tracing(str(path / "ignored")) == trace_id
+        tracer = get_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        disable_tracing()  # closes the sink, flushing the batched tail
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [record["name"] for record in records] == ["inner", "outer"]
+        for record in records:
+            assert set(record) == {
+                "trace", "span", "parent", "name", "start",
+                "duration", "outcome", "process", "attributes",
+            }
+            assert record["trace"] == trace_id
+
+    def test_batched_writes_reach_the_file_on_flush_and_batch_boundary(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"n": 0})
+        assert path.read_text(encoding="utf-8") == ""  # buffered, not lost
+        sink.flush()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+        for n in range(JsonlSink._BATCH):
+            sink.emit({"n": n})
+        # the batch boundary drains without an explicit flush
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1 + JsonlSink._BATCH
+        sink.close()
+
+    def test_disable_is_idempotent(self, tmp_path):
+        configure_tracing(str(tmp_path / "t.jsonl"))
+        disable_tracing()
+        disable_tracing()
+        assert not get_tracer().enabled
+
+
+class TestResultNeutrality:
+    def test_rankings_identical_with_tracing_on_and_off(self, employee_200, tmp_path):
+        untraced = Charles(CharlesConfig()).summarize_pair(employee_200, "bonus")
+        traced = Charles(
+            CharlesConfig(trace_path=str(tmp_path / "run.jsonl"))
+        ).summarize_pair(employee_200, "bonus")
+        disable_tracing()
+        assert traced.describe() == untraced.describe()
+        assert [s.breakdown.score for s in traced.summaries] == [
+            s.breakdown.score for s in untraced.summaries
+        ]
+        # and the traced run actually produced spans
+        text = (tmp_path / "run.jsonl").read_text(encoding="utf-8")
+        assert text.strip()
+
+    def test_trace_path_never_enters_the_cache_fingerprint(self, tmp_path):
+        plain = CharlesConfig()
+        traced = CharlesConfig(trace_path=str(tmp_path / "t.jsonl"))
+        assert plain.cache_fingerprint() == traced.cache_fingerprint()
