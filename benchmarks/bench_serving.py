@@ -1,0 +1,358 @@
+"""Serving-layer benchmark: K tenants × M sessions under concurrent load.
+
+PR 9's serving layer claims three things a batch run never has to prove:
+
+1. **throughput under multiplexing** — one asyncio loop plus a small engine
+   worker pool holds many concurrent sessions; the steady phase drives K
+   tenants × M sessions of overlapping timeline work through real sockets
+   with a thread-pool client and reports requests/second and p50/p99 wall
+   latency per summarize;
+2. **cross-tenant dedup pays** — tenants share the workload deliberately
+   (identically configured tenants upload the same snapshots), so the
+   single-flight batcher should collapse concurrent identical work: the
+   report carries leader/follower counts from ``/metrics`` and the measured
+   dedup hit rate, and asserts that total engine evaluations stayed under
+   the request count;
+3. **backpressure sheds instead of hanging** — the burst phase floods a
+   deliberately tiny admission queue (depth 1, concurrency 1) and reports
+   how many requests shed with ``503`` + ``Retry-After``, that every shed
+   response arrived fast (no hung connections), and that retrying after the
+   hinted delay eventually succeeded for every client.
+
+The differential invariant rides along: the steady phase's rankings are
+compared against a direct ``EngineSession`` run of the same hops — served
+results must be identical to direct invocation.
+
+Contract points, recorded in the JSON report (``BENCH_serving.json``):
+
+* served rankings identical to direct rankings (always enforced);
+* follower count > 0 and evaluations < requests (dedup demonstrated;
+  enforced outside smoke mode, warns in smoke);
+* at least one burst request shed with a valid Retry-After, and every
+  shed client's retry loop eventually succeeded (always enforced).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --output BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.core import CharlesConfig, ServingConfig
+from repro.obs.metrics import get_registry, parse_prometheus
+from repro.relational.csv_io import write_csv_text
+from repro.serving import ServingServer
+from repro.timeline import EngineSession
+from repro.workloads import streaming_employee_timeline
+
+try:
+    from _meta import stamp as _stamp
+except ImportError:  # imported as a module (pytest, spawn workers), not run directly
+    def _stamp(report):
+        return report
+
+_FAST = dict(max_partitions=2, max_condition_attributes=2, top_k=5)
+
+
+def _request(url, method="GET", payload=None, tenant=None, timeout=120):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if tenant is not None:
+        req.add_header("X-Charles-Tenant", tenant)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        return error.code, dict(error.headers), json.loads(body or b"{}")
+
+
+def _scrape(url) -> dict[str, float]:
+    with urllib.request.urlopen(f"{url}/metrics", timeout=30) as resp:
+        return parse_prometheus(resp.read().decode("utf-8"))
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _direct_rankings(config, store, names, target):
+    engine = EngineSession(config)
+    rankings = []
+    for source, version in zip(names, names[1:]):
+        result = engine.summarize_pair(store.pair(source, version), target)
+        rankings.append(
+            [(s.summary.describe(), float(s.score)) for s in result.summaries]
+        )
+    engine.close()
+    return rankings
+
+
+def run_steady_phase(url, tenants, sessions_per_tenant, store, csvs, target):
+    """Every session walks the full chain; summarizes run concurrently."""
+    names = store.names
+    leases = {}
+    for tenant in tenants:
+        for index in range(sessions_per_tenant):
+            status, _, body = _request(
+                f"{url}/v1/sessions",
+                "POST",
+                {"key": store.key, "config": dict(_FAST)},
+                tenant=tenant,
+            )
+            assert status == 201, body
+            leases[(tenant, index)] = body["session"]
+
+    latencies = []
+    latencies_lock = threading.Lock()
+    rankings = {}
+
+    def drive(tenant, index):
+        session = leases[(tenant, index)]
+        session_rankings = []
+        for step, name in enumerate(names):
+            status, _, body = _request(
+                f"{url}/v1/sessions/{session}/advance",
+                "POST",
+                {"version": name, "csv": csvs[name]},
+                tenant=tenant,
+            )
+            assert status == 200, body
+            if step >= 1:
+                started = time.perf_counter()
+                status, _, body = _request(
+                    f"{url}/v1/sessions/{session}/summarize",
+                    "POST",
+                    {"target": target},
+                    tenant=tenant,
+                )
+                elapsed = time.perf_counter() - started
+                assert status == 200, body
+                with latencies_lock:
+                    latencies.append(elapsed)
+                session_rankings.append(
+                    [(e["summary"], e["score"]) for e in body["rankings"]]
+                )
+        rankings[(tenant, index)] = session_rankings
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(leases)) as pool:
+        futures = [pool.submit(drive, tenant, index) for tenant, index in leases]
+        for future in futures:
+            future.result()
+    wall = time.perf_counter() - wall_start
+
+    for (tenant, index), session in leases.items():
+        _request(f"{url}/v1/sessions/{session}", "DELETE", tenant=tenant)
+
+    requests = len(latencies)
+    return {
+        "tenants": len(tenants),
+        "sessions_per_tenant": sessions_per_tenant,
+        "hops_per_session": len(names) - 1,
+        "summarize_requests": requests,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(requests / wall, 3) if wall > 0 else None,
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 2),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 2),
+        "latency_mean_ms": round(statistics.mean(latencies) * 1e3, 2),
+    }, rankings
+
+
+def run_burst_phase(url, store, csvs, target, clients):
+    """Flood a queue_depth=1, concurrency=1 tenant; count sheds, then retry."""
+    status, _, body = _request(
+        f"{url}/v1/sessions",
+        "POST",
+        {"key": store.key, "config": dict(_FAST)},
+        tenant="burst",
+    )
+    assert status == 201, body
+    session = body["session"]
+    for name in store.names[:2]:
+        status, _, body = _request(
+            f"{url}/v1/sessions/{session}/advance",
+            "POST",
+            {"version": name, "csv": csvs[name]},
+            tenant="burst",
+        )
+        assert status == 200, body
+
+    outcomes = []
+    outcomes_lock = threading.Lock()
+
+    def flood():
+        shed = 0
+        started = time.perf_counter()
+        while True:
+            status, headers, body = _request(
+                f"{url}/v1/sessions/{session}/summarize",
+                "POST",
+                # per-client distinct shortlists keep the flood from
+                # collapsing into one deduped flight
+                {"target": target, "condition_attributes": None},
+                tenant="burst",
+            )
+            if status == 200:
+                with outcomes_lock:
+                    outcomes.append(
+                        {
+                            "shed_before_success": shed,
+                            "seconds_to_success": round(
+                                time.perf_counter() - started, 3
+                            ),
+                        }
+                    )
+                return
+            assert status == 503, (status, body)
+            retry_after = int(headers.get("Retry-After", "1"))
+            assert retry_after >= 1
+            shed += 1
+            time.sleep(min(retry_after, 2))
+
+    threads = [threading.Thread(target=flood) for _ in range(clients)]
+    burst_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    hung = sum(thread.is_alive() for thread in threads)
+    _request(f"{url}/v1/sessions/{session}", "DELETE", tenant="burst")
+
+    total_sheds = sum(o["shed_before_success"] for o in outcomes)
+    return {
+        "clients": clients,
+        "succeeded": len(outcomes),
+        "hung": hung,
+        "shed_total": total_sheds,
+        "burst_wall_seconds": round(time.perf_counter() - burst_start, 3),
+        "max_retries_for_one_client": max(
+            (o["shed_before_success"] for o in outcomes), default=0
+        ),
+    }
+
+
+def run_benchmark(num_rows, num_versions, seed, tenants, sessions_per_tenant, burst_clients):
+    store, _ = streaming_employee_timeline(num_rows, num_versions=num_versions, seed=seed)
+    csvs = {name: write_csv_text(store.version(name).table) for name in store.names}
+    target = "bonus"
+    get_registry().reset()
+
+    serving = ServingConfig(queue_depth=1, tenant_concurrency=1, worker_threads=8)
+    tenant_names = [f"tenant-{index}" for index in range(tenants)]
+    with ServingServer(serving=ServingConfig(worker_threads=8)) as steady_server:
+        steady, served_rankings = run_steady_phase(
+            steady_server.url, tenant_names, sessions_per_tenant, store, csvs, target
+        )
+        samples = _scrape(steady_server.url)
+    leaders = int(samples.get('serve_dedup_total{outcome="leader"}', 0))
+    followers = int(samples.get('serve_dedup_total{outcome="follower"}', 0))
+
+    get_registry().reset()
+    with ServingServer(serving=serving) as burst_server:
+        burst = run_burst_phase(burst_server.url, store, csvs, target, burst_clients)
+        burst_samples = _scrape(burst_server.url)
+    burst["shed_counter_in_metrics"] = int(
+        burst_samples.get('serve_shed_total{reason="queue_full"}', 0)
+    )
+
+    direct = _direct_rankings(CharlesConfig(**_FAST), store, store.names, target)
+    served_match_direct = all(
+        session_rankings == direct for session_rankings in served_rankings.values()
+    )
+
+    requests = steady["summarize_requests"]
+    return {
+        "workload": {
+            "num_rows": num_rows,
+            "num_versions": num_versions,
+            "seed": seed,
+            "target": target,
+        },
+        "steady": steady,
+        "dedup": {
+            "leaders": leaders,
+            "followers": followers,
+            "evaluations": leaders,
+            "requests": requests,
+            "hit_rate": round(followers / requests, 4) if requests else 0.0,
+            "evaluations_under_requests": leaders < requests,
+        },
+        "burst": burst,
+        "served_rankings_match_direct": served_match_direct,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=400)
+    parser.add_argument("--versions", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--tenants", type=int, default=4, help="K concurrent tenants")
+    parser.add_argument("--sessions", type=int, default=3, help="M sessions per tenant")
+    parser.add_argument("--burst-clients", type=int, default=8)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny inputs for CI: timings become indicative only")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rows, versions, tenants, sessions, burst = 80, 3, 3, 2, 5
+    else:
+        rows, versions, tenants, sessions, burst = (
+            args.rows, args.versions, args.tenants, args.sessions, args.burst_clients
+        )
+
+    report = run_benchmark(rows, versions, args.seed, tenants, sessions, burst)
+    report["smoke"] = args.smoke
+    text = json.dumps(_stamp(report), indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.output}", file=sys.stderr)
+
+    # the differential and backpressure contracts are deterministic; the
+    # dedup margin depends on real request overlap, so smoke mode (tiny
+    # inputs, fast hops, shared runners) warns instead of failing the build
+    failures = []
+    warnings_ = []
+    if not report["served_rankings_match_direct"]:
+        failures.append("served rankings diverged from direct invocation")
+    if report["burst"]["hung"]:
+        failures.append(f"{report['burst']['hung']} burst clients hung")
+    if report["burst"]["succeeded"] != report["burst"]["clients"]:
+        failures.append("not every burst client eventually succeeded")
+    if report["burst"]["shed_total"] < 1:
+        message = "the burst never shed (queue too large for the flood?)"
+        (warnings_ if args.smoke else failures).append(message)
+    if not report["dedup"]["evaluations_under_requests"]:
+        message = (
+            "dedup saved nothing: "
+            f"{report['dedup']['evaluations']} evaluations for "
+            f"{report['dedup']['requests']} requests"
+        )
+        (warnings_ if args.smoke else failures).append(message)
+    for message in warnings_:
+        print(f"WARN: {message}", file=sys.stderr)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

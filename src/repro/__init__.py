@@ -33,7 +33,7 @@ Package layout:
 
 from repro.core.charles import Charles, CharlesResult
 from repro.core.condition import Condition, Descriptor
-from repro.core.config import CharlesConfig, InterpretabilityWeights
+from repro.core.config import CharlesConfig, InterpretabilityWeights, ServingConfig
 from repro.core.discovery import DiffDiscoveryEngine, ScoredSummary
 from repro.core.scoring import ScoreBreakdown, score_summary
 from repro.core.setup_assistant import SetupAssistant, SetupSuggestions
@@ -69,6 +69,7 @@ __all__ = [
     "CharlesResult",
     "CharlesConfig",
     "InterpretabilityWeights",
+    "ServingConfig",
     "Condition",
     "Descriptor",
     "LinearTransformation",

@@ -17,9 +17,13 @@ summaries (Fig. 4).  The ``charles`` command exposes the same workflow:
 * ``charles generate``  — write the synthetic workloads (employee, montgomery,
   billionaires) to CSV, so every example is reproducible from the shell.
 
-Beyond the paper's workflow, two operational commands run and manage the
-fleet cache service:
+Beyond the paper's workflow, three operational commands run the engine and
+its cache fabric as long-lived services:
 
+* ``charles serve``        — the multi-tenant HTTP serving layer: thousands of
+  concurrent timeline sessions over warm engine sessions, with per-tenant
+  admission control, load shedding and cross-tenant single-flight dedup
+  (see :mod:`repro.serving`).
 * ``charles cache-server`` — host the memo regions for a fleet of engines
   (``--cache-backend remote --cache-url host:port`` on the other commands).
 * ``charles cache``        — inspect (``stats``, optionally ``--metrics`` for
@@ -185,6 +189,38 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--ready-file", type=Path, default=None,
                         help="write host:port here once listening (for scripts "
                              "that wait for the server to come up)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP serving layer over warm engine sessions",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to listen on (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8738,
+                       help="port to listen on (default 8738; 0 picks a free port)")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       help="cap on live sessions across all tenants "
+                            "(default 1024; creation beyond it sheds with 503)")
+    serve.add_argument("--session-ttl", type=float, default=None, metavar="SECONDS",
+                       help="idle seconds before the sweeper closes a session "
+                            "and releases its caches (default 600)")
+    serve.add_argument("--sweep-interval", type=float, default=None, metavar="SECONDS",
+                       help="how often the idle sweeper runs (default 20)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="per-tenant waiting line for summarize requests; "
+                            "beyond it requests shed with 503 + Retry-After "
+                            "(default 64)")
+    serve.add_argument("--tenant-concurrency", type=int, default=None,
+                       help="summarize requests one tenant may execute at once "
+                            "(default 4)")
+    serve.add_argument("--worker-threads", type=int, default=None,
+                       help="engine worker threads shared by all tenants (default 8)")
+    serve.add_argument("--ready-file", type=Path, default=None,
+                       help="write host:port here once listening (for scripts "
+                            "that wait for the server to come up)")
+    serve.add_argument("--trace", type=Path, default=None,
+                       help="record a JSONL trace of request handling here")
+    _add_cache_arguments(serve)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or reset a cache store without writing python"
@@ -593,6 +629,70 @@ def _command_cache_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # imported here so the paper-workflow commands never pay for the service
+    import asyncio
+
+    from repro.core.config import ServingConfig
+    from repro.serving.service import CharlesServingService
+
+    _begin_tracing(args)
+    overrides = {
+        name: value
+        for name, value in (
+            ("max_sessions", args.max_sessions),
+            ("session_ttl_seconds", args.session_ttl),
+            ("sweep_interval_seconds", args.sweep_interval),
+            ("queue_depth", args.queue_depth),
+            ("tenant_concurrency", args.tenant_concurrency),
+            ("worker_threads", args.worker_threads),
+        )
+        if value is not None
+    }
+    infra = {
+        "cache_backend": args.cache_backend,
+        "cache_dir": str(args.cache_dir) if args.cache_dir is not None else None,
+        "cache_url": args.cache_url,
+        "cache_replication": args.cache_replication,
+        "trace_path": str(args.trace) if args.trace is not None else None,
+    }
+
+    async def _run() -> None:
+        service = CharlesServingService(
+            serving=ServingConfig(**overrides),
+            host=args.host,
+            port=args.port,
+            infra=infra,
+        )
+        await service.start()
+        host, port = service.address
+        serving = service.serving
+        print(
+            f"charles serving on {service.url} "
+            f"(max_sessions={serving.max_sessions}, "
+            f"ttl={serving.session_ttl_seconds:g}s, "
+            f"queue_depth={serving.queue_depth}, "
+            f"tenant_concurrency={serving.tenant_concurrency}, "
+            f"worker_threads={serving.worker_threads}, "
+            f"cache_backend={args.cache_backend})",
+            flush=True,
+        )
+        if args.ready_file is not None:
+            args.ready_file.write_text(f"{host}:{port}", encoding="utf-8")
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def _disk_cache_files(cache_dir: Path) -> list[Path]:
     files = sorted(cache_dir.glob("*.sqlite"))
     if not files:
@@ -600,14 +700,32 @@ def _disk_cache_files(cache_dir: Path) -> list[Path]:
     return files
 
 
-def _shard_stats_table(per_shard: dict[str, dict]) -> str:
-    """A per-shard + aggregate table of every shard's STATS payload."""
-    regions = sorted({name for stats in per_shard.values() for name in stats["regions"]})
+def _shard_stats_table(per_shard: dict[str, "dict | None"]) -> str:
+    """A per-shard + aggregate table of every shard's STATS payload.
+
+    A shard whose stats are ``None`` (unreachable during the fan-out) renders
+    as a ``DOWN`` row — the operator sees exactly which shard is dead next to
+    the live ones, instead of the whole table aborting.  The aggregate row
+    then covers the reachable shards only.
+    """
+    regions = sorted(
+        {
+            name
+            for stats in per_shard.values()
+            if stats is not None
+            for name in stats["regions"]
+        }
+    )
     header = ["shard"] + [f"{name} entries" for name in regions] + ["hits", "misses", "evictions", "requests"]
     rows = [header]
     totals = {name: 0 for name in regions}
     hits = misses = evictions = requests = 0
+    down = 0
     for url, stats in per_shard.items():
+        if stats is None:
+            down += 1
+            rows.append([url, "DOWN"] + [""] * (len(header) - 2))
+            continue
         row = [url]
         for name in regions:
             entries = stats["regions"].get(name, {}).get("entries", 0)
@@ -623,7 +741,8 @@ def _shard_stats_table(per_shard: dict[str, dict]) -> str:
         requests += shard_requests
         row += [str(shard_hits), str(shard_misses), str(shard_evictions), str(shard_requests)]
         rows.append(row)
-    aggregate = ["TOTAL"] + [str(totals[name]) for name in regions]
+    label = "TOTAL" if not down else f"TOTAL ({down} shard{'s' if down > 1 else ''} DOWN)"
+    aggregate = [label] + [str(totals[name]) for name in regions]
     aggregate += [str(hits), str(misses), str(evictions), str(requests)]
     rows.append(aggregate)
     widths = [max(len(row[column]) for row in rows) for column in range(len(header))]
@@ -649,11 +768,15 @@ def _command_cache(args: argparse.Namespace) -> int:
 
         endpoints = parse_endpoints(args.cache_url)
         if args.action == "stats" and args.metrics:
-            # the same exposition a Prometheus scrape of each shard would see
+            # the same exposition a Prometheus scrape of each shard would see;
+            # a dead shard becomes a note, not an abort mid-fan-out
             for endpoint in endpoints:
                 if len(endpoints) > 1:
                     print(f"== {endpoint} ==")
-                print(server_metrics(endpoint), end="")
+                try:
+                    print(server_metrics(endpoint), end="")
+                except CharlesError as error:
+                    print(f"# DOWN: {error}")
             return 0
         if args.action == "clear":
             # fan out to every shard; an unreachable one is an error the
@@ -665,7 +788,17 @@ def _command_cache(args: argparse.Namespace) -> int:
         if len(endpoints) == 1:
             print(json.dumps(server_stats(endpoints[0]), indent=2))
             return 0
-        print(_shard_stats_table({url: server_stats(url) for url in endpoints}))
+
+        def _stats_or_down(url: str) -> "dict | None":
+            # stats fan-out must survive a dead shard: the operator asking
+            # "how is the fabric doing" most needs the answer when part of
+            # it is down, and the live shards' numbers are still true
+            try:
+                return server_stats(url)
+            except CharlesError:
+                return None
+
+        print(_shard_stats_table({url: _stats_or_down(url) for url in endpoints}))
         return 0
     for path in _disk_cache_files(args.cache_dir):
         backend = DiskBackend(path)
@@ -692,6 +825,7 @@ _COMMANDS = {
     "trace": _command_trace,
     "generate": _command_generate,
     "cache-server": _command_cache_server,
+    "serve": _command_serve,
     "cache": _command_cache,
 }
 

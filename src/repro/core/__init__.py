@@ -16,7 +16,7 @@ Submodules, in dependency order:
 
 from repro.core.charles import Charles, CharlesResult
 from repro.core.condition import Condition, Descriptor, DescriptorKind
-from repro.core.config import CharlesConfig, InterpretabilityWeights
+from repro.core.config import CharlesConfig, InterpretabilityWeights, ServingConfig
 from repro.core.discovery import DiffDiscoveryEngine, ScoredSummary
 from repro.core.partitioning import Partition, discover_partitions, induce_condition
 from repro.core.scoring import ScoreBreakdown, accuracy, interpretability, score_summary
@@ -30,6 +30,7 @@ __all__ = [
     "CharlesResult",
     "CharlesConfig",
     "InterpretabilityWeights",
+    "ServingConfig",
     "Condition",
     "Descriptor",
     "DescriptorKind",

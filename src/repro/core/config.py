@@ -19,7 +19,7 @@ from typing import Any
 from repro.cachestore import BACKEND_CHOICES
 from repro.exceptions import ConfigurationError
 
-__all__ = ["CharlesConfig", "InterpretabilityWeights"]
+__all__ = ["CharlesConfig", "InterpretabilityWeights", "ServingConfig"]
 
 #: fields that choose *where and how* a search runs, never what it computes —
 #: the cache fingerprint ignores them so that e.g. changing ``n_jobs`` or the
@@ -373,6 +373,26 @@ class CharlesConfig:
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **changes)
 
+    def with_serving_defaults(self, infra: "dict[str, Any] | None") -> "CharlesConfig":
+        """This configuration with server-owned infrastructure fields applied.
+
+        The serving layer lets tenants choose any *result-affecting* knob but
+        owns the execution substrate itself — which cache fabric the sessions
+        join, how many worker processes a search may fork, whether tracing is
+        on.  All of those fields are in :data:`_RESULT_NEUTRAL_FIELDS`, so
+        applying them never moves a tenant's :meth:`cache_fingerprint` (their
+        namespace, and therefore their isolation, is unaffected).
+        """
+        if not infra:
+            return self
+        illegal = set(infra) - _RESULT_NEUTRAL_FIELDS
+        if illegal:
+            raise ConfigurationError(
+                "serving infrastructure overrides must be execution-only "
+                f"fields, got {sorted(illegal)}"
+            )
+        return replace(self, **infra)
+
     def cache_fingerprint(self) -> bytes:
         """A 16-byte digest of every result-affecting field.
 
@@ -394,3 +414,79 @@ class CharlesConfig:
             if spec.name not in _RESULT_NEUTRAL_FIELDS
         )
         return hashlib.blake2b(repr(relevant).encode("utf-8"), digest_size=16).digest()
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Capacity knobs of the multi-tenant serving layer (``charles serve``).
+
+    These govern the *service* — how many tenant sessions one process holds,
+    how deep the per-tenant admission queues run before load shedding, how
+    many searches execute concurrently — never what any search computes, so
+    they live beside :class:`CharlesConfig` rather than inside it: one server
+    hosts many tenant configurations, each with its own cache fingerprint.
+
+    Parameters
+    ----------
+    max_sessions:
+        Hard cap on live sessions across every tenant.  Creation beyond it is
+        load-shed (HTTP 503 with a retry-after), not queued: a session pins an
+        :class:`~repro.timeline.session.EngineSession` with its caches, so
+        unbounded creation is a memory leak with extra steps.
+    session_ttl_seconds:
+        Idle time after which the registry sweeper closes a session and
+        releases its cache backends.  Entries in persistent backends survive,
+        so a tenant that returns later starts a new session warm.
+    sweep_interval_seconds:
+        How often the sweeper looks for expired sessions.
+    queue_depth:
+        Maximum requests *waiting* for an execution slot per tenant.  A
+        request arriving at a full queue is shed immediately with a
+        retry-after estimate — a bounded queue plus early shedding is what
+        keeps saturation from turning into unbounded latency.
+    tenant_concurrency:
+        Maximum searches one tenant may have executing simultaneously.  A
+        per-tenant quota (not a global one) so a flooding tenant queues and
+        sheds against its own budget instead of starving the others.
+    worker_threads:
+        Size of the thread pool that runs the synchronous engine off the
+        event loop.  Searches release the GIL in their numpy kernels, so a
+        few threads keep the loop responsive without oversubscribing cores.
+    max_body_bytes:
+        Largest request body accepted (snapshot uploads dominate; anything
+        larger is refused with HTTP 413 before buffering).
+    """
+
+    max_sessions: int = 1024
+    session_ttl_seconds: float = 600.0
+    sweep_interval_seconds: float = 20.0
+    queue_depth: int = 64
+    tenant_concurrency: int = 4
+    worker_threads: int = 8
+    max_body_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ConfigurationError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.session_ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"session_ttl_seconds must be > 0, got {self.session_ttl_seconds}"
+            )
+        if self.sweep_interval_seconds <= 0:
+            raise ConfigurationError(
+                f"sweep_interval_seconds must be > 0, got {self.sweep_interval_seconds}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.tenant_concurrency < 1:
+            raise ConfigurationError(
+                f"tenant_concurrency must be >= 1, got {self.tenant_concurrency}"
+            )
+        if self.worker_threads < 1:
+            raise ConfigurationError(
+                f"worker_threads must be >= 1, got {self.worker_threads}"
+            )
+        if self.max_body_bytes < 1024:
+            raise ConfigurationError(
+                f"max_body_bytes must be >= 1024, got {self.max_body_bytes}"
+            )

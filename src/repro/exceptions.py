@@ -69,3 +69,24 @@ class TimelineError(CharlesError):
     appended versions that violate the snapshot contract itself (schema or
     entity-set mismatches) raise :class:`SnapshotAlignmentError` as usual.
     """
+
+
+class SessionClosedError(CharlesError):
+    """An :class:`~repro.timeline.session.EngineSession` was used after ``close()``.
+
+    A closed session has released its cache backends (disk connections,
+    manager processes, remote sockets), so serving another query through it
+    would silently run cold at best and crash a backend at worst.  Long-lived
+    deployments tear idle sessions down on expiry; the caller must create a
+    fresh session instead.
+    """
+
+
+class ServingError(CharlesError):
+    """A request to the multi-tenant serving layer could not be honoured.
+
+    Base class for the serving layer's refusal family: unknown or foreign
+    sessions, malformed requests, and load shedding
+    (:class:`~repro.serving.admission.LoadShedError`), each of which the HTTP
+    front door maps to a specific status code.
+    """

@@ -1,0 +1,48 @@
+"""The multi-tenant serving layer: ``charles serve``.
+
+A zero-dependency asyncio front door that holds thousands of concurrent
+timeline sessions over warm :class:`~repro.timeline.session.EngineSession`
+instances.  Four cooperating pieces:
+
+* :mod:`repro.serving.httpd` — handwritten HTTP/1.1 over asyncio streams.
+* :mod:`repro.serving.registry` — tenant-namespaced session leases, idle-swept.
+* :mod:`repro.serving.admission` — bounded queues, per-tenant quotas,
+  load-shed with ``Retry-After``.
+* :mod:`repro.serving.batcher` — cross-tenant single-flight dedup of
+  identical in-flight work.
+
+:mod:`repro.serving.service` composes them into
+:class:`CharlesServingService`; :class:`ServingServer` embeds it on a
+background thread for tests and benchmarks.  The standing invariant across
+all of it: results through the service are byte-identical to direct
+invocation.
+"""
+
+from repro.serving.admission import AdmissionController, LoadShedError
+from repro.serving.batcher import RequestBatcher, work_key
+from repro.serving.httpd import HttpError, HttpRequest, read_request, response_bytes
+from repro.serving.registry import (
+    SessionLease,
+    SessionRegistry,
+    TenantAccessError,
+    UnknownSessionError,
+)
+from repro.serving.service import CharlesServingService, ServingServer, TENANT_DENIED_FIELDS
+
+__all__ = [
+    "AdmissionController",
+    "CharlesServingService",
+    "HttpError",
+    "HttpRequest",
+    "LoadShedError",
+    "RequestBatcher",
+    "ServingServer",
+    "SessionLease",
+    "SessionRegistry",
+    "TENANT_DENIED_FIELDS",
+    "TenantAccessError",
+    "UnknownSessionError",
+    "read_request",
+    "response_bytes",
+    "work_key",
+]

@@ -1,0 +1,164 @@
+"""Admission control: bounded queues, per-tenant quotas, load shedding.
+
+A long-running service saturates differently from a batch run: when search
+requests arrive faster than the engine pool drains them, an unbounded queue
+turns overload into unbounded latency for *everyone*, and a global queue lets
+one flooding tenant starve the rest.  The :class:`AdmissionController`
+therefore keeps one small state machine per tenant: at most
+``tenant_concurrency`` requests executing, at most ``queue_depth`` more
+waiting for a slot, and anything beyond that shed *immediately* with
+:class:`LoadShedError` — which the HTTP front door answers as ``503`` plus a
+``Retry-After`` estimate derived from the tenant's observed service times.
+Shedding at the door is the graceful failure mode: the client gets a fast,
+honest signal it can back off on, instead of a connection that hangs until a
+timeout guesses for it.
+
+Everything here runs on the event loop thread, so the counters need no locks;
+the waiting line is the semaphore's own FIFO.  The controller never touches
+results — it decides *when* a search runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ServingError
+
+__all__ = ["AdmissionController", "LoadShedError", "TenantAdmission"]
+
+#: EMA weight of the newest observation when estimating a tenant's service time
+_EMA_ALPHA = 0.2
+
+#: retry hint when a tenant has no observed service times yet (seconds)
+_DEFAULT_RETRY_AFTER = 1
+
+
+class LoadShedError(ServingError):
+    """The service refused work it cannot queue; retry after the hint.
+
+    ``reason`` feeds the ``serve_shed_total`` metric: ``"queue_full"`` (a
+    tenant's admission queue overflowed) or ``"session_capacity"`` (the
+    registry's session cap was hit).
+    """
+
+    def __init__(self, message: str, retry_after_seconds: int, reason: str = "queue_full"):
+        super().__init__(message)
+        self.retry_after_seconds = max(1, int(retry_after_seconds))
+        self.reason = reason
+
+
+@dataclass
+class TenantAdmission:
+    """One tenant's live admission state (all mutation on the loop thread)."""
+
+    semaphore: asyncio.Semaphore
+    waiting: int = 0
+    running: int = 0
+    shed: int = 0
+    admitted: int = 0
+    service_seconds_ema: float = field(default=0.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "waiting": self.waiting,
+            "running": self.running,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "service_seconds_ema": round(self.service_seconds_ema, 6),
+        }
+
+
+class AdmissionController:
+    """Bounded per-tenant admission with immediate load shedding.
+
+    Use as an async context manager::
+
+        async with controller.admit("tenant-a"):
+            ...  # at most `tenant_concurrency` bodies per tenant run here
+
+    ``admit`` raises :class:`LoadShedError` without awaiting anything when the
+    tenant's waiting line is full, so a flood costs the loop one dict lookup
+    per shed request.
+    """
+
+    def __init__(self, queue_depth: int, tenant_concurrency: int):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if tenant_concurrency < 1:
+            raise ValueError(f"tenant_concurrency must be >= 1, got {tenant_concurrency}")
+        self.queue_depth = queue_depth
+        self.tenant_concurrency = tenant_concurrency
+        self._tenants: dict[str, TenantAdmission] = {}
+
+    def _state(self, tenant: str) -> TenantAdmission:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = TenantAdmission(asyncio.Semaphore(self.tenant_concurrency))
+            self._tenants[tenant] = state
+        return state
+
+    def retry_after_seconds(self, tenant: str) -> int:
+        """A retry hint: how long until this tenant's backlog likely drains.
+
+        The tenant's EMA service time multiplied by how many requests stand
+        between a new arrival and a free slot, rounded up to a whole second
+        (the ``Retry-After`` header's unit).  Before any observation exists
+        the hint is one second — honest about knowing nothing, cheap to obey.
+        """
+        state = self._tenants.get(tenant)
+        if state is None or state.service_seconds_ema <= 0.0:
+            return _DEFAULT_RETRY_AFTER
+        backlog = state.waiting + state.running
+        drains = math.ceil(max(1, backlog) / self.tenant_concurrency)
+        return max(1, math.ceil(drains * state.service_seconds_ema))
+
+    def admit(self, tenant: str) -> "_AdmissionSlot":
+        return _AdmissionSlot(self, tenant)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant admission counters (for ``/healthz`` and operators)."""
+        return {tenant: state.snapshot() for tenant, state in sorted(self._tenants.items())}
+
+
+class _AdmissionSlot:
+    """The awaitable context manager :meth:`AdmissionController.admit` returns."""
+
+    def __init__(self, controller: AdmissionController, tenant: str):
+        self._controller = controller
+        self._tenant = tenant
+        self._state: TenantAdmission | None = None
+        self._started = 0.0
+
+    async def __aenter__(self) -> "_AdmissionSlot":
+        state = self._controller._state(self._tenant)
+        if state.waiting >= self._controller.queue_depth:
+            state.shed += 1
+            raise LoadShedError(
+                f"tenant {self._tenant!r} admission queue is full "
+                f"({state.waiting} waiting, {state.running} running)",
+                self._controller.retry_after_seconds(self._tenant),
+            )
+        state.waiting += 1
+        try:
+            await state.semaphore.acquire()
+        finally:
+            state.waiting -= 1
+        state.running += 1
+        state.admitted += 1
+        self._state = state
+        self._started = time.perf_counter()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        state = self._state
+        assert state is not None
+        observed = time.perf_counter() - self._started
+        if state.service_seconds_ema <= 0.0:
+            state.service_seconds_ema = observed
+        else:
+            state.service_seconds_ema += _EMA_ALPHA * (observed - state.service_seconds_ema)
+        state.running -= 1
+        state.semaphore.release()

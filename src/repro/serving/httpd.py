@@ -1,0 +1,171 @@
+"""A minimal asyncio HTTP/1.1 layer for the serving front door.
+
+The repo is zero-dependency by design, so the front door speaks handwritten
+HTTP/1.1 over :mod:`asyncio` streams rather than pulling in a framework: a
+request parser (:func:`read_request`) covering exactly what JSON clients and
+``curl`` produce — request line, headers, an optional ``Content-Length``
+body — and a response serialiser (:func:`response_bytes`).  Persistent
+connections are supported (the service loops requests per connection until
+the client closes or asks to); chunked transfer encoding is not — a client
+using it gets a clean ``411`` telling it to send a length.
+
+Anything malformed raises :class:`HttpError`, which carries the status code
+the service should answer with; the split keeps protocol failures (a 400
+here) cleanly apart from application refusals (the 403/404/409/503 family in
+:mod:`repro.serving.service`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.exceptions import ServingError
+
+__all__ = ["HttpError", "HttpRequest", "read_request", "response_bytes", "json_body"]
+
+#: request line + headers must fit in this many bytes (bodies are separate)
+MAX_HEAD_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ServingError):
+    """A request violated the protocol; ``status`` is the answer it gets."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object (``{}`` for an empty body)."""
+        return json_body(self.body)
+
+
+def json_body(body: bytes) -> dict:
+    """Decode a request body as a JSON object, mapping failures to 400s."""
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise HttpError(400, f"request body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> HttpRequest | None:
+    """Parse one request from the stream; ``None`` on a clean client close."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # the client closed between requests: not an error
+        raise HttpError(400, "connection closed mid-request") from error
+    except asyncio.LimitOverrunError as error:
+        raise HttpError(431, "request head exceeds the header size limit") from error
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, "request head exceeds the header size limit")
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError as error:
+        raise HttpError(400, "malformed request line") from error
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked bodies are not supported; send Content-Length")
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as error:
+            raise HttpError(400, f"malformed Content-Length {raw_length!r}") from error
+        if length < 0:
+            raise HttpError(400, f"malformed Content-Length {raw_length!r}")
+        if length > max_body_bytes:
+            raise HttpError(
+                413, f"request body of {length} bytes exceeds the {max_body_bytes}-byte limit"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise HttpError(400, "connection closed mid-body") from error
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one response (status line, headers, body) to wire bytes."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

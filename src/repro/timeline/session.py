@@ -39,13 +39,14 @@ Two mechanisms make warm runs cheaper, neither of which may change results:
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.core.charles import Charles, CharlesResult
 from repro.core.config import CharlesConfig
 from repro.core.setup_assistant import SetupSuggestions
 from repro.core.summary import ChangeSummary
-from repro.exceptions import DiscoveryError
+from repro.exceptions import DiscoveryError, SessionClosedError
 from repro.obs.trace import configure_tracing, get_tracer
 from repro.relational.snapshot import SnapshotPair
 from repro.search.cache import CacheCounters, SearchCaches
@@ -74,6 +75,8 @@ class EngineSession:
         self._caches = SearchCaches.from_config(self._config)
         self._floors: dict[str, float] = {}
         self._maintenance_bases: dict[str, SnapshotPair] = {}
+        self._closed = False
+        self._last_used = time.monotonic()
         self.runs_completed = 0
         self.warm_start_fallbacks = 0
 
@@ -83,8 +86,44 @@ class EngineSession:
         Entries in persistent backends survive: a future session with the same
         ``cache_dir`` starts warm.  Sessions are also context managers, so
         ``with Charles(config).session() as session: ...`` closes for you.
+
+        Idempotent, and terminal: serving another query through a closed
+        session raises :class:`~repro.exceptions.SessionClosedError` — its
+        backend handles (SQLite connections, manager processes, remote
+        sockets) are gone, so long-lived deployments that tear idle sessions
+        down on expiry (:class:`~repro.serving.registry.SessionRegistry`)
+        never leak them.
         """
+        if self._closed:
+            return
+        self._closed = True
         self._caches.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the session no longer serves queries)."""
+        return self._closed
+
+    @property
+    def idle_seconds(self) -> float:
+        """Seconds since this session last started or finished serving a query.
+
+        The expiry signal for lease-holding deployments: a registry sweeps
+        sessions whose ``idle_seconds`` exceeds its TTL and :meth:`close`\\ s
+        them, so abandoned tenants do not pin cache backends forever.
+        """
+        return time.monotonic() - self._last_used
+
+    def touch(self) -> None:
+        """Reset the idle clock (queries do this on entry and exit)."""
+        self._last_used = time.monotonic()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                "this engine session is closed (its cache backends are "
+                "released); create a new session to keep querying"
+            )
 
     def __enter__(self) -> "EngineSession":
         return self
@@ -142,6 +181,8 @@ class EngineSession:
         aggressive).  The ranking is byte-identical to a cold run on the same
         pair.
         """
+        self._ensure_open()
+        self.touch()
         tracer = get_tracer()
         floor = self.warm_floor(target)
         seed = _COLD if floor is None else floor
@@ -195,6 +236,7 @@ class EngineSession:
                     result.search_stats.warm_start_fallback = True
                     result.search_stats.wall_time_seconds += aborted_seconds
         self.runs_completed += 1
+        self.touch()
         self._remember_floor(target, result)
         if self._config.partition_maintenance:
             # only retained when the next run may patch from it: a disabled
@@ -219,6 +261,7 @@ class EngineSession:
         session's warmth.  Rankings per hop are byte-identical to independent
         cold ``Charles`` runs on the same pairs.
         """
+        self._ensure_open()
         tracer = get_tracer()
         hops: list[TimelineHop] = []
         for source, target_version, pair in timeline.windowed_pairs(window):

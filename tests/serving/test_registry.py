@@ -1,0 +1,104 @@
+"""Session registry: tenancy enforcement, capacity shedding, idle sweeping."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import CharlesConfig
+from repro.serving.admission import LoadShedError
+from repro.serving.registry import (
+    SessionRegistry,
+    TenantAccessError,
+    UnknownSessionError,
+)
+
+_FAST = dict(max_partitions=2, max_condition_attributes=2, top_k=5)
+
+
+class TestTenancy:
+    def test_create_and_get_roundtrip(self):
+        registry = SessionRegistry(max_sessions=4)
+        lease = registry.create("acme", CharlesConfig(**_FAST), key="name")
+        assert registry.get(lease.session_id, "acme") is lease
+        assert lease.store.key == "name"
+        assert len(lease.session_id) == 32  # 16 random bytes, hex
+        info = lease.info()
+        assert info["tenant"] == "acme"
+        assert info["fingerprint"] == lease.config.cache_fingerprint().hex()
+
+    def test_foreign_tenant_is_refused(self):
+        registry = SessionRegistry(max_sessions=4)
+        lease = registry.create("acme", CharlesConfig(**_FAST))
+        with pytest.raises(TenantAccessError):
+            registry.get(lease.session_id, "rival")
+        with pytest.raises(TenantAccessError):
+            registry.close(lease.session_id, "rival")
+        # the refusal must not have closed anything
+        assert registry.get(lease.session_id, "acme") is lease
+
+    def test_unknown_session_is_distinct_from_foreign(self):
+        registry = SessionRegistry(max_sessions=4)
+        with pytest.raises(UnknownSessionError):
+            registry.get("deadbeef" * 4, "acme")
+
+    def test_close_removes_and_releases(self):
+        registry = SessionRegistry(max_sessions=4)
+        lease = registry.create("acme", CharlesConfig(**_FAST))
+        registry.close(lease.session_id, "acme")
+        assert lease.engine.closed
+        with pytest.raises(UnknownSessionError):
+            registry.get(lease.session_id, "acme")
+
+    def test_tenants_counts_per_tenant(self):
+        registry = SessionRegistry(max_sessions=8)
+        registry.create("a", CharlesConfig(**_FAST))
+        registry.create("a", CharlesConfig(**_FAST))
+        registry.create("b", CharlesConfig(**_FAST))
+        assert registry.tenants() == {"a": 2, "b": 1}
+
+
+class TestCapacity:
+    def test_capacity_sheds_with_reason(self):
+        registry = SessionRegistry(max_sessions=1)
+        registry.create("a", CharlesConfig(**_FAST))
+        with pytest.raises(LoadShedError) as excinfo:
+            registry.create("b", CharlesConfig(**_FAST))
+        assert excinfo.value.reason == "session_capacity"
+        assert excinfo.value.retry_after_seconds >= 1
+
+    def test_close_frees_capacity(self):
+        registry = SessionRegistry(max_sessions=1)
+        lease = registry.create("a", CharlesConfig(**_FAST))
+        registry.close(lease.session_id, "a")
+        registry.create("b", CharlesConfig(**_FAST))  # must not raise
+
+
+class TestSweeping:
+    def test_sweep_closes_idle_leases(self):
+        registry = SessionRegistry(max_sessions=4)
+        lease = registry.create("a", CharlesConfig(**_FAST))
+        assert registry.sweep_expired(ttl_seconds=3600) == []  # still fresh
+        victims = registry.sweep_expired(ttl_seconds=0.0)
+        assert victims == [lease]
+        assert lease.engine.closed
+        assert registry.expired_total == 1
+        assert len(registry) == 0
+
+    def test_sweep_skips_leases_mid_query(self):
+        async def scenario():
+            registry = SessionRegistry(max_sessions=4)
+            lease = registry.create("a", CharlesConfig(**_FAST))
+            async with lease.lock:  # a query holds the lock for its duration
+                assert registry.sweep_expired(ttl_seconds=0.0) == []
+            assert registry.sweep_expired(ttl_seconds=0.0) == [lease]
+
+        asyncio.run(scenario())
+
+    def test_close_all_tears_everything_down(self):
+        registry = SessionRegistry(max_sessions=4)
+        leases = [registry.create("a", CharlesConfig(**_FAST)) for _ in range(3)]
+        registry.close_all()
+        assert len(registry) == 0
+        assert all(lease.engine.closed for lease in leases)

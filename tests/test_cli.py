@@ -384,10 +384,14 @@ class TestCacheCommands:
             for shard in shards:
                 shard.shutdown()
 
-    def test_cache_stats_with_one_dead_shard_errors(self, server, capsys):
+    def test_cache_stats_with_one_dead_shard_marks_it_down(self, server, capsys):
+        # the fan-out must not abort on a dead shard: the live shard's
+        # numbers still print, the dead one gets a DOWN row (PR 9)
         url = f"{server.url},127.0.0.1:9"
-        assert main(["cache", "stats", "--cache-url", url]) == 2
-        assert "cannot reach" in capsys.readouterr().err
+        assert main(["cache", "stats", "--cache-url", url]) == 0
+        output = capsys.readouterr().out
+        assert server.url in output
+        assert "127.0.0.1:9" in output and "DOWN" in output
 
     def test_cache_stats_and_clear_against_cache_dir(self, example_csvs, tmp_path, capsys):
         source, target = example_csvs
@@ -474,3 +478,72 @@ class TestPlanCommand:
         ])
         assert code == 0
         assert "#1" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_parser_registered(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--max-sessions", "16",
+            "--queue-depth", "2", "--tenant-concurrency", "1",
+            "--cache-backend", "memory",
+        ])
+        assert args.command == "serve"
+        assert args.max_sessions == 16
+        assert args.queue_depth == 2
+        assert args.tenant_concurrency == 1
+        assert args.port == 0
+
+    def test_serve_defaults_leave_serving_config_to_the_dataclass(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.max_sessions is None  # ServingConfig defaults apply
+        assert args.session_ttl is None
+        assert args.ready_file is None
+
+
+class TestDeadShardStats:
+    @pytest.fixture()
+    def dead_endpoint(self):
+        """A host:port nothing listens on (bound, then released)."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return f"127.0.0.1:{port}"
+
+    def test_stats_fanout_survives_a_dead_shard(self, dead_endpoint, capsys):
+        from repro.cacheserver import CacheServer
+
+        with CacheServer() as live:
+            code = main([
+                "cache", "stats", "--cache-url", f"{live.url},{dead_endpoint}"
+            ])
+        output = capsys.readouterr().out
+        # the fan-out completed: exit 0, live shard's row present, dead
+        # shard marked DOWN instead of aborting the whole table
+        assert code == 0
+        assert live.url in output
+        assert dead_endpoint in output
+        assert "DOWN" in output
+        assert "TOTAL (1 shard DOWN)" in output
+
+    def test_metrics_fanout_notes_the_dead_shard(self, dead_endpoint, capsys):
+        from repro.cacheserver import CacheServer
+
+        with CacheServer() as live:
+            code = main([
+                "cache", "stats", "--metrics",
+                "--cache-url", f"{live.url},{dead_endpoint}",
+            ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert f"== {live.url} ==" in output
+        assert "# DOWN:" in output
+        assert "cacheserver_requests_total" in output or "requests" in output
+
+    def test_clear_stays_strict_about_dead_shards(self, dead_endpoint, capsys):
+        # clear is deliberately all-or-error: a half-cleared fabric serving
+        # stale hit rates is worse than an explicit failure
+        code = main(["cache", "clear", "--cache-url", dead_endpoint])
+        assert code == 2

@@ -161,3 +161,45 @@ class TestFacadeIntegration:
         assert hop.source_version == "v2"
         with pytest.raises(Exception, match="no hop"):
             result.hop("v1", "v9")
+
+
+class TestLifecycle:
+    """close() releases caches exactly once; a closed session refuses work."""
+
+    def test_close_is_idempotent(self, chain):
+        session = EngineSession(CharlesConfig(**_FAST))
+        session.summarize_pair(chain.consecutive_pairs()[0][2], "bonus")
+        session.close()
+        session.close()  # second close must be a no-op, not a double-release
+        assert session.closed
+
+    def test_use_after_close_raises(self, chain):
+        from repro.exceptions import SessionClosedError
+
+        session = EngineSession(CharlesConfig(**_FAST))
+        session.close()
+        pair = chain.consecutive_pairs()[0][2]
+        with pytest.raises(SessionClosedError):
+            session.summarize_pair(pair, "bonus")
+        with pytest.raises(SessionClosedError):
+            session.summarize_timeline(chain, "bonus")
+
+    def test_touch_and_idle_clock(self, chain):
+        import time as time_module
+
+        session = EngineSession(CharlesConfig(**_FAST))
+        assert session.idle_seconds >= 0.0
+        time_module.sleep(0.02)
+        before = session.idle_seconds
+        session.touch()
+        assert session.idle_seconds < before
+        session.close()
+
+    def test_queries_reset_the_idle_clock(self, chain):
+        import time as time_module
+
+        session = EngineSession(CharlesConfig(**_FAST))
+        time_module.sleep(0.02)
+        session.summarize_pair(chain.consecutive_pairs()[0][2], "bonus")
+        assert session.idle_seconds < 0.02
+        session.close()
