@@ -18,16 +18,27 @@ fleet.  This benchmark measures what the PR-6 *fabric* adds on top:
    ``MGET`` per shard, fanned out before any is collected — the path the
    search layer's round prefetch takes).  The report carries the speedup;
    on loopback it is bounded by parse/decode overlap, on a real network it
-   grows with round-trip latency (K serial RTTs versus one overlapped one).
+   grows with round-trip latency (K serial RTTs versus one overlapped one);
+4. **the asyncio transport carries concurrency** — 64 concurrent client
+   connections drive identical traffic against a threaded ``CacheServer``
+   and an ``AsyncCacheServer``; the event loop must match or beat the
+   thread-per-connection transport's throughput;
+5. **membership is elastic** — one engine arm runs against a fleet that
+   *grows by one member and loses another mid-run* (``fleet_join`` then
+   ``fleet_leave`` while the spawned engine is searching); its rankings
+   must still be byte-identical to the serial reference.
 
 Engine arms run in freshly *spawned* interpreters (no shared memory), so
 every warm hit demonstrably travelled through TCP frames.
 
 Contract points, recorded in the JSON report (``BENCH_cache_fabric.json``):
 
-* rankings identical across every topology (always enforced);
+* rankings identical across every topology — including the live
+  join/leave arm (always enforced);
 * the pipelined client beats the serial-socket client (enforced outside
   smoke mode; warns in smoke, where timings on shared runners are noisy);
+* the asyncio server matches or beats the threaded server at 64 concurrent
+  connections (same smoke-warns / full-enforces split);
 * with replication, the degraded arm's misses stay under 10 % of the cold
   arm's (enforced outside smoke mode) and its failover count is non-zero.
 
@@ -44,12 +55,22 @@ import multiprocessing
 import socket
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
 from repro.core import CharlesConfig
 from repro.cachestore import MISSING
-from repro.cacheserver import CacheServer, ShardedRemoteBackend, protocol
+from repro.cacheserver import (
+    AsyncCacheServer,
+    CacheServer,
+    RemoteBackend,
+    ShardedRemoteBackend,
+    fleet_join,
+    fleet_leave,
+    protocol,
+    server_topology,
+)
 from repro.cacheserver.client import decode_value, parse_url
 from repro.timeline import EngineSession, TimelineStore
 from repro.workloads import streaming_employee_timeline
@@ -115,9 +136,19 @@ def _fabric_process(
 
 
 def _run_fabric_scenario(
-    name: str, rows: int, versions: int, seed: int, url: str, replication: int
+    name: str,
+    rows: int,
+    versions: int,
+    seed: int,
+    url: str,
+    replication: int,
+    churn=None,
 ) -> dict:
-    """Run the workload in a genuinely fresh interpreter (spawned, not forked)."""
+    """Run the workload in a genuinely fresh interpreter (spawned, not forked).
+
+    ``churn``, when given, runs in the parent while the spawned engine is
+    mid-benchmark — the elastic arm uses it to reshape the fleet under load.
+    """
     context = multiprocessing.get_context("spawn")
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         out_path = handle.name
@@ -125,7 +156,11 @@ def _run_fabric_scenario(
         target=_fabric_process, args=(rows, versions, seed, url, replication, out_path)
     )
     process.start()
-    process.join()
+    try:
+        if churn is not None:
+            churn()
+    finally:
+        process.join()
     if process.exitcode != 0:
         raise RuntimeError(f"fabric scenario process exited with {process.exitcode}")
     report = json.loads(Path(out_path).read_text(encoding="utf-8"))
@@ -208,11 +243,86 @@ def _client_microbench(shard_count: int, operations: int) -> dict:
     }
 
 
+# -- the transport microbenchmark: thread-per-connection vs one event loop ------
+
+
+def _transport_microbench(connections: int, ops_per_connection: int) -> dict:
+    """The same concurrent traffic against both serving transports, wall-clocked.
+
+    ``connections`` clients connect at once (a barrier releases them together)
+    and each drives ``ops_per_connection`` put+get round trips on its own
+    socket.  The threaded server spends a thread per connection; the asyncio
+    server multiplexes every connection onto one loop.  The asyncio transport
+    earns its default-server status by matching or beating the threaded one
+    at this concurrency level.
+    """
+
+    def drive(server) -> float:
+        barrier = threading.Barrier(connections + 1)
+        errors: list[Exception] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                backend = RemoteBackend(server.url, namespace=b"c%d" % worker_id)
+                # connect (and prove liveness) before the clock starts: the
+                # arm times steady-state throughput, not the connect storm
+                if backend.get(("warm", worker_id)) is not MISSING:
+                    raise RuntimeError("unexpected hit on a cold server")
+                barrier.wait()
+                for index in range(ops_per_connection):
+                    backend.put((worker_id, index), index)
+                    if backend.get((worker_id, index)) is MISSING:
+                        raise RuntimeError("own write not visible")
+                backend.close()
+            except Exception as error:  # pragma: no cover - reporting
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,), daemon=True)
+            for index in range(connections)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=120)
+        seconds = time.perf_counter() - started
+        if errors:
+            raise RuntimeError(f"transport bench worker failed: {errors[0]!r}")
+        return seconds
+
+    with CacheServer() as threaded:
+        threaded_seconds = drive(threaded)
+    with AsyncCacheServer() as alooped:
+        async_seconds = drive(alooped)
+
+    total_ops = connections * ops_per_connection * 2
+    return {
+        "connections": connections,
+        "ops_per_connection": ops_per_connection,
+        "threaded_seconds": threaded_seconds,
+        "async_seconds": async_seconds,
+        "threaded_ops_per_second": total_ops / threaded_seconds,
+        "async_ops_per_second": total_ops / async_seconds,
+        "async_speedup": threaded_seconds / async_seconds if async_seconds > 0 else None,
+        # "matches or beats", with a 10 % grace band for scheduler noise
+        "async_matches_threaded": async_seconds <= 1.10 * threaded_seconds,
+    }
+
+
 # -- the benchmark --------------------------------------------------------------
 
 
 def run_benchmark(
-    rows: int, versions: int, seed: int, shard_count: int, replication: int, operations: int
+    rows: int,
+    versions: int,
+    seed: int,
+    shard_count: int,
+    replication: int,
+    operations: int,
+    connections: int,
+    ops_per_connection: int,
 ) -> dict:
     scenarios = [_run_scenario("serial", CharlesConfig(n_jobs=1), rows, versions, seed)]
 
@@ -223,9 +333,44 @@ def run_benchmark(
             )
         )
 
-    # the microbench builds its own single server and its own fleet, so it
-    # never contends with the engine arms' servers for the loopback
+    # the microbenches build their own servers and fleets, so they never
+    # contend with the engine arms' servers for the loopback
     wire = _client_microbench(shard_count, operations)
+    transport = _transport_microbench(connections, ops_per_connection)
+
+    # a fleet that changes shape mid-run: a fresh (asyncio) member joins and
+    # warms from its ring predecessors, then an original member leaves —
+    # both while a spawned engine is searching against the fleet
+    elastic = [CacheServer().start() for _ in range(2)]
+    joiner = AsyncCacheServer().start()
+    try:
+        elastic_url = ",".join(member.url for member in elastic)
+
+        def churn() -> None:
+            time.sleep(1.0)
+            fleet_join([member.url for member in elastic], joiner.url)
+            time.sleep(0.75)
+            fleet_leave(
+                [member.url for member in elastic] + [joiner.url],
+                elastic[1].url,
+            )
+
+        scenarios.append(
+            _run_fabric_scenario(
+                "fleet-elastic",
+                rows,
+                versions,
+                seed,
+                elastic_url,
+                min(replication, 2),
+                churn=churn,
+            )
+        )
+        elastic_final_epoch = server_topology(elastic[0].url)["epoch"]
+    finally:
+        joiner.shutdown()
+        for member in elastic:
+            member.shutdown()
 
     shards = [CacheServer().start() for _ in range(shard_count)]
     try:
@@ -273,8 +418,13 @@ def run_benchmark(
             for scenario in scenarios
         ],
         "wire": wire,
+        "transport": transport,
         "pipelined_speedup": wire["pipelined_speedup"],
         "pipelined_faster_than_serial_socket": wire["pipelined_faster"],
+        "async_matches_threaded_throughput": transport["async_matches_threaded"],
+        "elastic_final_epoch": elastic_final_epoch,
+        "elastic_misses": by_name["fleet-elastic"]["misses"],
+        "elastic_failovers": by_name["fleet-elastic"]["failovers"],
         "fleet_warm_speedup": (
             cold["seconds"] / warm["seconds"] if warm["seconds"] > 0 else None
         ),
@@ -304,6 +454,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="replica copies per entry (>= 2 makes shard death free)")
     parser.add_argument("--operations", type=int, default=400,
                         help="GET count for the wire microbenchmark")
+    parser.add_argument("--connections", type=int, default=64,
+                        help="concurrent connections for the transport microbenchmark")
+    parser.add_argument("--ops-per-connection", type=int, default=30,
+                        help="put+get cycles per connection in the transport microbenchmark")
     parser.add_argument("--smoke", action="store_true",
                         help="small fast run for CI (150 rows, 3 versions, 2 shards)")
     parser.add_argument("--output", type=Path, default=None, help="write the JSON report here")
@@ -312,9 +466,15 @@ def main(argv: list[str] | None = None) -> int:
     versions = 3 if args.smoke else args.versions
     shard_count = 2 if args.smoke else args.shards
     operations = 200 if args.smoke else args.operations
+    # the concurrency level is the point of the transport arm — smoke mode
+    # trims the per-connection work, never the connection count
+    ops_per_connection = 10 if args.smoke else args.ops_per_connection
     replication = min(args.replication, shard_count)
 
-    report = run_benchmark(rows, versions, args.seed, shard_count, replication, operations)
+    report = run_benchmark(
+        rows, versions, args.seed, shard_count, replication, operations,
+        args.connections, ops_per_connection,
+    )
     report["smoke"] = args.smoke
     text = json.dumps(_stamp(report), indent=2)
     print(text)
@@ -334,6 +494,14 @@ def main(argv: list[str] | None = None) -> int:
             "pipelined fabric client was not faster than the serial-socket client "
             f"({report['wire']['fabric_seconds']:.3f}s vs "
             f"{report['wire']['serial_seconds']:.3f}s over {operations} lookups)"
+        )
+        (warnings_ if args.smoke else failures).append(message)
+    if not report["async_matches_threaded_throughput"]:
+        message = (
+            "asyncio server fell behind the threaded server at "
+            f"{report['transport']['connections']} connections "
+            f"({report['transport']['async_seconds']:.3f}s vs "
+            f"{report['transport']['threaded_seconds']:.3f}s)"
         )
         (warnings_ if args.smoke else failures).append(message)
     if not report["degraded_served_off_replicas"]:

@@ -14,10 +14,16 @@ one socket and one server:
   and a per-PUT recomputation-cost hint; batched ``MGET`` lookups; stdlib
   ``struct``/``json`` only.
 * :mod:`~repro.cacheserver.server` — :class:`~repro.cacheserver.server.
-  CacheServer`, a threaded TCP server hosting the ``fits``/``partitions``
-  regions on :class:`~repro.cachestore.memory.InProcessBackend` stores with a
+  CacheServerCore` (regions, verbs, metrics, elastic fleet topology) and
+  :class:`~repro.cacheserver.server.CacheServer`, the threaded transport over
+  it, hosting the ``fits``/``partitions`` regions on
+  :class:`~repro.cachestore.memory.InProcessBackend` stores with a
   cost-aware eviction policy, plus ``PING``/``STATS`` admin verbs and
   graceful shutdown.  Run one per shard with ``charles cache-server``.
+* :mod:`~repro.cacheserver.aserver` — :class:`~repro.cacheserver.aserver.
+  AsyncCacheServer`, the ``asyncio`` transport over the same core (the
+  default under ``charles cache-server``): every connection multiplexed on
+  one event loop instead of one thread each, byte-identical on the wire.
 * :mod:`~repro.cacheserver.pipeline` — :class:`~repro.cacheserver.pipeline.
   PipelinedConnection`, one persistent socket with any number of requests in
   flight (a reader thread pairs responses up by request id), ending the
@@ -36,6 +42,12 @@ one socket and one server:
   optional replica-set writes (``cache_replication``), read failover around
   the ring, and round-synchronised ``MGET`` prefetching.
 
+Membership is *elastic*: ``charles cache topology --join/--leave`` broadcasts
+an epoch-stamped endpoint list (``JOIN``/``LEAVE`` verbs), a joining shard
+warms itself from its ring predecessors (``HANDOFF``), and every response
+carries the current epoch so running fabrics refresh their rings mid-search
+— without ever changing what the search returns.
+
 Keys are namespaced by ``CharlesConfig.cache_fingerprint()`` exactly like the
 disk store, so differently configured engines sharing one fabric never serve
 each other's entries, while execution-only knobs (``n_jobs``, pruning,
@@ -46,21 +58,25 @@ byte-identical to in-process runs, which ``tests/cacheserver/`` and
 ``benchmarks/bench_cache_fabric.py`` enforce.
 """
 
+from repro.cacheserver.aserver import AsyncCacheServer
 from repro.cacheserver.client import (
     RemoteBackend,
     RemoteHandle,
     ShardClient,
+    fleet_join,
+    fleet_leave,
     parse_url,
     server_clear,
     server_metrics,
     server_ping,
     server_stats,
+    server_topology,
     server_trace,
 )
 from repro.cacheserver.fabric import ShardedRemoteBackend, ShardedRemoteHandle
 from repro.cacheserver.pipeline import PipelinedConnection
 from repro.cacheserver.ring import HashRing, parse_endpoints
-from repro.cacheserver.server import DEFAULT_PORT, CacheServer
+from repro.cacheserver.server import DEFAULT_PORT, CacheServer, CacheServerCore
 
 __all__ = [
     "RemoteBackend",
@@ -77,6 +93,11 @@ __all__ = [
     "server_clear",
     "server_metrics",
     "server_trace",
+    "server_topology",
+    "fleet_join",
+    "fleet_leave",
     "CacheServer",
+    "CacheServerCore",
+    "AsyncCacheServer",
     "DEFAULT_PORT",
 ]

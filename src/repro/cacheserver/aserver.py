@@ -1,0 +1,204 @@
+"""The asyncio cache server: every connection multiplexed on one event loop.
+
+:class:`AsyncCacheServer` is the second transport over
+:class:`~repro.cacheserver.server.CacheServerCore` — same verbs, same
+coalesced response bursts, byte-identical frames — but instead of one OS
+thread per client (:class:`~repro.cacheserver.server.CacheServer`) it serves
+every connection from a single event loop.  A fleet of engines each holding
+a few pipelined connections per shard puts *connections*, not CPU, on the
+server: request handling is dict lookups, so the thread-per-connection model
+pays thread stacks and scheduler churn for sockets that are idle almost all
+the time.  Here an idle connection costs one reader coroutine parked on the
+loop, and a response burst is still one ``write`` of the joined frames.
+
+The public surface mirrors ``CacheServer`` exactly — ``start`` /
+``serve_forever`` / ``shutdown`` / context manager / ``address`` / ``url`` /
+``stats`` / ``metrics_text`` — so fixtures, the CLI and the benchmarks can
+parametrise over both transports.  The listening socket is created
+synchronously in ``__init__``, so :attr:`url` is valid before ``start``,
+exactly as with the threaded server.
+
+One asymmetry: ``JOIN``/``LEAVE`` handling can block (a joining server warms
+itself from its ring predecessors over plain sockets), so those two verbs
+are dispatched on a worker thread via ``run_in_executor`` while every other
+verb runs inline on the loop.  Ordering still holds: the connection's
+coroutine awaits the executor result before answering later frames, so
+responses leave in arrival order as the protocol requires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+from repro.cacheserver import protocol
+from repro.cacheserver.server import CacheServerCore
+
+__all__ = ["AsyncCacheServer"]
+
+#: verbs whose handling may block on network I/O (membership warm-up); they
+#: run on a worker thread so the event loop keeps serving other connections
+_BLOCKING_VERBS = frozenset({protocol.JOIN, protocol.LEAVE})
+
+
+class AsyncCacheServer(CacheServerCore):
+    """A fleet-shared cache service, every connection on one event loop.
+
+    Drop-in for :class:`~repro.cacheserver.server.CacheServer` — construct
+    with the same arguments, use as a context manager or pair
+    :meth:`start`/:meth:`serve_forever` with :meth:`shutdown`.  Clients
+    cannot tell the transports apart: the wire protocol, response coalescing
+    and topology-epoch stamping all live in the shared core.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int | None = None,
+        policy: str = "cost-aware",
+    ) -> None:
+        super().__init__(capacity=capacity, policy=policy)
+        # bind synchronously so .address/.url work before the loop exists
+        self._sock = socket.create_server((host, port))
+        self._address = self._sock.getsockname()[:2]
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._conn_tasks: set = set()
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` the server is listening on."""
+        host, port = self._address
+        return host, port
+
+    # -- the event loop ----------------------------------------------------------
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._serve_connection, sock=self._sock)
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            # tear down live connections so a stopped server immediately
+            # looks *down* to its fleet, matching the threaded transport
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            await server.wait_closed()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: request frames answered in arrival order.
+
+        The same coalescing contract as the threaded handler: every complete
+        frame buffered at wake time is dispatched, and all their responses go
+        out in one write — a pipelined client's burst of PUTs costs a handful
+        of syscalls, not two per entry.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._track(writer)
+        buffer = bytearray()
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    return  # clean EOF (mid-frame leftovers are the peer's bug)
+                buffer += chunk
+                try:
+                    frames = protocol.drain_frames(buffer)
+                except protocol.ProtocolError:
+                    return  # corrupt length prefix: framing is lost, drop the peer
+                responses: list[bytes] = []
+                for frame in frames:
+                    try:
+                        request_id, body = protocol.parse_message(frame)
+                    except protocol.ProtocolError:
+                        return  # unframeable peer: drop the connection, not the server
+                    response = await self._dispatch_frame(body)
+                    responses.append(protocol.frame_message(request_id, response))
+                if responses:
+                    writer.write(b"".join(responses))
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        return
+        except asyncio.CancelledError:
+            return  # server shutdown: connections die with it
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._untrack(writer)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    async def _dispatch_frame(self, body: bytes) -> bytes:
+        verb = (body[0] & ~protocol.TRACE_FLAG) if body else None
+        try:
+            if verb in _BLOCKING_VERBS:
+                # membership warm-up does synchronous socket I/O; keep the
+                # loop serving other connections while it runs
+                return await asyncio.get_running_loop().run_in_executor(
+                    None, self.dispatch, body
+                )
+            return self.dispatch(body)
+        except protocol.ProtocolError as error:
+            return protocol.encode_response(protocol.ERROR, str(error).encode("utf-8"))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called."""
+        asyncio.run(self._main())
+
+    def start(self) -> "AsyncCacheServer":
+        """Serve on a background thread (returns self for chaining)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="charles-cache-aserver", daemon=True
+        )
+        self._thread.start()
+        # wait for the loop to be accepting, so callers can connect right away
+        self._ready.wait(timeout=10.0)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the loop, tear down connections and close the socket.
+
+        Idempotent; entries are process-local, so they die with the server —
+        clients degrade to misses and recompute, never to wrong results.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._ready.is_set() and self._loop is not None:
+            loop, stop = self._loop, self._stop
+            if stop is not None and not loop.is_closed():
+                try:
+                    loop.call_soon_threadsafe(stop.set)
+                except RuntimeError:  # pragma: no cover - loop already gone
+                    pass
+        else:
+            # never served: just release the listening socket
+            self._sock.close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "AsyncCacheServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -19,6 +19,12 @@ Two usage patterns fall out:
   round trip; :meth:`PipelinedConnection.request` blocks only for its own
   response, not for everything queued behind it.
 
+Backpressure is *progress-based*: a submitter over the in-flight bound waits
+on the oldest pending response, but the deadline resets whenever any
+response arrives — a saturated window against a slow-but-working server
+just throttles, and only a peer that stays completely silent for a full
+timeout is declared dead.
+
 The connection is failure-final: any socket or framing error fails every
 pending future and marks the connection dead (``alive`` turns false).  The
 degrade-to-miss and backoff policy stays where it was — in the client layer
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import socket
 import threading
+from collections import deque
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as _FutureTimeout
 
@@ -66,9 +73,18 @@ class PipelinedConnection:
         self._send_lock = threading.Lock()
         self._pending_lock = threading.Lock()
         self._pending: dict[int, Future] = {}
-        self._order: list[int] = []  # insertion order, for backpressure
+        # insertion order, for backpressure; ids resolved out of order stay
+        # until they surface at the head and are skipped lazily — O(1) per
+        # response instead of an O(n) scan of the whole window
+        self._order: deque[int] = deque()
         self._next_id = 0
         self._dead = False
+        # responses resolved so far; submitters compare snapshots of it to
+        # tell a slow server (progress continues) from a silent one
+        self._progress = 0
+        #: newest fleet-topology epoch seen on any response (0 until the
+        #: fleet configures one); the fabric polls it to refresh its ring
+        self.latest_epoch = 0
         #: high-water mark of requests simultaneously in flight — how much of
         #: the pipelining headroom traffic actually used (observability only)
         self.peak_in_flight = 0
@@ -102,15 +118,38 @@ class PipelinedConnection:
             self._order.append(request_id)
             if len(self._pending) > self.peak_in_flight:
                 self.peak_in_flight = len(self._pending)
-            oldest = self._order[0] if len(self._pending) > MAX_IN_FLIGHT else None
-            oldest_future = self._pending.get(oldest) if oldest is not None else None
+            oldest_future = None
+            if len(self._pending) > MAX_IN_FLIGHT:
+                # skip ids the reader already resolved out of order; the
+                # deque head is then the genuinely oldest pending request
+                while self._order and self._order[0] not in self._pending:
+                    self._order.popleft()
+                if self._order:
+                    oldest_future = self._pending.get(self._order[0])
         if oldest_future is not None:
-            # backpressure: wait for the oldest response before queueing more
-            try:
-                oldest_future.result(timeout=self._timeout)
-            except Exception:
-                self._fail(ConnectionError("pipelined peer stopped answering"))
-                return future
+            # backpressure: wait for the oldest response before queueing
+            # more — but only a *silent* peer is fatal.  Any response
+            # arriving resets the deadline, so a saturated window against a
+            # slow server throttles the submitter instead of killing the
+            # connection (and with it every pending request).
+            while True:
+                with self._pending_lock:
+                    seen = self._progress
+                try:
+                    oldest_future.result(timeout=self._timeout)
+                    break
+                except (_FutureTimeout, TimeoutError):
+                    with self._pending_lock:
+                        advanced = self._progress != seen
+                    if advanced:
+                        continue  # slow but alive: keep waiting
+                    self._fail(ConnectionError("pipelined peer stopped answering"))
+                    return future
+                except Exception:
+                    # the oldest request itself failed: the connection is
+                    # already dead or dying, surface that to our caller too
+                    self._fail(ConnectionError("pipelined peer stopped answering"))
+                    return future
         try:
             with self._send_lock:
                 protocol.send_message(self._sock, request_id, body)
@@ -162,21 +201,22 @@ class PipelinedConnection:
             for frame in frames:
                 try:
                     request_id, message = protocol.parse_message(frame)
-                    response = protocol.decode_response(message)
+                    status, payload, epoch = protocol.decode_response_full(message)
                 except protocol.ProtocolError as error:
                     self._fail(error)
                     return
                 with self._pending_lock:
                     future = self._pending.pop(request_id, None)
-                    if future is not None and self._order and self._order[0] == request_id:
-                        self._order.pop(0)
-                    elif future is not None:
-                        try:
-                            self._order.remove(request_id)
-                        except ValueError:  # pragma: no cover - defensive
-                            pass
+                    self._progress += 1  # any response is progress
+                    if epoch > self.latest_epoch:
+                        self.latest_epoch = epoch
+                    # resolved ids are skipped lazily when they reach the
+                    # order head (in submit's backpressure check) — no O(n)
+                    # scan of the in-flight window per response
+                    if self._order and self._order[0] == request_id:
+                        self._order.popleft()
                 if future is not None:
-                    future.set_result(response)
+                    future.set_result((status, payload))
             try:
                 chunk = sock.recv(1 << 16)
             except socket.timeout:

@@ -176,6 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
         "cache-server",
         help="host the fleet cache service engines reach with --cache-backend remote",
     )
+    transport = server.add_mutually_exclusive_group()
+    transport.add_argument("--async", dest="transport", action="store_const",
+                           const="async",
+                           help="serve every connection on one asyncio event loop "
+                                "(the default: large fleets cost coroutines, "
+                                "not threads)")
+    transport.add_argument("--threaded", dest="transport", action="store_const",
+                           const="threaded",
+                           help="serve with one thread per connection (the "
+                                "pre-elastic transport; byte-identical on the wire)")
+    server.set_defaults(transport="async")
     server.add_argument("--host", default="127.0.0.1",
                         help="interface to listen on (default 127.0.0.1; use 0.0.0.0 "
                              "only on a trusted network — values travel pickled)")
@@ -225,9 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache = subparsers.add_parser(
         "cache", help="inspect or reset a cache store without writing python"
     )
-    cache.add_argument("action", choices=["stats", "clear"],
+    cache.add_argument("action", choices=["stats", "clear", "topology"],
                        help="stats: entry counts and hit/miss counters; "
-                            "clear: drop every entry")
+                            "clear: drop every entry; "
+                            "topology: show each shard's fleet view, or "
+                            "reshape the fleet with --join/--leave")
     cache.add_argument("--cache-url", default=None,
                        help="host:port of a running cache server")
     cache.add_argument("--cache-dir", type=Path, default=None,
@@ -235,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--metrics", action="store_true",
                        help="with stats --cache-url: print each server's "
                             "Prometheus metrics exposition instead of the table")
+    cache.add_argument("--join", metavar="HOST:PORT", default=None,
+                       help="with topology: add this running server to the "
+                            "fleet named by --cache-url (it warms itself from "
+                            "its ring predecessors before the command returns)")
+    cache.add_argument("--leave", metavar="HOST:PORT", default=None,
+                       help="with topology: remove this member from the fleet "
+                            "named by --cache-url (no transfer; its keys fail "
+                            "over around the ring like a shard death)")
     return parser
 
 
@@ -596,10 +617,11 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_cache_server(args: argparse.Namespace) -> int:
     # imported here so the paper-workflow commands never pay for the server
-    from repro.cacheserver import DEFAULT_PORT, CacheServer
+    from repro.cacheserver import DEFAULT_PORT, AsyncCacheServer, CacheServer
 
     port = DEFAULT_PORT if args.port is None else args.port
-    server = CacheServer(
+    server_class = AsyncCacheServer if args.transport == "async" else CacheServer
+    server = server_class(
         host=args.host, port=port, capacity=args.capacity, policy=args.policy
     )
     bound_host, bound_port = server.address
@@ -613,7 +635,8 @@ def _command_cache_server(args: argparse.Namespace) -> int:
         advertised = server.url
     print(
         f"cache server listening on {server.url} "
-        f"(policy={args.policy}, capacity={args.capacity or 'unbounded'}); "
+        f"({args.transport}, policy={args.policy}, "
+        f"capacity={args.capacity or 'unbounded'}); "
         "point engines at it with --cache-backend remote --cache-url "
         f"{advertised}",
         flush=True,
@@ -754,9 +777,57 @@ def _shard_stats_table(per_shard: dict[str, "dict | None"]) -> str:
     return "\n".join(lines)
 
 
+def _cache_topology(args: argparse.Namespace, endpoints: tuple[str, ...]) -> int:
+    """Show or reshape the elastic fleet named by ``--cache-url``."""
+    from repro.cacheserver import fleet_join, fleet_leave, server_topology
+
+    if args.join and args.leave:
+        print("error: pass at most one of --join or --leave", file=sys.stderr)
+        return 2
+    if args.join:
+        outcome = fleet_join(list(endpoints), args.join)
+        print(
+            f"fleet grew to {len(outcome['endpoints'])} members at epoch "
+            f"{outcome['epoch']} ({outcome['warmed']} entries warmed onto "
+            f"{args.join}); running engines refresh on their next response"
+        )
+        print("new --cache-url " + ",".join(outcome["endpoints"]))
+        return 0
+    if args.leave:
+        outcome = fleet_leave(list(endpoints), args.leave)
+        print(
+            f"fleet shrank to {len(outcome['endpoints'])} members at epoch "
+            f"{outcome['epoch']}; departed keys fail over around the ring"
+        )
+        print("new --cache-url " + ",".join(outcome["endpoints"]))
+        return 0
+    # no flags: each member's own fleet view (divergence is visible as
+    # different epochs — the newest one wins as soon as clients see it)
+    for endpoint in endpoints:
+        try:
+            view = server_topology(endpoint)
+        except CharlesError as error:
+            print(f"{endpoint}: DOWN ({error})")
+            continue
+        if not view["endpoints"]:
+            print(f"{endpoint}: no fleet topology configured (static cache_url)")
+            continue
+        members = ",".join(view["endpoints"])
+        warmed = view.get("warmed_entries", 0)
+        suffix = f", {warmed} entries warmed on join" if warmed else ""
+        print(f"{endpoint}: epoch {view['epoch']}, members {members}{suffix}")
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if (args.cache_url is None) == (args.cache_dir is None):
         print("error: pass exactly one of --cache-url or --cache-dir", file=sys.stderr)
+        return 2
+    if args.action != "topology" and (args.join or args.leave):
+        print("error: --join/--leave only apply to the topology action", file=sys.stderr)
+        return 2
+    if args.action == "topology" and args.cache_url is None:
+        print("error: topology needs --cache-url (a fleet, not a directory)", file=sys.stderr)
         return 2
     if args.cache_url is not None:
         from repro.cacheserver import (
@@ -767,6 +838,8 @@ def _command_cache(args: argparse.Namespace) -> int:
         )
 
         endpoints = parse_endpoints(args.cache_url)
+        if args.action == "topology":
+            return _cache_topology(args, endpoints)
         if args.action == "stats" and args.metrics:
             # the same exposition a Prometheus scrape of each shard would see;
             # a dead shard becomes a note, not an abort mid-fan-out

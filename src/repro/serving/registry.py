@@ -58,7 +58,11 @@ class SessionLease:
     config: CharlesConfig
     engine: EngineSession
     store: TimelineStore
+    #: wall-clock creation stamp, for humans reading ``info()`` only — all
+    #: age/TTL math uses the monotonic stamp below, so a system clock step
+    #: (NTP, DST, VM resume) can never age or rejuvenate a lease
     created_at: float
+    created_monotonic: float
     #: content digest of each uploaded version (feeds the single-flight work key)
     version_digests: dict[str, bytes] = field(default_factory=dict)
     #: serialises queries per session (EngineSession is not thread-safe) and
@@ -69,6 +73,12 @@ class SessionLease:
     def fingerprint_hex(self) -> str:
         """The tenant's cache-namespace fingerprint (result-affecting config)."""
         return self.config.cache_fingerprint().hex()
+
+    @property
+    def age_seconds(self) -> float:
+        """Seconds since creation, on the same monotonic clock the engine's
+        ``idle_seconds`` uses — immune to wall-clock steps."""
+        return time.monotonic() - self.created_monotonic
 
     def info(self) -> dict:
         """The operator-facing description (``GET /v1/sessions/<id>``)."""
@@ -81,6 +91,7 @@ class SessionLease:
             "runs_completed": self.engine.runs_completed,
             "warm_start_fallbacks": self.engine.warm_start_fallbacks,
             "idle_seconds": round(self.engine.idle_seconds, 3),
+            "age_seconds": round(self.age_seconds, 3),
             "created_at": self.created_at,
         }
 
@@ -123,7 +134,10 @@ class SessionRegistry:
             config=config,
             engine=EngineSession(config),
             store=TimelineStore(key=key),
+            # two stamps, one instant: wall-clock for display, monotonic for
+            # every age comparison (idle_seconds on the engine already is)
             created_at=time.time(),
+            created_monotonic=time.monotonic(),
         )
         self._leases[session_id] = lease
         return lease

@@ -1,0 +1,242 @@
+"""Differential testing: the asyncio server is byte-identical to the threaded one.
+
+Every client in the fleet was written against the threaded ``CacheServer``;
+``AsyncCacheServer`` may only replace it (and become the ``charles
+cache-server`` default) if no client can tell them apart.  The core of this
+file drives both transports with the same raw frames and compares responses
+*byte for byte* — not "equivalent", identical.  Payloads that legitimately
+differ per process (stats, metrics, topology urls) are compared structurally
+instead, and a concurrency test checks the one thing the threaded server
+made easy and the loop must not lose: many simultaneous connections making
+progress together.
+"""
+
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.cachestore import MISSING
+from repro.cacheserver import (
+    AsyncCacheServer,
+    CacheServer,
+    RemoteBackend,
+    server_metrics,
+    server_ping,
+    server_stats,
+    server_topology,
+)
+from repro.cacheserver import protocol
+
+_TIMEOUT = 5.0
+
+
+@pytest.fixture()
+def transports():
+    """One server of each transport, identically configured."""
+    with CacheServer(capacity=64) as threaded, AsyncCacheServer(capacity=64) as alooped:
+        yield threaded, alooped
+
+
+def _roundtrip(server, body: bytes, request_id: int = 7) -> tuple[int, bytes]:
+    """One raw framed request against a server; returns (request_id, response)."""
+    with socket.create_connection(server.address, timeout=_TIMEOUT) as sock:
+        protocol.send_message(sock, request_id, body)
+        return protocol.recv_message(sock)
+
+
+def _digest(tag: bytes) -> bytes:
+    return tag.ljust(protocol.DIGEST_SIZE, b"\x00")
+
+
+class TestByteIdenticalResponses:
+    """The same request frame must produce the same response frame."""
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            protocol.encode_request(protocol.PING, protocol.REGION_ALL),
+            protocol.encode_request(protocol.LEN, protocol.REGION_ALL),
+            protocol.encode_request(protocol.LEN, protocol.REGION_FITS),
+            protocol.encode_request(
+                protocol.GET, protocol.REGION_FITS, digest=_digest(b"absent")
+            ),
+            protocol.encode_request(
+                protocol.MGET,
+                protocol.REGION_PARTITIONS,
+                digests=(_digest(b"a"), _digest(b"b")),
+            ),
+            protocol.encode_request(protocol.CLEAR, protocol.REGION_ALL),
+            bytes((250, protocol.REGION_FITS)),  # unknown verb
+            bytes((protocol.GET, 99)) + _digest(b"x"),  # unknown region
+            bytes((protocol.GET, protocol.REGION_FITS)) + b"short",  # bad digest
+        ],
+    )
+    def test_same_frame_same_bytes(self, transports, body):
+        threaded, alooped = transports
+        assert _roundtrip(threaded, body) == _roundtrip(alooped, body)
+
+    def test_put_then_get_and_mget_are_identical(self, transports):
+        digest = _digest(b"key-1")
+        put = protocol.encode_request(
+            protocol.PUT,
+            protocol.REGION_FITS,
+            digest=digest,
+            cost=1.25,
+            payload=b"stored-bytes",
+        )
+        get = protocol.encode_request(protocol.GET, protocol.REGION_FITS, digest=digest)
+        mget = protocol.encode_request(
+            protocol.MGET, protocol.REGION_FITS, digests=(digest, _digest(b"miss"))
+        )
+        answers = []
+        for server in transports:
+            answers.append(
+                (
+                    _roundtrip(server, put),
+                    _roundtrip(server, get),
+                    _roundtrip(server, mget),
+                    _roundtrip(server, protocol.encode_request(protocol.LEN, protocol.REGION_ALL)),
+                )
+            )
+        assert answers[0] == answers[1]
+        status, payload = protocol.decode_response(answers[0][1][1])
+        assert (status, payload) == (protocol.HIT, b"stored-bytes")
+
+    def test_pipelined_burst_is_answered_in_order_with_matching_ids(self, transports):
+        # queue a burst of frames before reading anything back — the
+        # coalesced reply must echo every id, in order, on both transports
+        frames = []
+        for index in range(32):
+            body = protocol.encode_request(
+                protocol.PUT,
+                protocol.REGION_FITS,
+                digest=_digest(b"burst-%d" % index),
+                payload=b"v",
+            )
+            frames.append(protocol.frame_message(index, body))
+        burst = b"".join(frames)
+        for server in transports:
+            with socket.create_connection(server.address, timeout=_TIMEOUT) as sock:
+                sock.sendall(burst)
+                seen = [protocol.recv_message(sock)[0] for _ in range(32)]
+            assert seen == list(range(32))
+
+
+class TestStructuralParity:
+    """Payloads that carry per-process facts compare by structure."""
+
+    def test_stats_shape_and_counters_match(self, transports):
+        shapes = []
+        for server in transports:
+            backend = RemoteBackend(server.url, namespace=b"parity")
+            backend.put("k", 41, cost_hint=0.5)
+            assert backend.get("k") == 41
+            assert backend.get("absent") is MISSING
+            backend.close()
+            stats = server_stats(server.url)
+            regions = {
+                name: (region["entries"], region["hits"], region["misses"])
+                for name, region in stats["regions"].items()
+            }
+            shapes.append((sorted(stats), sorted(stats["server"]), regions))
+        assert shapes[0] == shapes[1]
+
+    def test_metrics_expose_the_same_series(self, transports):
+        names = []
+        for server in transports:
+            server_ping(server.url)
+            exposition = server_metrics(server.url)
+            names.append(
+                sorted(
+                    {
+                        line.split("{")[0].split(" ")[0]
+                        for line in exposition.splitlines()
+                        if line and not line.startswith("#")
+                    }
+                )
+            )
+        assert names[0] == names[1]
+
+    def test_topology_views_match_before_any_membership(self, transports):
+        views = [server_topology(server.url) for server in transports]
+        assert all(view["epoch"] == 0 and view["endpoints"] == [] for view in views)
+
+    def test_trace_spans_record_identically(self, transports):
+        from repro.cacheserver import server_trace
+        from repro.obs.trace import TRACE_ID_BYTES, SPAN_ID_BYTES
+
+        trace_context = b"\x11" * TRACE_ID_BYTES + b"\x00" * SPAN_ID_BYTES
+        body = protocol.encode_request(
+            protocol.GET,
+            protocol.REGION_FITS,
+            digest=_digest(b"traced"),
+            trace=trace_context,
+        )
+        recorded = []
+        for server in transports:
+            _roundtrip(server, body)
+            spans = server_trace(server.url, trace_id=("11" * TRACE_ID_BYTES))
+            recorded.append(
+                [(span["name"], span["outcome"], span["attributes"]["region"]) for span in spans]
+            )
+        assert recorded[0] == recorded[1] == [("server.get", "ok", "fits")]
+
+
+class TestAsyncServerUnderConcurrency:
+    def test_many_connections_make_progress_together(self):
+        # the reason the asyncio transport exists: 64 concurrent client
+        # connections, each doing real read/write traffic, on one loop
+        with AsyncCacheServer() as server:
+            errors: list[Exception] = []
+
+            def worker(worker_id: int) -> None:
+                try:
+                    backend = RemoteBackend(
+                        server.url, namespace=b"w%d" % worker_id
+                    )
+                    for index in range(25):
+                        backend.put(("k", index), (worker_id, index))
+                        assert backend.get(("k", index)) == (worker_id, index)
+                    backend.close()
+                except Exception as error:  # pragma: no cover - reporting
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(64)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert not any(thread.is_alive() for thread in threads)
+            requests = server_stats(server.url)["server"]["requests"]
+            assert requests >= 64 * 50
+
+    def test_context_manager_lifecycle_is_idempotent(self):
+        server = AsyncCacheServer()
+        with server:
+            assert server_ping(server.url)
+        server.shutdown()  # second shutdown is a no-op
+        with pytest.raises(Exception):
+            server_ping(server.url)
+
+    def test_url_is_valid_before_start(self):
+        server = AsyncCacheServer()
+        host, port = server.address
+        assert host == "127.0.0.1" and port > 0
+        assert server.url == f"{host}:{port}"
+        server.shutdown()  # never started: just releases the socket
+
+
+class TestCliDefaultsToAsync:
+    def test_cache_server_parser_defaults_to_the_asyncio_transport(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["cache-server"]).transport == "async"
+        assert parser.parse_args(["cache-server", "--threaded"]).transport == "threaded"
+        assert parser.parse_args(["cache-server", "--async"]).transport == "async"

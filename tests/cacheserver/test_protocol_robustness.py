@@ -15,7 +15,7 @@ import threading
 import pytest
 
 from repro.cachestore import MISSING
-from repro.cacheserver import CacheServer, RemoteBackend, server_ping
+from repro.cacheserver import AsyncCacheServer, CacheServer, RemoteBackend, server_ping
 from repro.cacheserver import protocol
 from repro.cacheserver.pipeline import PipelinedConnection
 
@@ -23,9 +23,12 @@ from repro.cacheserver.pipeline import PipelinedConnection
 _TIMEOUT = 5.0
 
 
-@pytest.fixture()
-def server():
-    with CacheServer() as running:
+# every hostile-client case runs against both transports: the asyncio server
+# must shrug off exactly the byte sequences the threaded one does
+@pytest.fixture(params=["threaded", "async"])
+def server(request):
+    server_class = CacheServer if request.param == "threaded" else AsyncCacheServer
+    with server_class() as running:
         yield running
 
 

@@ -102,3 +102,29 @@ class TestSweeping:
         registry.close_all()
         assert len(registry) == 0
         assert all(lease.engine.closed for lease in leases)
+
+
+class TestMonotonicLeaseAge:
+    def test_age_ignores_wall_clock_steps(self, monkeypatch):
+        # lease age and the engine's idle clock must share the monotonic
+        # clock: an NTP step / DST jump / VM resume shifting time.time() may
+        # not age a lease (or rejuvenate one) — only real elapsed time does
+        import time as time_module
+
+        registry = SessionRegistry(max_sessions=4)
+        lease = registry.create("a", CharlesConfig(**_FAST))
+        assert lease.age_seconds < 5.0
+        monkeypatch.setattr(
+            time_module, "time", lambda: lease.created_at + 86400.0
+        )
+        assert lease.age_seconds < 5.0  # a day of wall-clock step: no aging
+        assert registry.sweep_expired(ttl_seconds=3600) == []
+
+    def test_info_reports_both_stamps(self):
+        registry = SessionRegistry(max_sessions=4)
+        lease = registry.create("a", CharlesConfig(**_FAST))
+        info = lease.info()
+        assert info["age_seconds"] >= 0.0
+        assert info["created_at"] == lease.created_at  # wall-clock, for humans
+        # the two age figures come off the same clock
+        assert abs(info["age_seconds"] - info["idle_seconds"]) < 5.0
